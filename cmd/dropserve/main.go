@@ -1,0 +1,164 @@
+// Command dropserve stands up the whole registry ecosystem on localhost —
+// EPP, RDAP, WHOIS, the pending-delete list service and the maliciousness
+// oracle — over a seeded domain population, and keeps the lifecycle engine
+// ticking against the real clock. Useful for poking at the protocol surfaces
+// with cmd/dropwhois, the examples, or plain curl/netcat:
+//
+//	dropserve -epp :7700 -rdap :7701 -whois :7702 -scope :7703 -oracle :7704
+//	curl http://127.0.0.1:7701/domain/keyworddeal0.com
+//	printf 'keyworddeal0.com\r\n' | nc 127.0.0.1 7702
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dropzero/internal/dns"
+	"dropzero/internal/dropscope"
+	"dropzero/internal/epp"
+	"dropzero/internal/model"
+	"dropzero/internal/names"
+	"dropzero/internal/rdap"
+	"dropzero/internal/registrars"
+	"dropzero/internal/registry"
+	"dropzero/internal/safebrowsing"
+	"dropzero/internal/simtime"
+	"dropzero/internal/whois"
+	"dropzero/internal/zonefile"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dropserve: ")
+
+	eppAddr := flag.String("epp", "127.0.0.1:7700", "EPP listen address")
+	rdapAddr := flag.String("rdap", "127.0.0.1:7701", "RDAP listen address")
+	whoisAddr := flag.String("whois", "127.0.0.1:7702", "WHOIS listen address")
+	scopeAddr := flag.String("scope", "127.0.0.1:7703", "pending-delete list listen address")
+	oracleAddr := flag.String("oracle", "127.0.0.1:7704", "maliciousness oracle listen address")
+	dnsAddr := flag.String("dns", "127.0.0.1:7705", "authoritative DNS listen address (UDP)")
+	zoneAddr := flag.String("zones", "127.0.0.1:7706", "zone-file access listen address")
+	population := flag.Int("population", 2000, "number of seeded domains")
+	seed := flag.Int64("seed", 1, "population seed")
+	flag.Parse()
+
+	clock := simtime.RealClock{}
+	rng := rand.New(rand.NewSource(*seed))
+	dir := registrars.BuildDirectory(rng)
+	store := registry.NewStore(clock)
+	for _, r := range dir.Registrars() {
+		store.AddRegistrar(r)
+	}
+	seedPopulation(store, dir, rng, *population, clock.Now())
+
+	poll := epp.NewPollQueue(clock, 0)
+	store.SetObserver(poll)
+	eppSrv := epp.NewServer(store, clock, epp.ServerConfig{
+		Credentials: dir.Credentials(),
+		CreateBurst: 20,
+		CreateRate:  5,
+		Verbose:     true,
+		Poll:        poll,
+	})
+	listen("EPP", *eppAddr, eppSrv.Listen)
+	defer eppSrv.Close()
+
+	rdapSrv := rdap.NewServer(store, rdap.ServerConfig{})
+	listen("RDAP", *rdapAddr, rdapSrv.Listen)
+	defer rdapSrv.Close()
+
+	whoisSrv := whois.NewServer(store)
+	listen("WHOIS", *whoisAddr, whoisSrv.Listen)
+	defer whoisSrv.Close()
+
+	scopeSrv := dropscope.NewServer(store)
+	listen("pending-delete list", *scopeAddr, scopeSrv.Listen)
+	defer scopeSrv.Close()
+
+	oracle := safebrowsing.NewOracle()
+	listen("oracle", *oracleAddr, oracle.Listen)
+	defer oracle.Close()
+
+	dnsSrv := dns.NewServer(store)
+	listen("DNS (udp)", *dnsAddr, dnsSrv.Listen)
+	defer dnsSrv.Close()
+
+	zoneSrv := zonefile.NewServer(store)
+	listen("zone files", *zoneAddr, zoneSrv.Listen)
+	defer zoneSrv.Close()
+
+	fmt.Printf("registry live: %d domains, %d accreditations\n", store.Count(), len(dir.Registrars()))
+	counts := store.StatusCounts()
+	fmt.Printf("by status: active=%d autoRenew=%d redemption=%d pendingDelete=%d\n",
+		counts[model.StatusActive], counts[model.StatusAutoRenew],
+		counts[model.StatusRedemption], counts[model.StatusPendingDelete])
+	fmt.Printf("EPP login example: registrar %d, token %q\n",
+		dir.Accreditations(registrars.Svc1API)[0],
+		dir.Credential(dir.Accreditations(registrars.Svc1API)[0]))
+
+	// Keep the lifecycle engine ticking so seeded domains progress through
+	// expiration while the server runs.
+	lc := registry.NewLifecycle(store, registry.DefaultLifecycleConfig())
+	ticker := time.NewTicker(30 * time.Second)
+	defer ticker.Stop()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	for {
+		select {
+		case <-ticker.C:
+			if n := lc.Tick(clock.Now()); n > 0 {
+				log.Printf("lifecycle: %d transitions", n)
+			}
+		case <-sig:
+			log.Print("shutting down")
+			return
+		}
+	}
+}
+
+func listen(name, addr string, fn func(string) (net.Addr, error)) {
+	got, err := fn(addr)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	fmt.Printf("%-20s %s\n", name+":", got.String())
+}
+
+// seedPopulation creates a mix of active, expiring and pending-delete
+// domains so every protocol surface has something to serve.
+func seedPopulation(store *registry.Store, dir *registrars.Directory, rng *rand.Rand, n int, now time.Time) {
+	gen := names.NewGenerator(rng)
+	sponsors := dir.Accreditations(registrars.SvcGoDaddy)
+	sponsors = append(sponsors, dir.Accreditations(registrars.SvcOther)...)
+	today := simtime.DayOf(now)
+	for i := 0; i < n; i++ {
+		g := gen.Next()
+		name := g.Label + ".com"
+		sponsor := sponsors[rng.Intn(len(sponsors))]
+		switch i % 4 {
+		case 0: // active
+			created := now.AddDate(-1-rng.Intn(5), 0, -rng.Intn(300))
+			store.SeedAt(name, sponsor, created, created, created.AddDate(1+rng.Intn(5), 0, 0), model.StatusActive, simtime.Day{})
+		case 1: // recently expired (autoRenew)
+			created := now.AddDate(-2, 0, -rng.Intn(30))
+			expiry := now.AddDate(0, 0, -rng.Intn(20))
+			store.SeedAt(name, sponsor, created, expiry, expiry.AddDate(1, 0, 0), model.StatusAutoRenew, simtime.Day{})
+		case 2: // redemption
+			created := now.AddDate(-3, 0, 0)
+			updated := now.AddDate(0, 0, -rng.Intn(25))
+			store.SeedAt(name, sponsor, created, updated, updated.AddDate(0, 0, -35), model.StatusRedemption, simtime.Day{})
+		default: // pendingDelete within the published window
+			created := now.AddDate(-2, 0, 0)
+			updated := now.AddDate(0, 0, -33)
+			store.SeedAt(name, sponsor, created, updated, updated.AddDate(0, 0, -35),
+				model.StatusPendingDelete, today.AddDays(rng.Intn(dropscope.LookaheadDays)))
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Command dropwhois looks up domains against a dropzero registry the way
+// the paper's measurement pipeline does: RDAP first, WHOIS as fallback.
+//
+// Usage:
+//
+//	dropwhois -rdap http://127.0.0.1:7701 -whois 127.0.0.1:7702 example.com other.com
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dropzero/internal/rdap"
+	"dropzero/internal/whois"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dropwhois: ")
+
+	rdapURL := flag.String("rdap", "http://127.0.0.1:7701", "RDAP base URL (empty to skip RDAP)")
+	whoisAddr := flag.String("whois", "127.0.0.1:7702", "WHOIS server address (empty to skip fallback)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dropwhois [-rdap URL] [-whois ADDR] domain...")
+		os.Exit(2)
+	}
+
+	var rdapClient *rdap.Client
+	if *rdapURL != "" {
+		var err error
+		rdapClient, err = rdap.NewClient(*rdapURL, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	var whoisClient *whois.Client
+	if *whoisAddr != "" {
+		whoisClient = &whois.Client{Addr: *whoisAddr}
+	}
+
+	exit := 0
+	for _, name := range flag.Args() {
+		if err := lookup(rdapClient, whoisClient, name); err != nil {
+			log.Printf("%s: %v", name, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func lookup(rc *rdap.Client, wc *whois.Client, name string) error {
+	if rc != nil {
+		resp, err := rc.Domain(context.Background(), name)
+		switch {
+		case err == nil:
+			printRDAP(resp)
+			return nil
+		case errors.Is(err, rdap.ErrNotFound):
+			fmt.Printf("%s: not registered\n", name)
+			return nil
+		case errors.Is(err, rdap.ErrServer) && wc != nil:
+			log.Printf("%s: RDAP failed (%v); falling back to WHOIS", name, err)
+		default:
+			if wc == nil {
+				return err
+			}
+			log.Printf("%s: RDAP unreachable (%v); falling back to WHOIS", name, err)
+		}
+	}
+	if wc == nil {
+		return errors.New("no lookup method left")
+	}
+	d, err := wc.Lookup(name)
+	if errors.Is(err, whois.ErrNoMatch) {
+		fmt.Printf("%s: not registered\n", name)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(whois.Format(d))
+	return nil
+}
+
+func printRDAP(resp *rdap.DomainResponse) {
+	fmt.Printf("domain:    %s\n", resp.LDHName)
+	fmt.Printf("handle:    %s\n", resp.Handle)
+	fmt.Printf("status:    %v\n", resp.Status)
+	for _, ev := range resp.Events {
+		fmt.Printf("event:     %-14s %s\n", ev.Action, ev.Date.Format("2006-01-02T15:04:05Z"))
+	}
+	for _, e := range resp.Entities {
+		fmt.Printf("registrar: IANA %s", e.Handle)
+		if org := e.VCard["org"]; org != "" {
+			fmt.Printf(" (%s)", org)
+		}
+		fmt.Println()
+	}
+}

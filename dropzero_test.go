@@ -1,0 +1,121 @@
+package dropzero_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dropzero"
+	"dropzero/internal/sim"
+)
+
+// TestFacadeEndToEnd exercises the public API the way the README shows it.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := dropzero.DefaultConfig()
+	cfg.Days = 3
+	cfg.Scale = 0.02
+	res, err := dropzero.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Observations) == 0 {
+		t.Fatal("no observations")
+	}
+
+	days, skipped := dropzero.AnalyzeAll(res.Observations, dropzero.DefaultEnvelopeConfig())
+	if len(days) == 0 {
+		t.Fatalf("no analysed days (%d skipped)", skipped)
+	}
+	cl := dropzero.NewClassifier()
+	caught := 0
+	for _, day := range days {
+		for _, d := range day.Delays {
+			if cl.IsDropCatch(d) {
+				caught++
+			}
+		}
+	}
+	if caught == 0 {
+		t.Fatal("no drop-catch re-registrations detected")
+	}
+
+	a := dropzero.NewAnalysis(dropzero.AnalysisInputFromResult(res))
+	report := a.BuildReport()
+	if report.Fig5.Stats.PctAt0s <= 0 {
+		t.Fatal("report has no zero-delay share")
+	}
+	if report.Accuracy == nil {
+		t.Fatal("result-backed analysis lost ground truth")
+	}
+}
+
+func TestFacadeRankAndEnvelope(t *testing.T) {
+	cfg := dropzero.DefaultConfig()
+	cfg.Days = 1
+	cfg.Scale = 0.02
+	res, err := dropzero.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := dropzero.Rank(res.Observations)
+	if len(ranked) != len(res.Observations) {
+		t.Fatalf("ranked %d of %d", len(ranked), len(res.Observations))
+	}
+	env, err := dropzero.BuildEnvelope(ranked, dropzero.DefaultEnvelopeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Len() == 0 {
+		t.Fatal("empty envelope")
+	}
+	earliest, _ := env.EarliestAt(len(ranked) / 2)
+	if earliest.Hour() < 19 {
+		t.Fatalf("earliest time %v before the Drop", earliest)
+	}
+}
+
+func TestFacadeCSVRoundTrip(t *testing.T) {
+	cfg := dropzero.DefaultConfig()
+	cfg.Days = 1
+	cfg.Scale = 0.01
+	res, err := dropzero.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dropzero.WriteCSV(&buf, res.Observations); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dropzero.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(res.Observations) {
+		t.Fatalf("round trip lost rows: %d vs %d", len(got), len(res.Observations))
+	}
+}
+
+func TestFacadeClusterRegistrars(t *testing.T) {
+	cfg := dropzero.DefaultConfig()
+	cfg.Days = 1
+	cfg.Scale = 0.01
+	res, err := dropzero.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := dropzero.ClusterRegistrars(res.Registrars)
+	if clusters.Size() == 0 || clusters.Size() >= len(res.Registrars) {
+		t.Fatalf("cluster count %d of %d accreditations", clusters.Size(), len(res.Registrars))
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	if dropzero.DropCatchMaxDelay != 3*time.Second {
+		t.Fatalf("DropCatchMaxDelay = %v", dropzero.DropCatchMaxDelay)
+	}
+	// The facade's Config is the sim Config.
+	var c dropzero.Config = sim.DefaultConfig()
+	if c.Days != 56 {
+		t.Fatalf("default days = %d", c.Days)
+	}
+}

@@ -1,0 +1,3 @@
+module dropzero
+
+go 1.22

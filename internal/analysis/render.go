@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// density maps a normalised intensity to an ASCII shade (log-ish ramp, like
+// the paper's log-scale heatmaps).
+func density(count, max int) byte {
+	const ramp = " .:-=+*#%@"
+	if count <= 0 || max <= 0 {
+		return ramp[0]
+	}
+	// log scale: position by magnitude relative to max.
+	l := 1.0
+	for c := count; c < max; c *= 4 {
+		l -= 0.12
+	}
+	if l < 0.1 {
+		l = 0.1
+	}
+	idx := int(l * float64(len(ramp)-1))
+	return ramp[idx]
+}
+
+// RenderHeatmap draws one Figure 4 panel as ASCII art, time on the y axis
+// (top = late) and deletion rank on the x axis.
+func RenderHeatmap(h *Heatmap) string {
+	var b strings.Builder
+	title := h.Cluster
+	if title == "" {
+		title = "all registrars"
+	}
+	fmt.Fprintf(&b, "%s (n=%d, diagonal=%.1f%%, holdback=%.1f%%)\n",
+		title, h.Total, 100*h.DiagonalShare, 100*h.HoldbackShare)
+	max := 0
+	for _, row := range h.Counts {
+		for _, c := range row {
+			if c > max {
+				max = c
+			}
+		}
+	}
+	for tb := h.TimeBins - 1; tb >= 0; tb-- {
+		secIntoWindow := (tb + 1) * (h.EndHour - h.StartHour) * 3600 / h.TimeBins
+		label := fmt.Sprintf("%02d:%02d", h.StartHour+secIntoWindow/3600, (secIntoWindow%3600)/60)
+		b.WriteString(label)
+		b.WriteString(" |")
+		for _, c := range h.Counts[tb] {
+			b.WriteByte(density(c, max))
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "      +%s+\n", strings.Repeat("-", h.RankBins))
+	fmt.Fprintf(&b, "      0%srank %d\n", strings.Repeat(" ", h.RankBins-6-len(fmt.Sprint(h.MaxRank))), h.MaxRank)
+	return b.String()
+}
+
+// RenderCDF draws a compact CDF as rows of threshold → percentage with a
+// bar, sampling at most maxRows thresholds.
+func RenderCDF(thresholds []time.Duration, pct []float64, maxRows int) string {
+	var b strings.Builder
+	step := 1
+	if len(thresholds) > maxRows {
+		step = len(thresholds) / maxRows
+	}
+	for i := 0; i < len(thresholds); i += step {
+		bar := strings.Repeat("█", int(pct[i]/2))
+		fmt.Fprintf(&b, "%10s %6.2f%% %s\n", FormatDuration(thresholds[i]), pct[i], bar)
+	}
+	return b.String()
+}
+
+// RenderTimeline draws the Figure 2 per-minute re-registration rates as a
+// sparkline over [fromMinute, toMinute) of the day, with an hour axis.
+func RenderTimeline(perMinute []float64, fromMinute, toMinute int) string {
+	if fromMinute < 0 {
+		fromMinute = 0
+	}
+	if toMinute > len(perMinute) {
+		toMinute = len(perMinute)
+	}
+	if fromMinute >= toMinute {
+		return ""
+	}
+	const ramp = " ▁▂▃▄▅▆▇█"
+	max := 0.0
+	for _, v := range perMinute[fromMinute:toMinute] {
+		if v > max {
+			max = v
+		}
+	}
+	var spark, axis strings.Builder
+	for m := fromMinute; m < toMinute; m++ {
+		idx := 0
+		if max > 0 {
+			idx = int(perMinute[m] / max * float64(len([]rune(ramp))-1))
+		}
+		spark.WriteRune([]rune(ramp)[idx])
+		if m%60 == 0 {
+			axis.WriteString(fmt.Sprintf("|%02d", m/60))
+		} else if (m-2)%60 != 0 && (m-1)%60 != 0 {
+			axis.WriteByte(' ')
+		}
+	}
+	return spark.String() + "\n" + axis.String() + "\n"
+}
+
+// FormatDuration renders a delay compactly (0s, 45s, 26m, 3h20m, 2d).
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d < time.Minute:
+		return fmt.Sprintf("%ds", int(d.Seconds()))
+	case d < time.Hour:
+		if d%time.Minute == 0 {
+			return fmt.Sprintf("%dm", int(d.Minutes()))
+		}
+		return fmt.Sprintf("%dm%02ds", int(d.Minutes()), int(d.Seconds())%60)
+	case d < 24*time.Hour:
+		if d%time.Hour == 0 {
+			return fmt.Sprintf("%dh", int(d.Hours()))
+		}
+		return fmt.Sprintf("%dh%02dm", int(d.Hours()), int(d.Minutes())%60)
+	default:
+		return fmt.Sprintf("%dd%02dh", int(d.Hours())/24, int(d.Hours())%24)
+	}
+}
+
+// ShareRow is a rendering helper binding an interval to its shares.
+type ShareRow struct {
+	Label  string
+	Count  int
+	Shares map[string]float64
+}
+
+// ShareTable flattens interval shares for rendering. keys selects and orders
+// the columns; remaining mass is summed under "other".
+func ShareTable(f Fig7, keys []string) []ShareRow {
+	rows := make([]ShareRow, 0, len(f.Intervals))
+	for i, iv := range f.Intervals {
+		row := ShareRow{
+			Label:  fmt.Sprintf("%s–%s", FormatDuration(iv.Lo), FormatDuration(iv.Hi)),
+			Count:  iv.Count(),
+			Shares: make(map[string]float64, len(keys)+1),
+		}
+		assigned := 0.0
+		for _, k := range keys {
+			for _, s := range f.Shares[i] {
+				if s.Key == k {
+					row.Shares[k] = s.Value
+					assigned += s.Value
+					break
+				}
+			}
+		}
+		row.Shares["other"] += 1 - assigned
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderShareTable renders rows produced by ShareTable.
+func RenderShareTable(rows []ShareRow, keys []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %8s", "delay interval", "count")
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %10s", truncate(k, 10))
+	}
+	fmt.Fprintf(&b, " %10s\n", "other")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %8d", r.Label, r.Count)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %9.1f%%", 100*r.Shares[k])
+		}
+		fmt.Fprintf(&b, " %9.1f%%\n", 100*r.Shares["other"])
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

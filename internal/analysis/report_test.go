@@ -1,0 +1,49 @@
+package analysis_test
+
+import (
+	"sync"
+	"testing"
+
+	"dropzero/internal/analysis"
+	"dropzero/internal/sim"
+)
+
+// sharedResult caches one moderate simulation for all analysis tests.
+var (
+	once      sync.Once
+	sharedRes *sim.Result
+	sharedErr error
+)
+
+func studyResult(t *testing.T) *sim.Result {
+	t.Helper()
+	once.Do(func() {
+		cfg := sim.DefaultConfig()
+		cfg.Days = 14
+		cfg.Scale = 0.05
+		sharedRes, sharedErr = sim.Run(cfg)
+	})
+	if sharedErr != nil {
+		t.Fatal(sharedErr)
+	}
+	return sharedRes
+}
+
+func studyAnalysis(t *testing.T) *analysis.Analysis {
+	res := studyResult(t)
+	return analysis.New(analysis.Input{
+		Observations: res.Observations,
+		Registrars:   res.Registrars,
+		ServiceOf:    res.Directory.ServiceOf,
+		Deletions:    res.Deletions,
+	})
+}
+
+func TestFullReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report needs a multi-day simulation")
+	}
+	a := studyAnalysis(t)
+	r := a.BuildReport()
+	t.Log("\n" + r.String())
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"time"
+
+	"dropzero/internal/core"
+)
+
+// Summary is the machine-readable digest of a Report: one field per headline
+// number, with the paper's reference values in the struct tags' comments
+// (see EXPERIMENTS.md for the table). Durations are given in seconds for
+// tool-friendliness.
+type Summary struct {
+	Days         int `json:"days"`
+	TotalDeleted int `json:"totalDeleted"`
+
+	// Figure 1.
+	MinDeletedPerDay int `json:"minDeletedPerDay"`
+	MaxDeletedPerDay int `json:"maxDeletedPerDay"`
+
+	// Figure 2 (paper: first at 19:00, 9.4 % by 20:00, 11.2 % same day,
+	// 84 % of same-day mass between 19:00 and 20:00).
+	FirstReregMinuteOfDay int     `json:"firstReregMinuteOfDay"`
+	PctDeletedBy20h       float64 `json:"pctDeletedReregBy20h"`
+	PctDeletedSameDay     float64 `json:"pctDeletedReregSameDay"`
+	ShareSameDayIn19h     float64 `json:"shareOfSameDayIn19h"`
+
+	// Figure 3 / order search.
+	UpdateOrderScore float64 `json:"updateOrderScore"`
+	ListOrderScore   float64 `json:"listOrderScore"`
+	OnDiagonalShare  float64 `json:"onDiagonalShare"`
+	BestOrdering     string  `json:"bestOrdering"`
+
+	// Figure 5 (paper: 9.5 % at 0 s, ≈13 % at 24 h).
+	PctDeletedAt0s  float64 `json:"pctDeletedReregAt0s"`
+	PctDeletedAt24h float64 `json:"pctDeletedReregAt24h"`
+	Rise3hTo8h      float64 `json:"rise3hTo8hPoints"`
+
+	// Figure 6 per-cluster signatures.
+	Clusters map[string]ClusterSummary `json:"clusters"`
+
+	// Envelope quality (paper: 7.6 k points/day, gaps ≤3 s, 52/48/0.02).
+	EnvelopeMedianPoints int     `json:"envelopeMedianPointsPerDay"`
+	EnvelopeMaxGapSec    float64 `json:"envelopeMaxGapSeconds"`
+	ExactShare           float64 `json:"earliestExactShare"`
+	InterpolatedShare    float64 `json:"earliestInterpolatedShare"`
+	ClampedShare         float64 `json:"earliestClampedShare"`
+
+	// Heuristics (paper: 86.1 / 13.9 / 9.5 / 7.4 %).
+	DropCatchShareOfSameDay float64 `json:"dropCatchShareOfSameDay"`
+	SameDayHeuristicFP      float64 `json:"sameDayHeuristicFPShare"`
+	DropWindowHeuristicFN   float64 `json:"dropWindowHeuristicFNShare"`
+	DropWindowHeuristicFP   float64 `json:"dropWindowHeuristicFPShare"`
+
+	// Drop durations.
+	LongestDropMinutes  float64 `json:"longestDropMinutes"`
+	ShortestDropMinutes float64 `json:"shortestDropMinutes"`
+	VolumeDurationCorr  float64 `json:"volumeDurationCorrelation"`
+
+	// Maliciousness (paper: 0.4 % at 0 s, ≈2 % at 30–60 s, <0.5 % overall).
+	MaliciousShareAt0s     float64 `json:"maliciousShareAt0s"`
+	MaliciousShare30to60s  float64 `json:"maliciousShare30to60s"`
+	MaliciousShareOverall  float64 `json:"maliciousShareOverall"`
+	MaliciousMajorityClass string  `json:"maliciousMajorityClass"`
+
+	// Ablation A1, when ground truth is available.
+	EnvelopeMeanErrSec   *float64 `json:"envelopeMeanErrorSeconds,omitempty"`
+	RegressionMeanErrSec *float64 `json:"regressionMeanErrorSeconds,omitempty"`
+}
+
+// ClusterSummary digests one Figure 6 curve.
+type ClusterSummary struct {
+	N           int     `json:"n"`
+	PctAt0s     float64 `json:"pctAt0s"`
+	PctAt3s     float64 `json:"pctAt3s"`
+	PctAt60s    float64 `json:"pctAt60s"`
+	MedianSec   float64 `json:"medianSeconds"`
+	MinDelaySec float64 `json:"minDelaySeconds"`
+}
+
+// Summarize digests a Report.
+func Summarize(r *Report) *Summary {
+	s := &Summary{
+		Days:                  r.Fig1Stats.Days,
+		TotalDeleted:          r.Fig1Stats.Total,
+		MinDeletedPerDay:      r.Fig1Stats.MinDeleted,
+		MaxDeletedPerDay:      r.Fig1Stats.MaxDeleted,
+		FirstReregMinuteOfDay: r.Fig2.Stats.FirstRereg,
+		PctDeletedBy20h:       r.Fig2.Stats.PctBy20h,
+		PctDeletedSameDay:     r.Fig2.Stats.PctSameDay,
+		ShareSameDayIn19h:     r.Fig2.Stats.ShareOfSameDayIn19h,
+		PctDeletedAt0s:        r.Fig5.Stats.PctAt0s,
+		PctDeletedAt24h:       r.Fig5.Stats.PctAt24h,
+		Rise3hTo8h:            r.Fig5.Stats.Rise3hTo8h,
+		Clusters:              make(map[string]ClusterSummary, len(r.Fig6)),
+		EnvelopeMedianPoints:  r.Envelope.MedianPoints,
+		EnvelopeMaxGapSec:     r.Envelope.MaxGap.Seconds(),
+		ExactShare:            r.Envelope.MethodShares[core.MethodExact],
+		InterpolatedShare:     r.Envelope.MethodShares[core.MethodInterpolated],
+		ClampedShare: r.Envelope.MethodShares[core.MethodClampedLow] +
+			r.Envelope.MethodShares[core.MethodClampedHigh],
+		DropCatchShareOfSameDay: r.Heuristic.DropCatchShare,
+		SameDayHeuristicFP:      r.Heuristic.SameDay.FalsePositiveShare,
+		DropWindowHeuristicFN:   r.Heuristic.DropWindow.FalseNegativeShare,
+		DropWindowHeuristicFP:   r.Heuristic.DropWindow.FalsePositiveShare,
+		VolumeDurationCorr:      r.Durations.VolumeEndCorrelation,
+		MaliciousShareAt0s:      r.Malicious.ShareAt0s,
+		MaliciousShare30to60s:   r.Malicious.PeakShare30to60s,
+		MaliciousShareOverall:   r.Malicious.Overall24h,
+		MaliciousMajorityClass:  r.Malicious.MajorityClass,
+	}
+	if r.Fig3 != nil {
+		s.UpdateOrderScore = r.Fig3.UpdateOrderScore
+		s.ListOrderScore = r.Fig3.ListOrderScore
+		s.OnDiagonalShare = r.Fig3.OnDiagonalShare
+	}
+	if len(r.OrderSearch) > 0 {
+		s.BestOrdering = r.OrderSearch[0].Ordering.String()
+	}
+	if !r.Durations.LongestDay.End.IsZero() {
+		s.LongestDropMinutes = r.Durations.LongestDay.End.Sub(r.Durations.LongestDay.Day.At(19, 0, 0)).Minutes()
+		s.ShortestDropMinutes = r.Durations.ShortestDay.End.Sub(r.Durations.ShortestDay.Day.At(19, 0, 0)).Minutes()
+	}
+	for _, c := range r.Fig6 {
+		if c.N == 0 {
+			continue
+		}
+		s.Clusters[c.Cluster] = ClusterSummary{
+			N:           c.N,
+			PctAt0s:     c.PctAt(0),
+			PctAt3s:     c.PctAt(3 * time.Second),
+			PctAt60s:    c.PctAt(60 * time.Second),
+			MedianSec:   c.Median.Seconds(),
+			MinDelaySec: c.MinDelay.Seconds(),
+		}
+	}
+	if r.Accuracy != nil {
+		env := r.Accuracy.Envelope.Mean.Seconds()
+		reg := r.Accuracy.Regression.Mean.Seconds()
+		s.EnvelopeMeanErrSec = &env
+		s.RegressionMeanErrSec = &reg
+	}
+	return s
+}

@@ -1,0 +1,195 @@
+// Package cluster recovers registrar operators ("registrar clusters") from
+// accreditation contact details, reimplementing the methodology the paper
+// reuses from Game of Registrars: accreditations sharing contact attributes
+// — the same normalised organisation, email domain, or phone prefix — are
+// merged into one cluster via union-find.
+//
+// The clustering consumes only information visible through RDAP/WHOIS
+// contact records; the simulator's ground-truth Service labels are used
+// exclusively by tests to score its accuracy.
+package cluster
+
+import (
+	"sort"
+	"strings"
+
+	"dropzero/internal/model"
+)
+
+// unionFind is a standard disjoint-set structure with path halving.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+}
+
+// NormalizeOrg canonicalises an organisation name: lower case, punctuation
+// stripped, corporate suffixes removed. "DropCatch.com, LLC" and
+// "DROPCATCH.COM LLC" normalise identically.
+func NormalizeOrg(org string) string {
+	s := strings.ToLower(org)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteRune(' ')
+		}
+	}
+	fields := strings.Fields(b.String())
+	out := fields[:0]
+	for _, f := range fields {
+		switch f {
+		case "llc", "inc", "ltd", "gmbh", "corp", "co", "company", "group", "services", "technology":
+			continue
+		}
+		out = append(out, f)
+	}
+	return strings.Join(out, " ")
+}
+
+// EmailDomain extracts the domain part of an email address, lower-cased.
+func EmailDomain(email string) string {
+	if i := strings.LastIndexByte(email, '@'); i >= 0 {
+		return strings.ToLower(email[i+1:])
+	}
+	return ""
+}
+
+// PhonePrefix keeps the country code and exchange prefix of a phone number,
+// enough to group numbers from one switchboard without merging unrelated
+// registrars that share a country code.
+func PhonePrefix(phone string) string {
+	cleaned := strings.Map(func(r rune) rune {
+		if r >= '0' && r <= '9' || r == '+' || r == '.' {
+			return r
+		}
+		return -1
+	}, phone)
+	if len(cleaned) > 7 {
+		cleaned = cleaned[:7]
+	}
+	return cleaned
+}
+
+// Clusters is the result of clustering: a mapping from accreditation IANA
+// IDs to cluster labels. The label is the most common normalised org name in
+// the cluster (ties broken lexicographically), which makes labels stable and
+// human-readable.
+type Clusters struct {
+	labelOf map[int]string
+	members map[string][]int
+}
+
+// Build clusters the given accreditations by shared contact attributes.
+func Build(registrars []model.Registrar) *Clusters {
+	n := len(registrars)
+	uf := newUnionFind(n)
+	join := make(map[string]int) // attribute key → first index seen
+	link := func(key string, idx int) {
+		if key == "" {
+			return
+		}
+		if first, ok := join[key]; ok {
+			uf.union(first, idx)
+		} else {
+			join[key] = idx
+		}
+	}
+	for i, r := range registrars {
+		link("org:"+NormalizeOrg(r.Contact.Org), i)
+		link("email:"+EmailDomain(r.Contact.Email), i)
+		link("phone:"+PhonePrefix(r.Contact.Phone), i)
+	}
+
+	// Choose a label per root: most frequent normalised org.
+	orgCount := make(map[int]map[string]int)
+	for i, r := range registrars {
+		root := uf.find(i)
+		if orgCount[root] == nil {
+			orgCount[root] = make(map[string]int)
+		}
+		orgCount[root][NormalizeOrg(r.Contact.Org)]++
+	}
+	labelFor := make(map[int]string)
+	for root, counts := range orgCount {
+		best, bestN := "", -1
+		keys := make([]string, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if counts[k] > bestN {
+				best, bestN = k, counts[k]
+			}
+		}
+		labelFor[root] = best
+	}
+
+	c := &Clusters{labelOf: make(map[int]string, n), members: make(map[string][]int)}
+	for i, r := range registrars {
+		label := labelFor[uf.find(i)]
+		c.labelOf[r.IANAID] = label
+		c.members[label] = append(c.members[label], r.IANAID)
+	}
+	for _, ids := range c.members {
+		sort.Ints(ids)
+	}
+	return c
+}
+
+// LabelOf returns the cluster label of an accreditation, "" when unknown.
+func (c *Clusters) LabelOf(ianaID int) string { return c.labelOf[ianaID] }
+
+// Members returns the accreditations in a cluster.
+func (c *Clusters) Members(label string) []int {
+	return append([]int(nil), c.members[label]...)
+}
+
+// Labels returns all cluster labels sorted by descending size.
+func (c *Clusters) Labels() []string {
+	labels := make([]string, 0, len(c.members))
+	for l := range c.members {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		if len(c.members[labels[i]]) != len(c.members[labels[j]]) {
+			return len(c.members[labels[i]]) > len(c.members[labels[j]])
+		}
+		return labels[i] < labels[j]
+	})
+	return labels
+}
+
+// Size returns the number of clusters.
+func (c *Clusters) Size() int { return len(c.members) }

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"dropzero/internal/model"
+	"dropzero/internal/registrars"
+)
+
+func TestNormalizeOrg(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"DropCatch.com, LLC", "dropcatchcom"},
+		{"DROPCATCH.COM LLC", "dropcatchcom"},
+		{"SnapNames Services, Inc.", "snapnames"},
+		{"Xin Net Technology Corp", "xin net"},
+		{"1API GmbH", "1api"},
+	}
+	for _, c := range cases {
+		if got := NormalizeOrg(c.in); got != c.want {
+			t.Errorf("NormalizeOrg(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeOrgVariantsMatch(t *testing.T) {
+	a := NormalizeOrg("DropCatch.com, LLC")
+	b := NormalizeOrg("DROPCATCH.COM LLC")
+	c := NormalizeOrg("DropCatch.com LLC")
+	if a != b || b != c {
+		t.Fatalf("variants normalise differently: %q %q %q", a, b, c)
+	}
+}
+
+func TestEmailDomain(t *testing.T) {
+	if got := EmailDomain("Ops1@Example.COM"); got != "example.com" {
+		t.Fatalf("EmailDomain = %q", got)
+	}
+	if got := EmailDomain("not-an-email"); got != "" {
+		t.Fatalf("EmailDomain(bad) = %q", got)
+	}
+}
+
+func TestPhonePrefix(t *testing.T) {
+	a := PhonePrefix("+1.30321234")
+	b := PhonePrefix("+1.30329999")
+	if a != b {
+		t.Fatalf("same switchboard prefixes differ: %q vs %q", a, b)
+	}
+	c := PhonePrefix("+49.6841234")
+	if a == c {
+		t.Fatal("different country prefixes collide")
+	}
+}
+
+func regs() []model.Registrar {
+	return []model.Registrar{
+		{IANAID: 1, Contact: model.Contact{Org: "DropCatch.com LLC", Email: "a@dc.example", Phone: "+1.30320001"}},
+		{IANAID: 2, Contact: model.Contact{Org: "DropCatch.com, LLC", Email: "b@dc.example", Phone: "+1.30320002"}},
+		{IANAID: 3, Contact: model.Contact{Org: "DROPCATCH.COM LLC", Email: "c@dc.example", Phone: "+1.30320003"}},
+		{IANAID: 4, Contact: model.Contact{Org: "Solo Registrar Inc", Email: "x@solo.example", Phone: "+1.41510001"}},
+		{IANAID: 5, Contact: model.Contact{Org: "Another One Ltd", Email: "y@another.example", Phone: "+44.2070001"}},
+	}
+}
+
+func TestBuildMergesVariants(t *testing.T) {
+	c := Build(regs())
+	if c.LabelOf(1) != c.LabelOf(2) || c.LabelOf(2) != c.LabelOf(3) {
+		t.Fatalf("DropCatch accreditations split: %q %q %q", c.LabelOf(1), c.LabelOf(2), c.LabelOf(3))
+	}
+	if c.LabelOf(4) == c.LabelOf(1) || c.LabelOf(5) == c.LabelOf(1) || c.LabelOf(4) == c.LabelOf(5) {
+		t.Fatal("unrelated registrars merged")
+	}
+	if got := len(c.Members(c.LabelOf(1))); got != 3 {
+		t.Fatalf("DropCatch cluster size = %d", got)
+	}
+}
+
+func TestBuildMergesViaEmailOnly(t *testing.T) {
+	rs := []model.Registrar{
+		{IANAID: 1, Contact: model.Contact{Org: "Alpha Holdings", Email: "a@shared.example", Phone: "+1.1110001"}},
+		{IANAID: 2, Contact: model.Contact{Org: "Beta Ventures", Email: "b@shared.example", Phone: "+1.2220001"}},
+	}
+	c := Build(rs)
+	if c.LabelOf(1) != c.LabelOf(2) {
+		t.Fatal("shared email domain did not merge clusters")
+	}
+}
+
+func TestLabelsSortedBySize(t *testing.T) {
+	c := Build(regs())
+	labels := c.Labels()
+	if len(labels) != 3 {
+		t.Fatalf("labels = %v", labels)
+	}
+	if len(c.Members(labels[0])) < len(c.Members(labels[1])) {
+		t.Fatal("labels not sorted by size")
+	}
+}
+
+func TestLabelOfUnknown(t *testing.T) {
+	c := Build(regs())
+	if c.LabelOf(999) != "" {
+		t.Fatal("unknown accreditation labelled")
+	}
+}
+
+// TestClusteringRecoversDirectory verifies the full pipeline: the measured
+// clustering over the synthetic ecosystem recovers the ground-truth
+// operators with high purity.
+func TestClusteringRecoversDirectory(t *testing.T) {
+	dir := registrars.BuildDirectory(rand.New(rand.NewSource(1)))
+	c := Build(dir.Registrars())
+
+	// Every named service's accreditations must land in a single cluster.
+	for _, svc := range []string{
+		registrars.SvcDropCatch, registrars.SvcSnapNames, registrars.SvcPheenix,
+		registrars.SvcXZ, registrars.SvcDynadot, registrars.SvcGoDaddy,
+		registrars.SvcXinnet, registrars.Svc1API,
+	} {
+		ids := dir.Accreditations(svc)
+		labels := make(map[string]int)
+		for _, id := range ids {
+			labels[c.LabelOf(id)]++
+		}
+		if len(labels) != 1 {
+			t.Errorf("service %s split across clusters: %v", svc, labels)
+		}
+	}
+
+	// Tail registrars must not merge with the big services.
+	big := c.LabelOf(dir.Accreditations(registrars.SvcDropCatch)[0])
+	for _, id := range dir.Accreditations(registrars.SvcOther) {
+		if c.LabelOf(id) == big {
+			t.Errorf("tail registrar %d merged into DropCatch cluster", id)
+		}
+	}
+}
+
+func TestClusteringPurity(t *testing.T) {
+	dir := registrars.BuildDirectory(rand.New(rand.NewSource(2)))
+	c := Build(dir.Registrars())
+	// No cluster may contain accreditations from two different services.
+	for _, label := range c.Labels() {
+		services := make(map[string]bool)
+		for _, id := range c.Members(label) {
+			services[dir.ServiceOf(id)] = true
+		}
+		delete(services, registrars.SvcOther) // tail members are individually distinct
+		if len(services) > 1 {
+			t.Errorf("cluster %q mixes services: %v", label, services)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+// Interval is one adaptive delay interval from §4.4: intervals grow until
+// they contain at least a minimum number of domains, and cannot split
+// domains sharing the same (second-precision) delay.
+type Interval struct {
+	// Lo and Hi bound the delays contained, inclusive on both ends.
+	Lo, Hi time.Duration
+	// Items are the delay results inside the interval, sorted by delay.
+	Items []DelayResult
+}
+
+// Count returns the number of domains in the interval.
+func (iv *Interval) Count() int { return len(iv.Items) }
+
+// BuildIntervals groups delay results (filtered to delay ≤ horizon) into
+// consecutive variable-length intervals of at least minCount domains each.
+// The final interval may fall short of minCount; it is merged into its
+// predecessor when one exists, matching the paper's "at least 8 k domains"
+// construction.
+func BuildIntervals(delays []DelayResult, horizon time.Duration, minCount int) []Interval {
+	inHorizon := make([]DelayResult, 0, len(delays))
+	for _, d := range delays {
+		if d.Delay <= horizon {
+			inHorizon = append(inHorizon, d)
+		}
+	}
+	sort.SliceStable(inHorizon, func(i, j int) bool { return inHorizon[i].Delay < inHorizon[j].Delay })
+
+	var out []Interval
+	i := 0
+	for i < len(inHorizon) {
+		j := i
+		// Grow until minCount reached...
+		for j < len(inHorizon) && j-i < minCount {
+			j++
+		}
+		// ...then absorb the tie run: never split equal delays.
+		for j > i && j < len(inHorizon) && inHorizon[j].Delay == inHorizon[j-1].Delay {
+			j++
+		}
+		out = append(out, Interval{
+			Lo:    inHorizon[i].Delay,
+			Hi:    inHorizon[j-1].Delay,
+			Items: inHorizon[i:j],
+		})
+		i = j
+	}
+	// Merge an undersized final interval into its predecessor.
+	if n := len(out); n >= 2 && out[n-1].Count() < minCount {
+		prev := &out[n-2]
+		prev.Hi = out[n-1].Hi
+		prev.Items = append(prev.Items, out[n-1].Items...)
+		out = out[:n-1]
+	}
+	return out
+}
+
+// Share is one group's share of an interval, in [0, 1].
+type Share struct {
+	Key   string
+	Value float64
+}
+
+// MarketShare computes, for each interval, the share of domains per group
+// key (registrar cluster, age bucket, ...). Keys mapping to "" are counted
+// under "other".
+func MarketShare(intervals []Interval, keyOf func(DelayResult) string) [][]Share {
+	out := make([][]Share, len(intervals))
+	for i, iv := range intervals {
+		counts := make(map[string]int)
+		for _, d := range iv.Items {
+			k := keyOf(d)
+			if k == "" {
+				k = "other"
+			}
+			counts[k]++
+		}
+		shares := make([]Share, 0, len(counts))
+		for k, c := range counts {
+			shares = append(shares, Share{Key: k, Value: float64(c) / float64(len(iv.Items))})
+		}
+		sort.Slice(shares, func(a, b int) bool {
+			if shares[a].Value != shares[b].Value {
+				return shares[a].Value > shares[b].Value
+			}
+			return shares[a].Key < shares[b].Key
+		})
+		out[i] = shares
+	}
+	return out
+}
+
+// ShareOf extracts one key's share from a MarketShare row, zero when absent.
+func ShareOf(shares []Share, key string) float64 {
+	for _, s := range shares {
+		if s.Key == key {
+			return s.Value
+		}
+	}
+	return 0
+}

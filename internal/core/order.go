@@ -1,0 +1,261 @@
+// Package core implements the paper's analytical contribution: inferring the
+// order in which .com domains are deleted during the Drop (§4.1), modelling
+// the earliest possible re-registration instant of every domain with a
+// per-day minimum-envelope curve (§4.2), computing re-registration delays
+// and classifying drop-catch behaviour (§4.3), and slicing the results into
+// adaptive delay intervals for market-share analysis (§4.4).
+//
+// The package is deliberately independent of the simulator: it consumes only
+// model.Observation values — the information the measurement pipeline can
+// collect from public pending-delete lists and RDAP/WHOIS lookups.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dropzero/internal/model"
+	"dropzero/internal/simtime"
+)
+
+// Ordering is a candidate deletion-order key. The paper tests several and
+// finds that only last-updated time (with domain ID as tie breaker) produces
+// the expected diagonal.
+type Ordering int
+
+// Candidate orderings from §4.1.
+const (
+	// OrderLastUpdate sorts by the prior registration's last-updated
+	// timestamp, ties broken by domain ID — the inferred true order.
+	OrderLastUpdate Ordering = iota
+	// OrderListOrder keeps the pending-delete list order (alphabetical by
+	// name, per the dropscope publisher) — the paper's Figure 3 (top).
+	OrderListOrder
+	// OrderDomainID sorts by registry object ID.
+	OrderDomainID
+	// OrderRegistrarID sorts by sponsoring registrar, ties by domain ID.
+	OrderRegistrarID
+	// OrderCreation sorts by the prior registration's creation time.
+	OrderCreation
+	// OrderExpiry sorts by the prior registration's expiration time.
+	OrderExpiry
+	// OrderAlphabetical sorts by domain name.
+	OrderAlphabetical
+	// OrderLastUpdateCreated is the §4.1 alternative tie-breaker: last
+	// updated, ties broken by creation timestamp (then ID, since creation
+	// timestamps alone do not induce a total order). The paper notes it
+	// "appears to work well" and opts for domain IDs.
+	OrderLastUpdateCreated
+	numOrderings
+)
+
+// Orderings lists every candidate, in the order the paper discusses them.
+func Orderings() []Ordering {
+	out := make([]Ordering, numOrderings)
+	for i := range out {
+		out[i] = Ordering(i)
+	}
+	return out
+}
+
+// String names the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case OrderLastUpdate:
+		return "last-update+id"
+	case OrderListOrder:
+		return "pending-list order"
+	case OrderDomainID:
+		return "domain id"
+	case OrderRegistrarID:
+		return "registrar id"
+	case OrderCreation:
+		return "creation date"
+	case OrderExpiry:
+		return "expiration date"
+	case OrderAlphabetical:
+		return "alphabetical"
+	case OrderLastUpdateCreated:
+		return "last-update+created"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+func (o Ordering) less(a, b *model.Observation) bool {
+	switch o {
+	case OrderLastUpdate:
+		if !a.Prior.Updated.Equal(b.Prior.Updated) {
+			return a.Prior.Updated.Before(b.Prior.Updated)
+		}
+		return a.Prior.ID < b.Prior.ID
+	case OrderLastUpdateCreated:
+		if !a.Prior.Updated.Equal(b.Prior.Updated) {
+			return a.Prior.Updated.Before(b.Prior.Updated)
+		}
+		if !a.Prior.Created.Equal(b.Prior.Created) {
+			return a.Prior.Created.Before(b.Prior.Created)
+		}
+		return a.Prior.ID < b.Prior.ID
+	case OrderListOrder, OrderAlphabetical:
+		return a.Name < b.Name
+	case OrderDomainID:
+		return a.Prior.ID < b.Prior.ID
+	case OrderRegistrarID:
+		if a.Prior.RegistrarID != b.Prior.RegistrarID {
+			return a.Prior.RegistrarID < b.Prior.RegistrarID
+		}
+		return a.Prior.ID < b.Prior.ID
+	case OrderCreation:
+		if !a.Prior.Created.Equal(b.Prior.Created) {
+			return a.Prior.Created.Before(b.Prior.Created)
+		}
+		return a.Prior.ID < b.Prior.ID
+	case OrderExpiry:
+		if !a.Prior.Expiry.Equal(b.Prior.Expiry) {
+			return a.Prior.Expiry.Before(b.Prior.Expiry)
+		}
+		return a.Prior.ID < b.Prior.ID
+	default:
+		return a.Prior.ID < b.Prior.ID
+	}
+}
+
+// Ranked pairs an observation with its 0-based rank under some ordering.
+type Ranked struct {
+	Obs  *model.Observation
+	Rank int
+}
+
+// Rank sorts one deletion day's observations under ord and assigns ranks.
+// The input slice is not modified.
+func Rank(obs []*model.Observation, ord Ordering) []Ranked {
+	sorted := append([]*model.Observation(nil), obs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return ord.less(sorted[i], sorted[j]) })
+	out := make([]Ranked, len(sorted))
+	for i, o := range sorted {
+		out[i] = Ranked{Obs: o, Rank: i}
+	}
+	return out
+}
+
+// OrderScore measures how well an ordering explains the same-day
+// re-registration times, as the Spearman rank correlation between deletion
+// rank and re-registration time over all same-day re-registrations. The true
+// deletion order produces a strong positive correlation (most domains are
+// caught in deletion order); unrelated orderings score near zero.
+func OrderScore(ranked []Ranked) float64 {
+	type pt struct {
+		rank int
+		t    int64
+	}
+	var pts []pt
+	for _, r := range ranked {
+		if r.Obs.SameDayRereg() {
+			pts = append(pts, pt{r.Rank, r.Obs.Rereg.Time.Unix()})
+		}
+	}
+	if len(pts) < 2 {
+		return 0
+	}
+	// Rank the re-registration times (average ranks for ties).
+	byTime := make([]int, len(pts))
+	for i := range byTime {
+		byTime[i] = i
+	}
+	sort.Slice(byTime, func(i, j int) bool { return pts[byTime[i]].t < pts[byTime[j]].t })
+	timeRank := make([]float64, len(pts))
+	for i := 0; i < len(byTime); {
+		j := i
+		for j < len(byTime) && pts[byTime[j]].t == pts[byTime[i]].t {
+			j++
+		}
+		avg := float64(i+j-1) / 2
+		for k := i; k < j; k++ {
+			timeRank[byTime[k]] = avg
+		}
+		i = j
+	}
+	// The deletion ranks of the same-day subset are distinct; rank them by
+	// position after sorting.
+	byRank := make([]int, len(pts))
+	for i := range byRank {
+		byRank[i] = i
+	}
+	sort.Slice(byRank, func(i, j int) bool { return pts[byRank[i]].rank < pts[byRank[j]].rank })
+	rankRank := make([]float64, len(pts))
+	for i, idx := range byRank {
+		rankRank[idx] = float64(i)
+	}
+	return pearson(rankRank, timeRank)
+}
+
+func pearson(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// OrderSearchResult scores one candidate ordering.
+type OrderSearchResult struct {
+	Ordering Ordering
+	Score    float64
+}
+
+// SearchOrderings ranks every candidate ordering by OrderScore, best first.
+// This is the §4.1 analysis that rules out domain ID, registrar ID, creation
+// date, expiration date, list order and alphabetical order.
+func SearchOrderings(obs []*model.Observation) []OrderSearchResult {
+	results := make([]OrderSearchResult, 0, numOrderings)
+	for _, ord := range Orderings() {
+		results = append(results, OrderSearchResult{
+			Ordering: ord,
+			Score:    OrderScore(Rank(obs, ord)),
+		})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Score > results[j].Score })
+	return results
+}
+
+// GroupByDay splits a dataset into per-deletion-day groups, each sorted set
+// ready for Rank. Days are returned in chronological order.
+func GroupByDay(obs []*model.Observation) []DayGroup {
+	byDay := make(map[int64][]*model.Observation)
+	for _, o := range obs {
+		key := o.DeleteDay.Start().Unix()
+		byDay[key] = append(byDay[key], o)
+	}
+	keys := make([]int64, 0, len(byDay))
+	for k := range byDay {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]DayGroup, 0, len(keys))
+	for _, k := range keys {
+		group := byDay[k]
+		out = append(out, DayGroup{Day: group[0].DeleteDay, Obs: group})
+	}
+	return out
+}
+
+// DayGroup is one deletion day's observations.
+type DayGroup struct {
+	Day simtime.Day
+	Obs []*model.Observation
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"dropzero/internal/model"
+	"dropzero/internal/simtime"
+)
+
+func TestRankByLastUpdate(t *testing.T) {
+	// Shuffle insertion order; ranks must follow (Updated, ID).
+	obs := []*model.Observation{obsAt(3, 0), obsAt(0, 0), obsAt(2, 0), obsAt(1, 0)}
+	ranked := Rank(obs, OrderLastUpdate)
+	for i, r := range ranked {
+		if int(r.Obs.Prior.ID) != i+1 {
+			t.Fatalf("rank %d holds prior ID %d", i, r.Obs.Prior.ID)
+		}
+		if r.Rank != i {
+			t.Fatalf("rank field %d at position %d", r.Rank, i)
+		}
+	}
+}
+
+func TestRankTieBrokenByID(t *testing.T) {
+	// Equal update times (one registrar batch); the domain ID must induce
+	// the total order, as the paper chose.
+	shared := testDay.AddDays(-35).At(6, 30, 0)
+	mk := func(id uint64) *model.Observation {
+		return &model.Observation{
+			Name:      "t" + itoa(int(id)) + ".com",
+			DeleteDay: testDay,
+			Prior:     model.PriorRegistration{ID: id, Updated: shared, Created: shared.AddDate(-1, 0, 0)},
+		}
+	}
+	obs := []*model.Observation{mk(30), mk(10), mk(20)}
+	ranked := Rank(obs, OrderLastUpdate)
+	if ranked[0].Obs.Prior.ID != 10 || ranked[1].Obs.Prior.ID != 20 || ranked[2].Obs.Prior.ID != 30 {
+		t.Fatalf("tie break wrong: %v %v %v",
+			ranked[0].Obs.Prior.ID, ranked[1].Obs.Prior.ID, ranked[2].Obs.Prior.ID)
+	}
+}
+
+func TestRankDoesNotMutateInput(t *testing.T) {
+	obs := []*model.Observation{obsAt(2, 0), obsAt(0, 0), obsAt(1, 0)}
+	first := obs[0]
+	Rank(obs, OrderLastUpdate)
+	if obs[0] != first {
+		t.Fatal("Rank reordered the input slice")
+	}
+}
+
+func TestOrderingLessVariants(t *testing.T) {
+	a := obsAt(0, 0)
+	b := obsAt(1, 0)
+	a.Name, b.Name = "aaa.com", "zzz.com"
+	a.Prior.RegistrarID, b.Prior.RegistrarID = 2, 1
+	if !OrderAlphabetical.less(a, b) {
+		t.Fatal("alphabetical wrong")
+	}
+	if !OrderDomainID.less(a, b) {
+		t.Fatal("domain id wrong")
+	}
+	if OrderRegistrarID.less(a, b) {
+		t.Fatal("registrar id wrong")
+	}
+	if !OrderCreation.less(a, b) {
+		t.Fatal("creation wrong")
+	}
+	if !OrderExpiry.less(a, b) {
+		t.Fatal("expiry wrong")
+	}
+}
+
+func TestOrderScorePerfectOrder(t *testing.T) {
+	var obs []*model.Observation
+	for i := 0; i < 200; i++ {
+		obs = append(obs, obsAt(i, i/4))
+	}
+	score := OrderScore(Rank(obs, OrderLastUpdate))
+	if score < 0.95 {
+		t.Fatalf("perfect order score = %.3f, want ≈1", score)
+	}
+}
+
+func TestOrderScoreShuffledOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var obs []*model.Observation
+	for i := 0; i < 400; i++ {
+		obs = append(obs, obsAt(i, i/4))
+	}
+	// Alphabetical order over random-ish names is unrelated to deletion
+	// time: build names that shuffle the alphabetical ranking.
+	for _, o := range obs {
+		o.Name = itoa(rng.Intn(1 << 30))
+	}
+	score := OrderScore(Rank(obs, OrderAlphabetical))
+	if score > 0.3 || score < -0.3 {
+		t.Fatalf("shuffled order score = %.3f, want ≈0", score)
+	}
+}
+
+func TestOrderScoreTooFewPoints(t *testing.T) {
+	if s := OrderScore(Rank([]*model.Observation{obsAt(0, 0)}, OrderLastUpdate)); s != 0 {
+		t.Fatalf("score with one point = %f", s)
+	}
+	if s := OrderScore(nil); s != 0 {
+		t.Fatalf("score with no points = %f", s)
+	}
+}
+
+func TestSearchOrderingsIdentifiesTrueOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var obs []*model.Observation
+	// Build a population where update time (and thus deletion order) is
+	// decorrelated from IDs, names, creation and expiration.
+	n := 600
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		// Deletion position = perm[i]; re-registered right at its slot.
+		updated := testDay.AddDays(-35).At(6, 0, 0).Add(time.Duration(perm[i]) * time.Second)
+		obs = append(obs, &model.Observation{
+			Name:      itoa(rng.Intn(1<<30)) + ".com",
+			DeleteDay: testDay,
+			Prior: model.PriorRegistration{
+				ID:      uint64(i + 1),
+				Updated: updated,
+				Created: testDay.AddDays(-800-rng.Intn(2000)).At(rng.Intn(24), 0, 0),
+				Expiry:  testDay.AddDays(-40-rng.Intn(20)).At(rng.Intn(24), 0, 0),
+			},
+			Rereg: &model.Rereg{Time: testDay.At(19, 0, 0).Add(time.Duration(perm[i]/4) * time.Second)},
+		})
+	}
+	results := SearchOrderings(obs)
+	if best := results[0].Ordering; best != OrderLastUpdate && best != OrderLastUpdateCreated {
+		t.Fatalf("best ordering = %v (%.3f), want a last-update variant", best, results[0].Score)
+	}
+	if results[0].Score < 0.9 {
+		t.Fatalf("last-update score = %.3f, want ≈1", results[0].Score)
+	}
+	for _, r := range results[1:] {
+		// The two last-update variants are near-identical orders; every
+		// other candidate must score clearly lower.
+		if r.Ordering == OrderLastUpdate || r.Ordering == OrderLastUpdateCreated {
+			continue
+		}
+		if r.Score > 0.5 {
+			t.Fatalf("rejected ordering %v scored %.3f", r.Ordering, r.Score)
+		}
+	}
+}
+
+func TestLastUpdateCreatedTieBreak(t *testing.T) {
+	shared := testDay.AddDays(-35).At(6, 30, 0)
+	mk := func(id uint64, createdOffset int) *model.Observation {
+		return &model.Observation{
+			Name:      "c" + itoa(int(id)) + ".com",
+			DeleteDay: testDay,
+			Prior: model.PriorRegistration{
+				ID:      id,
+				Updated: shared,
+				Created: shared.AddDate(-1, 0, createdOffset),
+			},
+		}
+	}
+	// IDs and creation order disagree: the created variant must follow
+	// creation time, the default must follow IDs.
+	obs := []*model.Observation{mk(1, 5), mk(2, 0)}
+	byCreated := Rank(obs, OrderLastUpdateCreated)
+	if byCreated[0].Obs.Prior.ID != 2 {
+		t.Fatalf("created tie-break: first = ID %d", byCreated[0].Obs.Prior.ID)
+	}
+	byID := Rank(obs, OrderLastUpdate)
+	if byID[0].Obs.Prior.ID != 1 {
+		t.Fatalf("ID tie-break: first = ID %d", byID[0].Obs.Prior.ID)
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	for _, o := range Orderings() {
+		if o.String() == "" {
+			t.Fatalf("ordering %d has empty name", o)
+		}
+	}
+	if Ordering(99).String() != "Ordering(99)" {
+		t.Fatal("unknown ordering string")
+	}
+}
+
+func TestGroupByDay(t *testing.T) {
+	day2 := testDay.Next()
+	a, b, c := obsAt(0, 0), obsAt(1, 0), obsAt(2, 0)
+	c.DeleteDay = day2
+	groups := GroupByDay([]*model.Observation{c, a, b})
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	if groups[0].Day != testDay || len(groups[0].Obs) != 2 {
+		t.Fatalf("first group: %+v", groups[0].Day)
+	}
+	if groups[1].Day != day2 || len(groups[1].Obs) != 1 {
+		t.Fatalf("second group: %+v", groups[1].Day)
+	}
+	if !groups[0].Day.Before(groups[1].Day) {
+		t.Fatal("groups not chronological")
+	}
+}
+
+func TestGroupByDayEmpty(t *testing.T) {
+	if got := GroupByDay(nil); len(got) != 0 {
+		t.Fatalf("GroupByDay(nil) = %v", got)
+	}
+}
+
+var _ = simtime.Day{} // keep import when test bodies change

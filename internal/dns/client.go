@@ -1,0 +1,89 @@
+package dns
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// Client is a minimal stub resolver querying one authoritative server over
+// UDP.
+type Client struct {
+	// Addr is the server's UDP address.
+	Addr string
+	// Timeout bounds one exchange; zero means 5 s.
+	Timeout time.Duration
+	// rng drives query IDs; lazily seeded when nil.
+	rng *rand.Rand
+}
+
+// Exchange sends one query and returns the parsed response.
+func (c *Client) Exchange(name string, qtype uint16) (*Message, error) {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	req := &Message{
+		Header:    Header{ID: uint16(c.rng.Intn(1 << 16)), RD: false},
+		Questions: []Question{{Name: name, Type: qtype, Class: ClassIN}},
+	}
+	wire, err := req.Pack()
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.Dial("udp", c.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("dns: dial %s: %w", c.Addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(wire); err != nil {
+		return nil, fmt.Errorf("dns: send query: %w", err)
+	}
+	buf := make([]byte, 1500)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, fmt.Errorf("dns: read response: %w", err)
+		}
+		resp, err := Unpack(buf[:n])
+		if err != nil {
+			return nil, err
+		}
+		if resp.Header.ID != req.Header.ID {
+			continue // stale datagram; keep waiting
+		}
+		return resp, nil
+	}
+}
+
+// Lookup resolves name's A record, returning ok=false on NXDOMAIN.
+func (c *Client) Lookup(name string) (addr [4]byte, ok bool, err error) {
+	resp, err := c.Exchange(name, TypeA)
+	if err != nil {
+		return addr, false, err
+	}
+	switch resp.Header.Rcode {
+	case RcodeNXDomain:
+		return addr, false, nil
+	case RcodeNoError:
+		for _, rr := range resp.Answers {
+			if rr.Type == TypeA {
+				return rr.A, true, nil
+			}
+		}
+		return addr, true, nil // in zone, no A data
+	default:
+		return addr, false, fmt.Errorf("dns: query %s: rcode %d", name, resp.Header.Rcode)
+	}
+}
+
+// InZone reports whether the name currently resolves (is delegated).
+func (c *Client) InZone(name string) (bool, error) {
+	_, ok, err := c.Lookup(name)
+	return ok, err
+}

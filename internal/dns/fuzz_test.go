@@ -1,0 +1,48 @@
+package dns
+
+import "testing"
+
+// FuzzUnpack exercises the wire-format parser with hostile input; it must
+// never panic and never return a message that cannot be re-packed without
+// panicking. Run with `go test -fuzz=FuzzUnpack ./internal/dns` for a real
+// fuzzing session; plain `go test` runs the seed corpus.
+func FuzzUnpack(f *testing.F) {
+	seed := &Message{
+		Header:    Header{ID: 42, RD: true},
+		Questions: []Question{{Name: "seed.com", Type: TypeA, Class: ClassIN}},
+		Answers:   []RR{{Name: "seed.com", Type: TypeA, Class: ClassIN, TTL: 300, A: [4]byte{203, 0, 113, 1}}},
+	}
+	wire, err := seed.Pack()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wire)
+	f.Add([]byte{})
+	f.Add([]byte{0xC0, 0x0C})
+	// A self-referential compression pointer.
+	loop := append(make([]byte, 12), 0xC0, 12)
+	f.Add(loop)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unpack(data)
+		if err != nil || m == nil {
+			return
+		}
+		// Anything we parsed should pack again (unknown RR types excepted).
+		for _, sec := range [][]RR{m.Answers, m.Authority, m.Additional} {
+			for _, rr := range sec {
+				switch rr.Type {
+				case TypeA, TypeNS, TypeSOA, TypeTXT:
+				default:
+					return
+				}
+			}
+		}
+		for _, q := range m.Questions {
+			if _, err := appendName(nil, q.Name); err != nil {
+				return // names with exotic bytes need not re-encode
+			}
+		}
+		_, _ = m.Pack()
+	})
+}

@@ -1,0 +1,388 @@
+// Package dns implements the subset of the DNS wire protocol (RFC 1035)
+// that the registry ecosystem needs: an authoritative UDP server for the
+// simulated .com/.net zones, a resolver client, and an NXDOMAIN-polling
+// watcher — the signal "home-grown" drop-catchers use to detect the instant
+// a deleted domain leaves the zone.
+//
+// Zone semantics follow the registry lifecycle: active and auto-renew-grace
+// registrations are in the zone; domains in redemption or pendingDelete are
+// already removed (they resolve to NXDOMAIN well before re-registration
+// becomes possible), and deletion during the Drop changes nothing at the DNS
+// layer — which is precisely why drop-catchers must race blind at the
+// registry rather than watch the zone.
+package dns
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Record types (RFC 1035 §3.2.2).
+const (
+	TypeA   uint16 = 1
+	TypeNS  uint16 = 2
+	TypeSOA uint16 = 6
+	TypeTXT uint16 = 16
+)
+
+// ClassIN is the Internet class.
+const ClassIN uint16 = 1
+
+// Response codes (RFC 1035 §4.1.1).
+const (
+	RcodeNoError  = 0
+	RcodeFormErr  = 1
+	RcodeServFail = 2
+	RcodeNXDomain = 3
+	RcodeNotImpl  = 4
+	RcodeRefused  = 5
+)
+
+// Header is the fixed 12-byte message header.
+type Header struct {
+	ID      uint16
+	QR      bool // response flag
+	Opcode  uint8
+	AA      bool // authoritative answer
+	TC      bool // truncated
+	RD      bool // recursion desired
+	RA      bool // recursion available
+	Rcode   uint8
+	QDCount uint16
+	ANCount uint16
+	NSCount uint16
+	ARCount uint16
+}
+
+// Question is one query entry.
+type Question struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// RR is one resource record. RData holds the type-specific payload already
+// in wire form for opaque types; A records use the IPv4 helper and NS/SOA
+// use domain-name encoding handled by the codec.
+type RR struct {
+	Name  string
+	Type  uint16
+	Class uint16
+	TTL   uint32
+	// A is the IPv4 address for TypeA records.
+	A [4]byte
+	// Target is the domain name payload for TypeNS records.
+	Target string
+	// SOA fields, used when Type == TypeSOA.
+	SOA SOAData
+	// TXT is the text payload for TypeTXT records.
+	TXT string
+}
+
+// SOAData is the start-of-authority payload.
+type SOAData struct {
+	MName   string
+	RName   string
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32
+}
+
+// Message is a complete DNS message.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// Codec errors.
+var (
+	ErrTruncatedMessage = errors.New("dns: truncated message")
+	ErrBadName          = errors.New("dns: malformed domain name")
+	ErrPointerLoop      = errors.New("dns: compression pointer loop")
+)
+
+// appendName encodes a domain name as length-prefixed labels (no
+// compression; legal per RFC 1035).
+func appendName(buf []byte, name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name != "" {
+		for _, label := range strings.Split(name, ".") {
+			if len(label) == 0 || len(label) > 63 {
+				return nil, fmt.Errorf("%w: label %q", ErrBadName, label)
+			}
+			buf = append(buf, byte(len(label)))
+			buf = append(buf, label...)
+		}
+	}
+	return append(buf, 0), nil
+}
+
+// parseName decodes a (possibly compressed) domain name at off, returning
+// the name and the offset just past its in-place encoding.
+func parseName(msg []byte, off int) (string, int, error) {
+	var labels []string
+	jumped := false
+	ptrBudget := 32 // generous loop guard
+	end := off
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrTruncatedMessage
+		}
+		b := msg[off]
+		switch {
+		case b == 0:
+			if !jumped {
+				end = off + 1
+			}
+			return strings.Join(labels, "."), end, nil
+		case b&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrTruncatedMessage
+			}
+			if ptrBudget--; ptrBudget < 0 {
+				return "", 0, ErrPointerLoop
+			}
+			ptr := int(binary.BigEndian.Uint16(msg[off:]) & 0x3FFF)
+			if !jumped {
+				end = off + 2
+				jumped = true
+			}
+			if ptr >= len(msg) {
+				return "", 0, ErrTruncatedMessage
+			}
+			off = ptr
+		case b&0xC0 != 0:
+			return "", 0, fmt.Errorf("%w: reserved label type %#x", ErrBadName, b)
+		default:
+			l := int(b)
+			if off+1+l > len(msg) {
+				return "", 0, ErrTruncatedMessage
+			}
+			labels = append(labels, string(msg[off+1:off+1+l]))
+			if !jumped {
+				end = off + 1 + l
+			}
+			off += 1 + l
+		}
+	}
+}
+
+// Pack serialises the message.
+func (m *Message) Pack() ([]byte, error) {
+	buf := make([]byte, 12, 512)
+	h := m.Header
+	h.QDCount = uint16(len(m.Questions))
+	h.ANCount = uint16(len(m.Answers))
+	h.NSCount = uint16(len(m.Authority))
+	h.ARCount = uint16(len(m.Additional))
+	binary.BigEndian.PutUint16(buf[0:], h.ID)
+	var flags uint16
+	if h.QR {
+		flags |= 1 << 15
+	}
+	flags |= uint16(h.Opcode&0xF) << 11
+	if h.AA {
+		flags |= 1 << 10
+	}
+	if h.TC {
+		flags |= 1 << 9
+	}
+	if h.RD {
+		flags |= 1 << 8
+	}
+	if h.RA {
+		flags |= 1 << 7
+	}
+	flags |= uint16(h.Rcode & 0xF)
+	binary.BigEndian.PutUint16(buf[2:], flags)
+	binary.BigEndian.PutUint16(buf[4:], h.QDCount)
+	binary.BigEndian.PutUint16(buf[6:], h.ANCount)
+	binary.BigEndian.PutUint16(buf[8:], h.NSCount)
+	binary.BigEndian.PutUint16(buf[10:], h.ARCount)
+
+	var err error
+	for _, q := range m.Questions {
+		if buf, err = appendName(buf, q.Name); err != nil {
+			return nil, err
+		}
+		buf = binary.BigEndian.AppendUint16(buf, q.Type)
+		buf = binary.BigEndian.AppendUint16(buf, q.Class)
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range sec {
+			if buf, err = appendRR(buf, rr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return buf, nil
+}
+
+func appendRR(buf []byte, rr RR) ([]byte, error) {
+	var err error
+	if buf, err = appendName(buf, rr.Name); err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint16(buf, rr.Type)
+	buf = binary.BigEndian.AppendUint16(buf, rr.Class)
+	buf = binary.BigEndian.AppendUint32(buf, rr.TTL)
+	var rdata []byte
+	switch rr.Type {
+	case TypeA:
+		rdata = rr.A[:]
+	case TypeNS:
+		if rdata, err = appendName(nil, rr.Target); err != nil {
+			return nil, err
+		}
+	case TypeSOA:
+		if rdata, err = appendName(nil, rr.SOA.MName); err != nil {
+			return nil, err
+		}
+		if rdata, err = appendName(rdata, rr.SOA.RName); err != nil {
+			return nil, err
+		}
+		for _, v := range []uint32{rr.SOA.Serial, rr.SOA.Refresh, rr.SOA.Retry, rr.SOA.Expire, rr.SOA.Minimum} {
+			rdata = binary.BigEndian.AppendUint32(rdata, v)
+		}
+	case TypeTXT:
+		if len(rr.TXT) > 255 {
+			return nil, fmt.Errorf("dns: TXT payload of %d bytes too long", len(rr.TXT))
+		}
+		rdata = append([]byte{byte(len(rr.TXT))}, rr.TXT...)
+	default:
+		return nil, fmt.Errorf("dns: cannot pack record type %d", rr.Type)
+	}
+	if len(rdata) > 0xFFFF {
+		return nil, fmt.Errorf("dns: rdata of %d bytes too long", len(rdata))
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(rdata)))
+	return append(buf, rdata...), nil
+}
+
+// Unpack parses a wire-format message.
+func Unpack(data []byte) (*Message, error) {
+	if len(data) < 12 {
+		return nil, ErrTruncatedMessage
+	}
+	var m Message
+	m.Header.ID = binary.BigEndian.Uint16(data[0:])
+	flags := binary.BigEndian.Uint16(data[2:])
+	m.Header.QR = flags&(1<<15) != 0
+	m.Header.Opcode = uint8(flags >> 11 & 0xF)
+	m.Header.AA = flags&(1<<10) != 0
+	m.Header.TC = flags&(1<<9) != 0
+	m.Header.RD = flags&(1<<8) != 0
+	m.Header.RA = flags&(1<<7) != 0
+	m.Header.Rcode = uint8(flags & 0xF)
+	m.Header.QDCount = binary.BigEndian.Uint16(data[4:])
+	m.Header.ANCount = binary.BigEndian.Uint16(data[6:])
+	m.Header.NSCount = binary.BigEndian.Uint16(data[8:])
+	m.Header.ARCount = binary.BigEndian.Uint16(data[10:])
+
+	off := 12
+	var err error
+	for i := 0; i < int(m.Header.QDCount); i++ {
+		var q Question
+		q.Name, off, err = parseName(data, off)
+		if err != nil {
+			return nil, err
+		}
+		if off+4 > len(data) {
+			return nil, ErrTruncatedMessage
+		}
+		q.Type = binary.BigEndian.Uint16(data[off:])
+		q.Class = binary.BigEndian.Uint16(data[off+2:])
+		off += 4
+		m.Questions = append(m.Questions, q)
+	}
+	sections := []struct {
+		count int
+		dst   *[]RR
+	}{
+		{int(m.Header.ANCount), &m.Answers},
+		{int(m.Header.NSCount), &m.Authority},
+		{int(m.Header.ARCount), &m.Additional},
+	}
+	for _, sec := range sections {
+		for i := 0; i < sec.count; i++ {
+			var rr RR
+			rr, off, err = parseRR(data, off)
+			if err != nil {
+				return nil, err
+			}
+			*sec.dst = append(*sec.dst, rr)
+		}
+	}
+	return &m, nil
+}
+
+func parseRR(data []byte, off int) (RR, int, error) {
+	var rr RR
+	var err error
+	rr.Name, off, err = parseName(data, off)
+	if err != nil {
+		return rr, 0, err
+	}
+	if off+10 > len(data) {
+		return rr, 0, ErrTruncatedMessage
+	}
+	rr.Type = binary.BigEndian.Uint16(data[off:])
+	rr.Class = binary.BigEndian.Uint16(data[off+2:])
+	rr.TTL = binary.BigEndian.Uint32(data[off+4:])
+	rdlen := int(binary.BigEndian.Uint16(data[off+8:]))
+	off += 10
+	if off+rdlen > len(data) {
+		return rr, 0, ErrTruncatedMessage
+	}
+	rdata := data[off : off+rdlen]
+	switch rr.Type {
+	case TypeA:
+		if rdlen != 4 {
+			return rr, 0, fmt.Errorf("dns: A record rdata of %d bytes", rdlen)
+		}
+		copy(rr.A[:], rdata)
+	case TypeNS:
+		// Name may be compressed relative to the whole message.
+		rr.Target, _, err = parseName(data, off)
+		if err != nil {
+			return rr, 0, err
+		}
+	case TypeSOA:
+		mname, n, err := parseName(data, off)
+		if err != nil {
+			return rr, 0, err
+		}
+		rname, n2, err := parseName(data, n)
+		if err != nil {
+			return rr, 0, err
+		}
+		if n2+20 > len(data) || n2+20 > off+rdlen {
+			return rr, 0, ErrTruncatedMessage
+		}
+		rr.SOA = SOAData{
+			MName:   mname,
+			RName:   rname,
+			Serial:  binary.BigEndian.Uint32(data[n2:]),
+			Refresh: binary.BigEndian.Uint32(data[n2+4:]),
+			Retry:   binary.BigEndian.Uint32(data[n2+8:]),
+			Expire:  binary.BigEndian.Uint32(data[n2+12:]),
+			Minimum: binary.BigEndian.Uint32(data[n2+16:]),
+		}
+	case TypeTXT:
+		if rdlen > 0 {
+			l := int(rdata[0])
+			if 1+l > rdlen {
+				return rr, 0, ErrTruncatedMessage
+			}
+			rr.TXT = string(rdata[1 : 1+l])
+		}
+	}
+	return rr, off + rdlen, nil
+}

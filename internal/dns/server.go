@@ -1,0 +1,175 @@
+package dns
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"dropzero/internal/model"
+	"dropzero/internal/registry"
+)
+
+// zoneTTL is the TTL attached to all answers. Short, like real registry
+// zones aiming for fast propagation of deletions.
+const zoneTTL = 300
+
+// Server is the registry's authoritative nameserver for the .com and .net
+// zones, serving over UDP. A domain is in the zone while its registration is
+// active or in the auto-renew grace period; redemption and pendingDelete
+// registrations have already been pulled (queries return NXDOMAIN), matching
+// registry practice.
+type Server struct {
+	store *registry.Store
+
+	mu     sync.Mutex
+	conn   net.PacketConn
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewServer returns an authoritative server over store.
+func NewServer(store *registry.Store) *Server {
+	return &Server{store: store}
+}
+
+// Listen binds a UDP address ("127.0.0.1:0" for an ephemeral port) and
+// serves until Close.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dns: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.conn = conn
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.serve(conn)
+	return conn.LocalAddr(), nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conn := s.conn
+	s.mu.Unlock()
+	var err error
+	if conn != nil {
+		err = conn.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serve(conn net.PacketConn) {
+	defer s.wg.Done()
+	buf := make([]byte, 1500)
+	for {
+		n, peer, err := conn.ReadFrom(buf)
+		if err != nil {
+			return // closed
+		}
+		resp := s.handle(buf[:n])
+		if resp != nil {
+			_, _ = conn.WriteTo(resp, peer)
+		}
+	}
+}
+
+// handle builds the wire response for one wire query. Exposed via Exchange
+// semantics only; fuzz-style tests call it directly.
+func (s *Server) handle(query []byte) []byte {
+	req, err := Unpack(query)
+	if err != nil || req.Header.QR || len(req.Questions) == 0 {
+		return nil // not a query we can answer; drop silently like real servers
+	}
+	q := req.Questions[0]
+	resp := &Message{
+		Header: Header{
+			ID:     req.Header.ID,
+			QR:     true,
+			Opcode: req.Header.Opcode,
+			AA:     true,
+			RD:     req.Header.RD,
+		},
+		Questions: []Question{q},
+	}
+	if req.Header.Opcode != 0 {
+		resp.Header.Rcode = RcodeNotImpl
+		return mustPack(resp)
+	}
+	name := strings.ToLower(strings.TrimSuffix(q.Name, "."))
+	tld, ok := model.TLDOf(name)
+	if !ok {
+		resp.Header.Rcode = RcodeRefused // not our zone
+		return mustPack(resp)
+	}
+	d, err := s.store.Get(name)
+	inZone := err == nil && (d.Status == model.StatusActive || d.Status == model.StatusAutoRenew)
+	if !inZone {
+		resp.Header.Rcode = RcodeNXDomain
+		resp.Authority = append(resp.Authority, soaRR(tld))
+		return mustPack(resp)
+	}
+	switch q.Type {
+	case TypeA:
+		resp.Answers = append(resp.Answers, RR{
+			Name: name, Type: TypeA, Class: ClassIN, TTL: zoneTTL, A: parkedAddr(d),
+		})
+	case TypeNS:
+		for _, ns := range nameservers(d) {
+			resp.Answers = append(resp.Answers, RR{
+				Name: name, Type: TypeNS, Class: ClassIN, TTL: zoneTTL, Target: ns,
+			})
+		}
+	case TypeTXT:
+		resp.Answers = append(resp.Answers, RR{
+			Name: name, Type: TypeTXT, Class: ClassIN, TTL: zoneTTL,
+			TXT: fmt.Sprintf("registrar=%d", d.RegistrarID),
+		})
+	default:
+		// Name exists, no data of this type: NOERROR with SOA authority.
+		resp.Authority = append(resp.Authority, soaRR(tld))
+	}
+	return mustPack(resp)
+}
+
+func mustPack(m *Message) []byte {
+	b, err := m.Pack()
+	if err != nil {
+		// All server-constructed messages are packable; a failure is a
+		// programming error and dropping the reply is the safest response.
+		return nil
+	}
+	return b
+}
+
+// parkedAddr derives a stable fake IPv4 address from the registration, in
+// TEST-NET-3 space.
+func parkedAddr(d *model.Domain) [4]byte {
+	return [4]byte{203, 0, 113, byte(d.ID%253) + 1}
+}
+
+// nameservers synthesises the delegation for a registration: a pair of
+// registrar-operated servers.
+func nameservers(d *model.Domain) []string {
+	base := fmt.Sprintf("registrar%d.example", d.RegistrarID)
+	return []string{"ns1." + base, "ns2." + base}
+}
+
+func soaRR(tld model.TLD) RR {
+	zone := string(tld)
+	return RR{
+		Name: zone, Type: TypeSOA, Class: ClassIN, TTL: zoneTTL,
+		SOA: SOAData{
+			MName:   "a.gtld-servers.example",
+			RName:   "nstld." + zone + ".example",
+			Serial:  2018010100,
+			Refresh: 1800,
+			Retry:   900,
+			Expire:  604800,
+			Minimum: 86400,
+		},
+	}
+}

@@ -1,0 +1,66 @@
+package dns
+
+// Watcher tracks a set of names through the zone, detecting the moment each
+// one stops resolving. Home-grown drop-catchers poll the zone this way to
+// learn that a domain's registration has been pulled (it enters redemption
+// about 35 days before the Drop) — the cheap public signal that a name is
+// heading for deletion, long before drop-catch services race at the
+// registry.
+type Watcher struct {
+	client *Client
+	// state maps name → last observed in-zone flag.
+	state map[string]bool
+	// Dropped accumulates names seen leaving the zone.
+	Dropped []string
+}
+
+// NewWatcher returns a Watcher polling through client.
+func NewWatcher(client *Client, names ...string) *Watcher {
+	w := &Watcher{client: client, state: make(map[string]bool, len(names))}
+	for _, n := range names {
+		w.state[n] = true // assume in zone until observed otherwise
+	}
+	return w
+}
+
+// Add starts watching more names.
+func (w *Watcher) Add(names ...string) {
+	for _, n := range names {
+		if _, ok := w.state[n]; !ok {
+			w.state[n] = true
+		}
+	}
+}
+
+// Poll queries every watched name once and returns the names that left the
+// zone during this round. Names already observed out of the zone are not
+// re-queried.
+func (w *Watcher) Poll() ([]string, error) {
+	var dropped []string
+	for name, inZone := range w.state {
+		if !inZone {
+			continue
+		}
+		ok, err := w.client.InZone(name)
+		if err != nil {
+			return dropped, err
+		}
+		if !ok {
+			w.state[name] = false
+			dropped = append(dropped, name)
+			w.Dropped = append(w.Dropped, name)
+		}
+	}
+	return dropped, nil
+}
+
+// Watching returns the number of names still observed in the zone.
+func (w *Watcher) Watching() int {
+	n := 0
+	for _, inZone := range w.state {
+		if inZone {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,163 @@
+// Package dropscope implements the pending-delete list service modelled on
+// Verisign's DomainScope: every day it publishes the names scheduled to be
+// deleted within the next five days. The measurement pipeline's daily
+// download of this list is the paper's source of deletion *dates* (the
+// deletion *times* are what the core model infers).
+package dropscope
+
+import (
+	"bufio"
+	"context"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"dropzero/internal/registry"
+	"dropzero/internal/simtime"
+)
+
+// LookaheadDays is how far into the future published lists reach.
+const LookaheadDays = 5
+
+// Entry is one line of a pending-delete list.
+type Entry struct {
+	Name      string
+	DeleteDay simtime.Day
+}
+
+// Server publishes pending-delete lists over HTTP.
+//
+//	GET /pendingdelete?date=2018-01-02
+//
+// returns a CSV body (name,deleteDate) of all domains scheduled for deletion
+// on the five days starting at date.
+type Server struct {
+	store *registry.Store
+	http  *http.Server
+}
+
+// NewServer returns a Server over store.
+func NewServer(store *registry.Store) *Server {
+	s := &Server{store: store}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/pendingdelete", s.handleList)
+	s.http = &http.Server{Handler: mux}
+	return s
+}
+
+// Handler exposes the HTTP handler for tests.
+func (s *Server) Handler() http.Handler { return s.http.Handler }
+
+// Listen binds addr and serves until Close.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dropscope: listen %s: %w", addr, err)
+	}
+	go func() {
+		if err := s.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			_ = err
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error { return s.http.Close() }
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	dateStr := r.URL.Query().Get("date")
+	start, err := ParseDay(dateStr)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad date %q: %v", dateStr, err), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	cw := csv.NewWriter(bw)
+	defer cw.Flush()
+	for _, d := range s.store.PendingDeletions(start, LookaheadDays) {
+		if err := cw.Write([]string{d.Name, d.DeleteDay.String()}); err != nil {
+			return
+		}
+	}
+}
+
+// ParseDay parses a YYYY-MM-DD day string.
+func ParseDay(s string) (simtime.Day, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return simtime.Day{}, err
+	}
+	return simtime.DayOf(t), nil
+}
+
+// Client downloads pending-delete lists.
+type Client struct {
+	base *url.URL
+	http *http.Client
+}
+
+// NewClient returns a Client for the service at baseURL.
+func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("dropscope: parse base URL: %w", err)
+	}
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: u, http: httpClient}, nil
+}
+
+// Fetch downloads the list published for day.
+func (c *Client) Fetch(ctx context.Context, day simtime.Day) ([]Entry, error) {
+	u := *c.base
+	u.Path = "/pendingdelete"
+	u.RawQuery = url.Values{"date": {day.String()}}.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("dropscope: build request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("dropscope: GET %s: %w", u.String(), err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dropscope: HTTP %d for %s", resp.StatusCode, u.String())
+	}
+	return ParseList(resp.Body)
+}
+
+// ParseList decodes a CSV pending-delete list.
+func ParseList(r io.Reader) ([]Entry, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	var out []Entry
+	for {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, fmt.Errorf("dropscope: parse list: %w", err)
+		}
+		day, err := ParseDay(rec[1])
+		if err != nil {
+			return out, fmt.Errorf("dropscope: bad delete date %q: %w", rec[1], err)
+		}
+		out = append(out, Entry{Name: strings.ToLower(rec[0]), DeleteDay: day})
+	}
+}

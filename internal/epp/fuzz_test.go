@@ -1,0 +1,20 @@
+package epp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame hardens the frame decoder against hostile bytes: no panics,
+// no unbounded allocations beyond the frame cap.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, &Request{Cmd: CmdCheck, Name: "seed.com"})
+	f.Add(buf.Bytes())
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		_ = ReadFrame(bytes.NewReader(data), &req)
+	})
+}

@@ -1,0 +1,173 @@
+// Package epp implements the provisioning protocol registrars use to talk to
+// the registry: a length-framed JSON command protocol over TCP modelled on
+// EPP (RFC 5730). It is the channel drop-catch services hammer with
+// speculative create commands during the Drop, so the server enforces
+// per-accreditation rate limits — the resource that makes holding many
+// accreditations worthwhile (the paper: three services control 75 % of all
+// registrar accreditations).
+package epp
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// MaxFrame is the largest accepted frame body. Oversized frames indicate a
+// broken or hostile peer and abort the connection.
+const MaxFrame = 1 << 16
+
+// Result codes, following the EPP convention: 1xxx success, 2xxx failure.
+const (
+	CodeOK              = 1000
+	CodeNoMessages      = 1300
+	CodeAckToDequeue    = 1301
+	CodeLoggedOut       = 1500
+	CodeUnknownCommand  = 2000
+	CodeParamRange      = 2004
+	CodeNotLoggedIn     = 2002
+	CodeAuthError       = 2200
+	CodeAuthorization   = 2201
+	CodeBadAuthInfo     = 2202
+	CodeObjectExists    = 2302
+	CodeObjectNotFound  = 2303
+	CodeStatusProhibits = 2304
+	CodeRateLimited     = 2502
+	CodeCommandFailed   = 2400
+)
+
+// Command names accepted by the server.
+const (
+	CmdLogin    = "login"
+	CmdLogout   = "logout"
+	CmdCheck    = "check"
+	CmdInfo     = "info"
+	CmdCreate   = "create"
+	CmdRenew    = "renew"
+	CmdUpdate   = "update"
+	CmdDelete   = "delete"
+	CmdPoll     = "poll"
+	CmdTransfer = "transfer"
+)
+
+// Poll operations (RFC 5730 §2.9.2.3).
+const (
+	PollOpRequest = "req"
+	PollOpAck     = "ack"
+)
+
+// Request is one client command frame.
+type Request struct {
+	Cmd       string `json:"cmd"`
+	Registrar int    `json:"registrar,omitempty"` // login only
+	Token     string `json:"token,omitempty"`     // login only
+	Name      string `json:"name,omitempty"`
+	Years     int    `json:"years,omitempty"`
+	// PollOp and MsgID drive the poll command: op "req" fetches the oldest
+	// queued message, op "ack" dequeues it by ID.
+	PollOp string `json:"pollOp,omitempty"`
+	MsgID  uint64 `json:"msgID,omitempty"`
+	// AuthInfo is the transfer authorisation code the registrant obtained
+	// from the losing registrar.
+	AuthInfo string `json:"authInfo,omitempty"`
+}
+
+// DomainInfo is the domain representation carried in responses.
+type DomainInfo struct {
+	ID        uint64    `json:"id"`
+	Name      string    `json:"name"`
+	Registrar int       `json:"registrar"`
+	Created   time.Time `json:"created"`
+	Updated   time.Time `json:"updated"`
+	Expiry    time.Time `json:"expiry"`
+	Status    string    `json:"status"`
+	// AuthInfo is included in info responses only when the requester is the
+	// sponsoring registrar (RFC 5731 §3.1.2 semantics).
+	AuthInfo string `json:"authInfo,omitempty"`
+}
+
+// Response is one server reply frame.
+type Response struct {
+	Code      int         `json:"code"`
+	Msg       string      `json:"msg"`
+	Available *bool       `json:"available,omitempty"` // check only
+	Domain    *DomainInfo `json:"domain,omitempty"`    // info/create
+	// Message and MsgCount carry the poll channel.
+	Message  *Message `json:"message,omitempty"`
+	MsgCount int      `json:"msgCount,omitempty"`
+	// ServerTime lets clients observe registry time; drop-catch tooling uses
+	// it to synchronise with the Drop.
+	ServerTime time.Time `json:"serverTime"`
+}
+
+// OK reports whether the response is a success (1xxx) result.
+func (r *Response) OK() bool { return r.Code >= 1000 && r.Code < 2000 }
+
+// Err converts a failure response into an error, nil for successes.
+func (r *Response) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return &ResultError{Code: r.Code, Msg: r.Msg}
+}
+
+// ResultError is a protocol-level failure returned by the server.
+type ResultError struct {
+	Code int
+	Msg  string
+}
+
+// Error implements error.
+func (e *ResultError) Error() string { return fmt.Sprintf("epp: %d %s", e.Code, e.Msg) }
+
+// IsCode reports whether err is a ResultError carrying code.
+func IsCode(err error, code int) bool {
+	var re *ResultError
+	return errors.As(err, &re) && re.Code == code
+}
+
+// WriteFrame writes one length-prefixed JSON frame.
+func WriteFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("epp: marshal frame: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("epp: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("epp: write frame header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("epp: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed JSON frame into v.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		return fmt.Errorf("epp: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("epp: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return fmt.Errorf("epp: read frame body: %w", err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("epp: unmarshal frame: %w", err)
+	}
+	return nil
+}

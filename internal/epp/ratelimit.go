@@ -1,0 +1,89 @@
+package epp
+
+import (
+	"sync"
+	"time"
+
+	"dropzero/internal/simtime"
+)
+
+// TokenBucket is a classic token-bucket rate limiter driven by a Clock, so
+// it works identically under virtual and real time. The zero value is not
+// usable; construct with NewTokenBucket.
+type TokenBucket struct {
+	mu       sync.Mutex
+	clock    simtime.Clock
+	capacity float64
+	rate     float64 // tokens per second
+	tokens   float64
+	last     time.Time
+}
+
+// NewTokenBucket returns a bucket holding at most capacity tokens, refilled
+// at rate tokens/second, initially full.
+func NewTokenBucket(clock simtime.Clock, capacity, rate float64) *TokenBucket {
+	return &TokenBucket{
+		clock:    clock,
+		capacity: capacity,
+		rate:     rate,
+		tokens:   capacity,
+		last:     clock.Now(),
+	}
+}
+
+// Allow consumes one token if available and reports whether it could.
+func (b *TokenBucket) Allow() bool { return b.AllowN(1) }
+
+// AllowN consumes n tokens if available and reports whether it could.
+func (b *TokenBucket) AllowN(n float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.clock.Now()
+	if now.After(b.last) {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.capacity {
+			b.tokens = b.capacity
+		}
+		b.last = now
+	}
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// Limiter tracks one TokenBucket per registrar accreditation. Each
+// accreditation gets an independent create budget, which is exactly why
+// drop-catch services acquire accreditations by the hundred.
+type Limiter struct {
+	clock    simtime.Clock
+	capacity float64
+	rate     float64
+
+	mu      sync.Mutex
+	buckets map[int]*TokenBucket
+}
+
+// NewLimiter returns a Limiter giving every accreditation a bucket of the
+// given capacity and refill rate.
+func NewLimiter(clock simtime.Clock, capacity, rate float64) *Limiter {
+	return &Limiter{
+		clock:    clock,
+		capacity: capacity,
+		rate:     rate,
+		buckets:  make(map[int]*TokenBucket),
+	}
+}
+
+// Allow consumes one create token for the accreditation.
+func (l *Limiter) Allow(registrarID int) bool {
+	l.mu.Lock()
+	b, ok := l.buckets[registrarID]
+	if !ok {
+		b = NewTokenBucket(l.clock, l.capacity, l.rate)
+		l.buckets[registrarID] = b
+	}
+	l.mu.Unlock()
+	return b.Allow()
+}

@@ -1,0 +1,364 @@
+package epp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"dropzero/internal/model"
+	"dropzero/internal/registry"
+	"dropzero/internal/simtime"
+)
+
+// ServerConfig parameterises an EPP server.
+type ServerConfig struct {
+	// Credentials maps registrar IANA IDs to their login tokens. Logins for
+	// unknown IDs or with wrong tokens are rejected with CodeAuthError.
+	Credentials map[int]string
+	// CreateBurst and CreateRate configure the per-accreditation token
+	// bucket applied to create commands. Zero values disable rate limiting.
+	CreateBurst float64
+	CreateRate  float64
+	// Logf, when set, receives one line per connection error. Defaults to
+	// log.Printf when nil and Verbose is true; silent otherwise.
+	Logf    func(format string, args ...any)
+	Verbose bool
+	// Poll, when set, serves the offline-notification channel and should
+	// also be installed as the registry store's Observer so lifecycle and
+	// Drop events reach sponsors.
+	Poll *PollQueue
+}
+
+// Server serves the registry over the EPP-like protocol.
+type Server struct {
+	store   *registry.Store
+	clock   simtime.Clock
+	cfg     ServerConfig
+	limiter *Limiter
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer returns a Server over store.
+func NewServer(store *registry.Store, clock simtime.Clock, cfg ServerConfig) *Server {
+	s := &Server{store: store, clock: clock, cfg: cfg, conns: make(map[net.Conn]struct{})}
+	if cfg.CreateBurst > 0 && cfg.CreateRate > 0 {
+		s.limiter = NewLimiter(clock, cfg.CreateBurst, cfg.CreateRate)
+	}
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	switch {
+	case s.cfg.Logf != nil:
+		s.cfg.Logf(format, args...)
+	case s.cfg.Verbose:
+		log.Printf(format, args...)
+	}
+}
+
+// Listen starts accepting connections on addr ("127.0.0.1:0" for an
+// ephemeral test port) and returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("epp: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Close stops the listener and all active connections, waiting for handler
+// goroutines to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// session is per-connection login state.
+type session struct {
+	registrarID int
+	loggedIn    bool
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var sess session
+	for {
+		var req Request
+		if err := ReadFrame(conn, &req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("epp: %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.Handle(&sess, &req)
+		if err := WriteFrame(conn, resp); err != nil {
+			s.logf("epp: %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+		if req.Cmd == CmdLogout {
+			return
+		}
+	}
+}
+
+// Handle executes one command against the registry. It is exported so the
+// in-process transport used by large simulations exercises exactly the same
+// dispatch logic as the TCP path.
+func (s *Server) Handle(sess *session, req *Request) *Response {
+	resp := &Response{ServerTime: simtime.Trunc(s.clock.Now())}
+	switch req.Cmd {
+	case CmdLogin:
+		s.handleLogin(sess, req, resp)
+	case CmdLogout:
+		sess.loggedIn = false
+		resp.Code, resp.Msg = CodeLoggedOut, "command completed successfully; ending session"
+	case CmdCheck:
+		s.requireLogin(sess, resp, func() { s.handleCheck(req, resp) })
+	case CmdInfo:
+		s.requireLogin(sess, resp, func() { s.handleInfo(sess, req, resp) })
+	case CmdCreate:
+		s.requireLogin(sess, resp, func() { s.handleCreate(sess, req, resp) })
+	case CmdRenew:
+		s.requireLogin(sess, resp, func() { s.handleRenew(sess, req, resp) })
+	case CmdUpdate:
+		s.requireLogin(sess, resp, func() { s.handleUpdate(sess, req, resp) })
+	case CmdDelete:
+		s.requireLogin(sess, resp, func() { s.handleDelete(sess, req, resp) })
+	case CmdPoll:
+		s.requireLogin(sess, resp, func() { s.handlePoll(sess, req, resp) })
+	case CmdTransfer:
+		s.requireLogin(sess, resp, func() { s.handleTransfer(sess, req, resp) })
+	default:
+		resp.Code, resp.Msg = CodeUnknownCommand, fmt.Sprintf("unknown command %q", req.Cmd)
+	}
+	return resp
+}
+
+func (s *Server) requireLogin(sess *session, resp *Response, fn func()) {
+	if !sess.loggedIn {
+		resp.Code, resp.Msg = CodeNotLoggedIn, "command use error; login first"
+		return
+	}
+	fn()
+}
+
+func (s *Server) handleLogin(sess *session, req *Request, resp *Response) {
+	token, ok := s.cfg.Credentials[req.Registrar]
+	if !ok || token != req.Token {
+		resp.Code, resp.Msg = CodeAuthError, "authentication error"
+		return
+	}
+	if _, ok := s.store.Registrar(req.Registrar); !ok {
+		resp.Code, resp.Msg = CodeAuthError, "unknown accreditation"
+		return
+	}
+	sess.registrarID = req.Registrar
+	sess.loggedIn = true
+	resp.Code, resp.Msg = CodeOK, "command completed successfully"
+}
+
+func (s *Server) handleCheck(req *Request, resp *Response) {
+	avail, err := s.store.Available(req.Name)
+	if err != nil {
+		resp.Code, resp.Msg = CodeParamRange, err.Error()
+		return
+	}
+	resp.Code, resp.Msg = CodeOK, "command completed successfully"
+	resp.Available = &avail
+}
+
+func (s *Server) handleInfo(sess *session, req *Request, resp *Response) {
+	d, err := s.store.Get(req.Name)
+	if err != nil {
+		resp.Code, resp.Msg = CodeObjectNotFound, "object does not exist"
+		return
+	}
+	resp.Code, resp.Msg = CodeOK, "command completed successfully"
+	resp.Domain = toInfo(d)
+	if d.RegistrarID == sess.registrarID {
+		if auth, err := s.store.AuthInfo(req.Name, sess.registrarID); err == nil {
+			resp.Domain.AuthInfo = auth
+		}
+	}
+}
+
+func (s *Server) handleTransfer(sess *session, req *Request, resp *Response) {
+	if err := s.store.Transfer(req.Name, sess.registrarID, req.AuthInfo); err != nil {
+		resp.Code, resp.Msg = storeCode(err), err.Error()
+		return
+	}
+	resp.Code, resp.Msg = CodeOK, "command completed successfully"
+}
+
+func (s *Server) handleCreate(sess *session, req *Request, resp *Response) {
+	if s.limiter != nil && !s.limiter.Allow(sess.registrarID) {
+		resp.Code, resp.Msg = CodeRateLimited, "session limit exceeded; try again later"
+		return
+	}
+	years := req.Years
+	if years == 0 {
+		years = 1
+	}
+	d, err := s.store.Create(req.Name, sess.registrarID, years)
+	if err != nil {
+		resp.Code, resp.Msg = storeCode(err), err.Error()
+		return
+	}
+	resp.Code, resp.Msg = CodeOK, "command completed successfully"
+	resp.Domain = toInfo(d)
+}
+
+func (s *Server) handleRenew(sess *session, req *Request, resp *Response) {
+	years := req.Years
+	if years == 0 {
+		years = 1
+	}
+	if err := s.store.Renew(req.Name, sess.registrarID, years); err != nil {
+		resp.Code, resp.Msg = storeCode(err), err.Error()
+		return
+	}
+	resp.Code, resp.Msg = CodeOK, "command completed successfully"
+}
+
+func (s *Server) handleUpdate(sess *session, req *Request, resp *Response) {
+	if err := s.store.Touch(req.Name, sess.registrarID); err != nil {
+		resp.Code, resp.Msg = storeCode(err), err.Error()
+		return
+	}
+	resp.Code, resp.Msg = CodeOK, "command completed successfully"
+}
+
+func (s *Server) handleDelete(sess *session, req *Request, resp *Response) {
+	d, err := s.store.Get(req.Name)
+	if err != nil {
+		resp.Code, resp.Msg = CodeObjectNotFound, "object does not exist"
+		return
+	}
+	if d.RegistrarID != sess.registrarID {
+		resp.Code, resp.Msg = CodeAuthorization, "authorization error"
+		return
+	}
+	if d.Status != model.StatusActive && d.Status != model.StatusAutoRenew {
+		resp.Code, resp.Msg = CodeStatusProhibits, "object status prohibits operation"
+		return
+	}
+	// A registrar delete sends the domain into the redemption period; its
+	// Updated timestamp — set now — becomes the future deletion-order key.
+	if err := s.store.MarkRedemption(req.Name, s.clock.Now()); err != nil {
+		resp.Code, resp.Msg = storeCode(err), err.Error()
+		return
+	}
+	resp.Code, resp.Msg = CodeOK, "command completed successfully"
+}
+
+func (s *Server) handlePoll(sess *session, req *Request, resp *Response) {
+	if s.cfg.Poll == nil {
+		resp.Code, resp.Msg = CodeUnknownCommand, "poll channel not offered"
+		return
+	}
+	switch req.PollOp {
+	case PollOpRequest, "":
+		msg, count, ok := s.cfg.Poll.Peek(sess.registrarID)
+		if !ok {
+			resp.Code, resp.Msg = CodeNoMessages, "command completed successfully; no messages"
+			return
+		}
+		resp.Code, resp.Msg = CodeAckToDequeue, "command completed successfully; ack to dequeue"
+		resp.Message = &msg
+		resp.MsgCount = count
+	case PollOpAck:
+		if err := s.cfg.Poll.Ack(sess.registrarID, req.MsgID); err != nil {
+			resp.Code, resp.Msg = CodeParamRange, err.Error()
+			return
+		}
+		resp.Code, resp.Msg = CodeOK, "command completed successfully"
+		resp.MsgCount = s.cfg.Poll.Len(sess.registrarID)
+	default:
+		resp.Code, resp.Msg = CodeParamRange, fmt.Sprintf("unknown poll op %q", req.PollOp)
+	}
+}
+
+func storeCode(err error) int {
+	switch {
+	case errors.Is(err, registry.ErrExists):
+		return CodeObjectExists
+	case errors.Is(err, registry.ErrNotFound):
+		return CodeObjectNotFound
+	case errors.Is(err, registry.ErrWrongRegistrar):
+		return CodeAuthorization
+	case errors.Is(err, registry.ErrBadAuthInfo):
+		return CodeBadAuthInfo
+	case errors.Is(err, registry.ErrStatusProhibits):
+		return CodeStatusProhibits
+	case errors.Is(err, registry.ErrBadName), errors.Is(err, registry.ErrUnknownTLD):
+		return CodeParamRange
+	case errors.Is(err, registry.ErrUnknownRegistrar):
+		return CodeAuthError
+	default:
+		return CodeCommandFailed
+	}
+}
+
+func toInfo(d *model.Domain) *DomainInfo {
+	return &DomainInfo{
+		ID:        d.ID,
+		Name:      d.Name,
+		Registrar: d.RegistrarID,
+		Created:   d.Created,
+		Updated:   d.Updated,
+		Expiry:    d.Expiry,
+		Status:    d.Status.String(),
+	}
+}

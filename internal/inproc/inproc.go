@@ -1,0 +1,30 @@
+// Package inproc adapts an http.Handler into an http.RoundTripper, letting
+// HTTP clients exercise a server's full handler stack without TCP sockets.
+// Large simulations use it to run millions of RDAP and list lookups through
+// the real serialisation code at memory speed; the TCP path stays in use by
+// the integration tests, the examples and cmd/dropserve.
+package inproc
+
+import (
+	"net/http"
+	"net/http/httptest"
+)
+
+// Transport dispatches requests directly to Handler.
+type Transport struct {
+	Handler http.Handler
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.Handler.ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}
+
+// Client returns an *http.Client whose requests are served by handler.
+func Client(handler http.Handler) *http.Client {
+	return &http.Client{Transport: Transport{Handler: handler}}
+}

@@ -1,0 +1,40 @@
+package inproc
+
+import (
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestClientDispatchesToHandler(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/hello", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		io.WriteString(w, "hi "+r.URL.Query().Get("name"))
+	})
+	c := Client(mux)
+	resp, err := c.Get("http://anything.internal/hello?name=go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTeapot {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "hi go" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestClientNotFoundRoute(t *testing.T) {
+	c := Client(http.NewServeMux())
+	resp, err := c.Get("http://x.internal/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,143 @@
+package measure
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"dropzero/internal/dropscope"
+	"dropzero/internal/model"
+)
+
+// csvHeader is the dataset's on-disk column layout.
+var csvHeader = []string{
+	"name", "tld", "delete_day",
+	"prior_id", "prior_registrar", "prior_created", "prior_updated", "prior_expiry",
+	"rereg_time", "rereg_registrar", "malicious",
+}
+
+const csvTime = time.RFC3339
+
+// WriteCSV persists a dataset.
+func WriteCSV(w io.Writer, obs []*model.Observation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("measure: write CSV header: %w", err)
+	}
+	for _, o := range obs {
+		rec := []string{
+			o.Name,
+			string(o.TLD),
+			o.DeleteDay.String(),
+			strconv.FormatUint(o.Prior.ID, 10),
+			strconv.Itoa(o.Prior.RegistrarID),
+			o.Prior.Created.UTC().Format(csvTime),
+			o.Prior.Updated.UTC().Format(csvTime),
+			o.Prior.Expiry.UTC().Format(csvTime),
+			"", "", "false",
+		}
+		if o.Rereg != nil {
+			rec[8] = o.Rereg.Time.UTC().Format(csvTime)
+			rec[9] = strconv.Itoa(o.Rereg.RegistrarID)
+			rec[10] = strconv.FormatBool(o.Malicious)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("measure: write CSV row for %s: %w", o.Name, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads a dataset written by WriteCSV.
+func ReadCSV(r io.Reader) ([]*model.Observation, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("measure: read CSV header: %w", err)
+	}
+	if len(header) != len(csvHeader) || header[0] != csvHeader[0] {
+		return nil, fmt.Errorf("measure: unexpected CSV header %v", header)
+	}
+	var out []*model.Observation
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("measure: read CSV line %d: %w", line, err)
+		}
+		o, err := parseRow(rec)
+		if err != nil {
+			return nil, fmt.Errorf("measure: CSV line %d: %w", line, err)
+		}
+		out = append(out, o)
+	}
+}
+
+func parseRow(rec []string) (*model.Observation, error) {
+	day, err := dropscope.ParseDay(rec[2])
+	if err != nil {
+		return nil, fmt.Errorf("bad delete_day %q: %w", rec[2], err)
+	}
+	id, err := strconv.ParseUint(rec[3], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad prior_id %q: %w", rec[3], err)
+	}
+	regID, err := strconv.Atoi(rec[4])
+	if err != nil {
+		return nil, fmt.Errorf("bad prior_registrar %q: %w", rec[4], err)
+	}
+	parseT := func(field, s string) (time.Time, error) {
+		t, err := time.Parse(csvTime, s)
+		if err != nil {
+			return time.Time{}, fmt.Errorf("bad %s %q: %w", field, s, err)
+		}
+		return t.UTC(), nil
+	}
+	created, err := parseT("prior_created", rec[5])
+	if err != nil {
+		return nil, err
+	}
+	updated, err := parseT("prior_updated", rec[6])
+	if err != nil {
+		return nil, err
+	}
+	expiry, err := parseT("prior_expiry", rec[7])
+	if err != nil {
+		return nil, err
+	}
+	o := &model.Observation{
+		Name:      rec[0],
+		TLD:       model.TLD(rec[1]),
+		DeleteDay: day,
+		Prior: model.PriorRegistration{
+			ID:          id,
+			RegistrarID: regID,
+			Created:     created,
+			Updated:     updated,
+			Expiry:      expiry,
+		},
+	}
+	if rec[8] != "" {
+		rt, err := parseT("rereg_time", rec[8])
+		if err != nil {
+			return nil, err
+		}
+		rreg, err := strconv.Atoi(rec[9])
+		if err != nil {
+			return nil, fmt.Errorf("bad rereg_registrar %q: %w", rec[9], err)
+		}
+		o.Rereg = &model.Rereg{Time: rt, RegistrarID: rreg}
+		o.Malicious, err = strconv.ParseBool(rec[10])
+		if err != nil {
+			return nil, fmt.Errorf("bad malicious %q: %w", rec[10], err)
+		}
+	}
+	return o, nil
+}

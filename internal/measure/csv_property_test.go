@@ -1,0 +1,90 @@
+package measure
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dropzero/internal/model"
+	"dropzero/internal/simtime"
+)
+
+// randomObservation builds a structurally valid observation from a seed.
+func randomObservation(rng *rand.Rand, i int) *model.Observation {
+	day := simtime.Day{Year: 2018, Month: time.Month(1 + rng.Intn(12)), Dom: 1 + rng.Intn(28)}
+	updated := day.AddDays(-35).At(rng.Intn(24), rng.Intn(60), rng.Intn(60))
+	o := &model.Observation{
+		Name:      fmt.Sprintf("p%d-%d.com", rng.Intn(1<<20), i),
+		TLD:       model.COM,
+		DeleteDay: day,
+		Prior: model.PriorRegistration{
+			ID:          uint64(rng.Int63n(1 << 40)),
+			RegistrarID: rng.Intn(5000),
+			Created:     updated.AddDate(-1-rng.Intn(10), 0, 0),
+			Updated:     updated,
+			Expiry:      updated.AddDate(0, 0, -rng.Intn(45)),
+		},
+	}
+	if rng.Intn(2) == 0 {
+		o.Rereg = &model.Rereg{
+			Time:        day.At(19, 0, 0).Add(time.Duration(rng.Intn(86400)) * time.Second),
+			RegistrarID: rng.Intn(5000),
+		}
+		o.Malicious = rng.Intn(10) == 0
+	}
+	return o
+}
+
+// Property: WriteCSV∘ReadCSV is the identity on arbitrary valid datasets.
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50)
+		in := make([]*model.Observation, n)
+		for i := range in {
+			in[i] = randomObservation(rng, i)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, in); err != nil {
+			return false
+		}
+		out, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			a, b := in[i], out[i]
+			if a.Name != b.Name || a.TLD != b.TLD || a.DeleteDay != b.DeleteDay {
+				return false
+			}
+			if a.Prior.ID != b.Prior.ID || a.Prior.RegistrarID != b.Prior.RegistrarID {
+				return false
+			}
+			if !a.Prior.Created.Equal(b.Prior.Created) ||
+				!a.Prior.Updated.Equal(b.Prior.Updated) ||
+				!a.Prior.Expiry.Equal(b.Prior.Expiry) {
+				return false
+			}
+			if (a.Rereg == nil) != (b.Rereg == nil) {
+				return false
+			}
+			if a.Rereg != nil {
+				if !a.Rereg.Time.Equal(b.Rereg.Time) ||
+					a.Rereg.RegistrarID != b.Rereg.RegistrarID ||
+					a.Malicious != b.Malicious {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

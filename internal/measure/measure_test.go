@@ -1,0 +1,297 @@
+package measure
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+
+	"dropzero/internal/dropscope"
+	"dropzero/internal/inproc"
+	"dropzero/internal/model"
+	"dropzero/internal/rdap"
+	"dropzero/internal/registry"
+	"dropzero/internal/simtime"
+	"dropzero/internal/whois"
+)
+
+// env is a miniature registry world for pipeline tests.
+type env struct {
+	clock *simtime.SimClock
+	store *registry.Store
+	pipe  *Pipeline
+	day   simtime.Day
+}
+
+func newEnv(t *testing.T, rdapCfg rdap.ServerConfig, withWhois bool) *env {
+	t.Helper()
+	day := simtime.Day{Year: 2018, Month: time.January, Dom: 10}
+	clock := simtime.NewSimClock(day.At(9, 0, 0))
+	store := registry.NewStore(clock)
+	store.AddRegistrar(model.Registrar{IANAID: 1000, Name: "Sponsor"})
+	store.AddRegistrar(model.Registrar{IANAID: 2000, Name: "Catcher"})
+	store.AddRegistrar(model.Registrar{IANAID: 1727, Name: "Broken"})
+
+	rdapSrv := rdap.NewServer(store, rdapCfg)
+	scopeSrv := dropscope.NewServer(store)
+	rdapClient, err := rdap.NewClient("http://rdap.test", inproc.Client(rdapSrv.Handler()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scopeClient, err := dropscope.NewClient("http://scope.test", inproc.Client(scopeSrv.Handler()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := &Pipeline{Lists: scopeClient, RDAP: rdapClient, TLDFilter: model.COM}
+	if withWhois {
+		wsrv := whois.NewServer(store)
+		addr, err := wsrv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { wsrv.Close() })
+		pipe.WHOIS = &whois.Client{Addr: addr.String()}
+	}
+	return &env{clock: clock, store: store, pipe: pipe, day: day}
+}
+
+func (e *env) seedPending(t *testing.T, name string, registrar int, deleteDay simtime.Day) *model.Domain {
+	t.Helper()
+	updated := deleteDay.AddDays(-35).At(6, 30, 0)
+	d, err := e.store.SeedAt(name, registrar, updated.AddDate(-2, 0, 0), updated,
+		updated.AddDate(0, 0, -30), model.StatusPendingDelete, deleteDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// purgeAndRereg deletes the name via the store's drop path and optionally
+// re-registers it.
+func (e *env) purgeAndRereg(t *testing.T, name string, reregBy int, at time.Time) {
+	t.Helper()
+	runner := registry.NewDropRunner(e.store, registry.DropConfig{
+		StartHour: 19, BaseRatePerSec: 1000, RateJitter: 0, DayRateSpread: 0,
+	})
+	d, err := e.store.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := runner.Run(d.DeleteDay, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("nothing purged")
+	}
+	if reregBy != 0 {
+		if _, err := e.store.CreateAt(name, reregBy, 1, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPipelineDetectsRereg(t *testing.T) {
+	e := newEnv(t, rdap.ServerConfig{}, false)
+	prior := e.seedPending(t, "target.com", 1000, e.day)
+	ctx := context.Background()
+	if err := e.pipe.CollectDaily(ctx, e.day); err != nil {
+		t.Fatal(err)
+	}
+	if e.pipe.PendingCount() != 1 {
+		t.Fatalf("pending = %d", e.pipe.PendingCount())
+	}
+	reregAt := e.day.At(19, 0, 7)
+	e.purgeAndRereg(t, "target.com", 2000, reregAt)
+	e.clock.Set(e.day.AddDays(60).At(12, 0, 0))
+	obs, err := e.pipe.Finalize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 1 {
+		t.Fatalf("observations = %d", len(obs))
+	}
+	o := obs[0]
+	if o.Prior.ID != prior.ID || o.Prior.RegistrarID != 1000 {
+		t.Fatalf("prior metadata: %+v", o.Prior)
+	}
+	if o.Rereg == nil || o.Rereg.RegistrarID != 2000 || !o.Rereg.Time.Equal(reregAt) {
+		t.Fatalf("rereg: %+v", o.Rereg)
+	}
+}
+
+func TestPipelineDetectsNonRereg(t *testing.T) {
+	e := newEnv(t, rdap.ServerConfig{}, false)
+	e.seedPending(t, "gone.com", 1000, e.day)
+	ctx := context.Background()
+	if err := e.pipe.CollectDaily(ctx, e.day); err != nil {
+		t.Fatal(err)
+	}
+	e.purgeAndRereg(t, "gone.com", 0, time.Time{})
+	obs, err := e.pipe.Finalize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 1 || obs[0].Rereg != nil {
+		t.Fatalf("observations: %+v", obs)
+	}
+}
+
+func TestPipelineWHOISFallback(t *testing.T) {
+	e := newEnv(t, rdap.ServerConfig{FailRegistrars: map[int]int{1727: http.StatusInternalServerError}}, true)
+	e.seedPending(t, "broken.com", 1727, e.day)
+	ctx := context.Background()
+	if err := e.pipe.CollectDaily(ctx, e.day); err != nil {
+		t.Fatal(err)
+	}
+	st := e.pipe.Stats()
+	if st.RDAPErrors != 1 || st.WHOISFallbacks != 1 || st.FallbackFailed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	e.purgeAndRereg(t, "broken.com", 0, time.Time{})
+	obs, err := e.pipe.Finalize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 1 {
+		t.Fatalf("fallback domain missing from dataset: %d", len(obs))
+	}
+	if obs[0].Prior.RegistrarID != 1727 {
+		t.Fatalf("prior: %+v", obs[0].Prior)
+	}
+}
+
+func TestPipelineNoFallbackDropsDomain(t *testing.T) {
+	e := newEnv(t, rdap.ServerConfig{FailRegistrars: map[int]int{1727: http.StatusInternalServerError}}, false)
+	e.seedPending(t, "broken.com", 1727, e.day)
+	ctx := context.Background()
+	if err := e.pipe.CollectDaily(ctx, e.day); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.pipe.Stats(); st.FallbackFailed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	obs, err := e.pipe.Finalize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 0 {
+		t.Fatalf("domain without metadata kept: %d", len(obs))
+	}
+}
+
+func TestPipelineTLDFilter(t *testing.T) {
+	e := newEnv(t, rdap.ServerConfig{}, false)
+	e.seedPending(t, "keep.com", 1000, e.day)
+	e.seedPending(t, "skip.net", 1000, e.day)
+	if err := e.pipe.CollectDaily(context.Background(), e.day); err != nil {
+		t.Fatal(err)
+	}
+	if e.pipe.PendingCount() != 1 {
+		t.Fatalf("pending = %d, want .com only", e.pipe.PendingCount())
+	}
+}
+
+func TestPipelineLookupWindow(t *testing.T) {
+	e := newEnv(t, rdap.ServerConfig{}, false)
+	e.seedPending(t, "near.com", 1000, e.day.AddDays(2))
+	e.seedPending(t, "far.com", 1000, e.day.AddDays(4))
+	if err := e.pipe.CollectDaily(context.Background(), e.day); err != nil {
+		t.Fatal(err)
+	}
+	// Both entries tracked, but only the near one (≤3 days out) looked up.
+	if st := e.pipe.Stats(); st.ListEntries != 2 || st.Lookups != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Next day the far one enters the window.
+	if err := e.pipe.CollectDaily(context.Background(), e.day.Next()); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.pipe.Stats(); st.Lookups != 2 {
+		t.Fatalf("stats after day 2 = %+v", st)
+	}
+}
+
+func TestPipelineIdempotentDailyCollect(t *testing.T) {
+	e := newEnv(t, rdap.ServerConfig{}, false)
+	e.seedPending(t, "once.com", 1000, e.day)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := e.pipe.CollectDaily(ctx, e.day); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.pipe.Stats(); st.ListEntries != 1 || st.Lookups != 1 {
+		t.Fatalf("repeat collection not idempotent: %+v", st)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	day := simtime.Day{Year: 2018, Month: time.January, Dom: 10}
+	obs := []*model.Observation{
+		{
+			Name: "a.com", TLD: model.COM, DeleteDay: day,
+			Prior: model.PriorRegistration{
+				ID: 7, RegistrarID: 1000,
+				Created: day.AddDays(-800).At(3, 2, 1),
+				Updated: day.AddDays(-35).At(6, 30, 0),
+				Expiry:  day.AddDays(-70).At(3, 2, 1),
+			},
+			Rereg:     &model.Rereg{Time: day.At(19, 0, 7), RegistrarID: 2000},
+			Malicious: true,
+		},
+		{
+			Name: "b.com", TLD: model.COM, DeleteDay: day,
+			Prior: model.PriorRegistration{ID: 8, RegistrarID: 1000,
+				Created: day.AddDays(-400).At(0, 0, 0),
+				Updated: day.AddDays(-35).At(6, 30, 1),
+				Expiry:  day.AddDays(-70).At(0, 0, 0)},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, obs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	if *got[0].Rereg != *obs[0].Rereg || got[0].Malicious != true {
+		t.Fatalf("row 0: %+v", got[0])
+	}
+	if got[1].Rereg != nil || got[1].Prior != obs[1].Prior {
+		t.Fatalf("row 1: %+v", got[1])
+	}
+}
+
+func TestReadCSVRejectsBadHeader(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("nope,nope\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+}
+
+func TestReadCSVRejectsBadRow(t *testing.T) {
+	var buf bytes.Buffer
+	WriteCSV(&buf, nil)
+	buf.WriteString("a.com,com,not-a-date,1,2,x,y,z,,,false\n")
+	if _, err := ReadCSV(&buf); err == nil {
+		t.Fatal("bad row accepted")
+	}
+}
+
+func TestReregDelay01(t *testing.T) {
+	day := simtime.Day{Year: 2018, Month: time.January, Dom: 10}
+	o := &model.Observation{DeleteDay: day, Rereg: &model.Rereg{Time: day.At(19, 30, 0)}}
+	d, ok := ReregDelay01(o, 19)
+	if !ok || d != 30*time.Minute {
+		t.Fatalf("delay = %v, %v", d, ok)
+	}
+	if _, ok := ReregDelay01(&model.Observation{DeleteDay: day}, 19); ok {
+		t.Fatal("delay for non-rereg")
+	}
+}

@@ -1,0 +1,267 @@
+// Package measure implements the paper's data-collection methodology (§3):
+// download the registry's pending-delete list every day; three days before a
+// domain's scheduled deletion, collect the expiring registration's metadata
+// over RDAP (falling back to WHOIS on server errors); at least eight weeks
+// after the deletion date, repeat the lookup to detect a re-registration;
+// finally, query the maliciousness oracle for every re-registered name.
+package measure
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"dropzero/internal/dropscope"
+	"dropzero/internal/model"
+	"dropzero/internal/rdap"
+	"dropzero/internal/safebrowsing"
+	"dropzero/internal/simtime"
+	"dropzero/internal/whois"
+)
+
+// LookaheadLookupDays is how many days before the scheduled deletion the
+// prior-registration metadata is collected.
+const LookaheadLookupDays = 3
+
+// Pipeline drives the measurement. It is stateful across days: create one
+// per study.
+type Pipeline struct {
+	Lists *dropscope.Client
+	RDAP  *rdap.Client
+	// WHOIS is the fallback for RDAP server errors; nil disables fallback,
+	// making those domains drop out of the dataset (with a counted error).
+	WHOIS *whois.Client
+	// Oracle is queried for re-registered domains at Finalize; nil leaves
+	// all labels false.
+	Oracle *safebrowsing.Client
+
+	// TLDFilter restricts lookups to one zone; the paper restricted lookups
+	// to .com. Empty means no filter.
+	TLDFilter model.TLD
+
+	pending map[string]*pendingDomain
+	stats   Stats
+}
+
+type pendingDomain struct {
+	name      string
+	tld       model.TLD
+	deleteDay simtime.Day
+	prior     *model.PriorRegistration
+}
+
+// Stats counts pipeline activity, including the RDAP failures that exercised
+// the WHOIS fallback.
+type Stats struct {
+	ListEntries     int
+	Lookups         int
+	RDAPErrors      int
+	WHOISFallbacks  int
+	FallbackFailed  int
+	Reregistered    int
+	NotReregistered int
+	OracleLookups   int
+}
+
+// Stats returns a copy of the activity counters.
+func (p *Pipeline) Stats() Stats { return p.stats }
+
+// PendingCount returns the number of domains currently tracked.
+func (p *Pipeline) PendingCount() int { return len(p.pending) }
+
+// CollectDaily performs one day's collection: download the day's pending
+// delete list and fetch prior-registration metadata for domains whose
+// deletion is (at most) three days away. Call once per simulated day, in
+// order.
+func (p *Pipeline) CollectDaily(ctx context.Context, today simtime.Day) error {
+	if p.pending == nil {
+		p.pending = make(map[string]*pendingDomain)
+	}
+	entries, err := p.Lists.Fetch(ctx, today)
+	if err != nil {
+		return fmt.Errorf("measure: fetch pending list for %v: %w", today, err)
+	}
+	for _, e := range entries {
+		tld, ok := model.TLDOf(e.Name)
+		if !ok {
+			continue
+		}
+		if p.TLDFilter != "" && tld != p.TLDFilter {
+			continue
+		}
+		if _, seen := p.pending[e.Name]; seen {
+			continue
+		}
+		p.pending[e.Name] = &pendingDomain{name: e.Name, tld: tld, deleteDay: e.DeleteDay}
+		p.stats.ListEntries++
+	}
+	// Fetch metadata for domains deleting within the lookup window that we
+	// have not resolved yet. The ≤ comparison (rather than ==) bootstraps
+	// the first days of the study, when domains closer than three days out
+	// appear on the very first list.
+	cutoff := today.AddDays(LookaheadLookupDays)
+	for _, pd := range p.pending {
+		if pd.prior != nil || cutoff.Before(pd.deleteDay) {
+			continue
+		}
+		prior, err := p.lookupPrior(ctx, pd.name)
+		if err != nil {
+			continue // counted inside lookupPrior
+		}
+		pd.prior = prior
+	}
+	return nil
+}
+
+// lookupPrior fetches registration metadata over RDAP, falling back to WHOIS
+// on 5xx.
+func (p *Pipeline) lookupPrior(ctx context.Context, name string) (*model.PriorRegistration, error) {
+	p.stats.Lookups++
+	dr, err := p.RDAP.Domain(ctx, name)
+	if err == nil {
+		return priorFromRDAP(dr)
+	}
+	if errors.Is(err, rdap.ErrNotFound) {
+		return nil, err
+	}
+	p.stats.RDAPErrors++
+	if p.WHOIS == nil {
+		p.stats.FallbackFailed++
+		return nil, err
+	}
+	p.stats.WHOISFallbacks++
+	d, werr := p.WHOIS.Lookup(name)
+	if werr != nil {
+		p.stats.FallbackFailed++
+		return nil, fmt.Errorf("measure: whois fallback for %s: %w", name, werr)
+	}
+	return &model.PriorRegistration{
+		ID:          d.ID,
+		RegistrarID: d.RegistrarID,
+		Created:     d.Created,
+		Updated:     d.Updated,
+		Expiry:      d.Expiry,
+	}, nil
+}
+
+func priorFromRDAP(dr *rdap.DomainResponse) (*model.PriorRegistration, error) {
+	id, err := rdap.ParseHandle(dr.Handle)
+	if err != nil {
+		return nil, err
+	}
+	regID, err := registrarID(dr)
+	if err != nil {
+		return nil, err
+	}
+	created, ok := dr.EventDate(rdap.EventRegistration)
+	if !ok {
+		return nil, fmt.Errorf("measure: %s: RDAP response missing registration event", dr.LDHName)
+	}
+	updated, ok := dr.EventDate(rdap.EventLastChanged)
+	if !ok {
+		return nil, fmt.Errorf("measure: %s: RDAP response missing last-changed event", dr.LDHName)
+	}
+	expiry, ok := dr.EventDate(rdap.EventExpiration)
+	if !ok {
+		return nil, fmt.Errorf("measure: %s: RDAP response missing expiration event", dr.LDHName)
+	}
+	return &model.PriorRegistration{
+		ID:          id,
+		RegistrarID: regID,
+		Created:     created,
+		Updated:     updated,
+		Expiry:      expiry,
+	}, nil
+}
+
+func registrarID(dr *rdap.DomainResponse) (int, error) {
+	for _, e := range dr.Entities {
+		for _, role := range e.Roles {
+			if role == "registrar" {
+				return strconv.Atoi(e.Handle)
+			}
+		}
+	}
+	return 0, fmt.Errorf("measure: %s: RDAP response has no registrar entity", dr.LDHName)
+}
+
+// Finalize performs the T+8-weeks re-lookups and assembles the dataset. Call
+// once, after advancing the clock at least eight weeks past the last
+// deletion day. Domains whose prior metadata could not be collected are
+// omitted, like the paper's error cases.
+func (p *Pipeline) Finalize(ctx context.Context) ([]*model.Observation, error) {
+	out := make([]*model.Observation, 0, len(p.pending))
+	for _, pd := range p.pending {
+		if pd.prior == nil {
+			continue
+		}
+		obs := &model.Observation{
+			Name:      pd.name,
+			TLD:       pd.tld,
+			DeleteDay: pd.deleteDay,
+			Prior:     *pd.prior,
+		}
+		cur, err := p.lookupCurrent(ctx, pd.name)
+		switch {
+		case err == nil && cur != nil && cur.ID != pd.prior.ID:
+			obs.Rereg = &model.Rereg{Time: cur.Created, RegistrarID: cur.RegistrarID}
+			p.stats.Reregistered++
+		case err == nil && cur != nil:
+			// Same object ID: the deletion never happened (restored
+			// domain); not part of the study population.
+			continue
+		default:
+			p.stats.NotReregistered++
+		}
+		if obs.Rereg != nil && p.Oracle != nil {
+			p.stats.OracleLookups++
+			mal, err := p.Oracle.Lookup(pd.name)
+			if err != nil {
+				return nil, fmt.Errorf("measure: oracle lookup %s: %w", pd.name, err)
+			}
+			obs.Malicious = mal
+		}
+		out = append(out, obs)
+	}
+	return out, nil
+}
+
+// lookupCurrent fetches the current registration, nil when the name is
+// unregistered.
+func (p *Pipeline) lookupCurrent(ctx context.Context, name string) (*model.PriorRegistration, error) {
+	dr, err := p.RDAP.Domain(ctx, name)
+	if err == nil {
+		return priorFromRDAP(dr)
+	}
+	if errors.Is(err, rdap.ErrNotFound) {
+		return nil, nil
+	}
+	if p.WHOIS != nil {
+		d, werr := p.WHOIS.Lookup(name)
+		if werr == nil {
+			return &model.PriorRegistration{
+				ID:          d.ID,
+				RegistrarID: d.RegistrarID,
+				Created:     d.Created,
+				Updated:     d.Updated,
+				Expiry:      d.Expiry,
+			}, nil
+		}
+		if errors.Is(werr, whois.ErrNoMatch) {
+			return nil, nil
+		}
+	}
+	return nil, err
+}
+
+// ReregDelay01 is a tiny helper for callers that need the wall-clock
+// re-registration offset from the Drop start hour, used by Figure 2.
+func ReregDelay01(o *model.Observation, dropStartHour int) (time.Duration, bool) {
+	if o.Rereg == nil {
+		return 0, false
+	}
+	start := o.DeleteDay.At(dropStartHour, 0, 0)
+	return o.Rereg.Time.Sub(start), true
+}

@@ -1,0 +1,74 @@
+package measure
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"dropzero/internal/model"
+)
+
+// registrarHeader is the on-disk layout of the accreditation directory (the
+// analogue of ICANN's public registrar list, contacts included).
+var registrarHeader = []string{
+	"iana_id", "name", "org", "email", "street", "city", "country", "phone",
+}
+
+// WriteRegistrarsCSV persists the accreditation directory. Ground-truth
+// operator labels are deliberately not written: the clustering must recover
+// them from contacts alone.
+func WriteRegistrarsCSV(w io.Writer, regs []model.Registrar) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(registrarHeader); err != nil {
+		return fmt.Errorf("measure: write registrar CSV header: %w", err)
+	}
+	for _, r := range regs {
+		rec := []string{
+			strconv.Itoa(r.IANAID), r.Name,
+			r.Contact.Org, r.Contact.Email, r.Contact.Street,
+			r.Contact.City, r.Contact.Country, r.Contact.Phone,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("measure: write registrar row %d: %w", r.IANAID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadRegistrarsCSV loads a directory written by WriteRegistrarsCSV.
+func ReadRegistrarsCSV(r io.Reader) ([]model.Registrar, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(registrarHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("measure: read registrar CSV header: %w", err)
+	}
+	if header[0] != registrarHeader[0] {
+		return nil, fmt.Errorf("measure: unexpected registrar CSV header %v", header)
+	}
+	var out []model.Registrar
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("measure: read registrar CSV line %d: %w", line, err)
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("measure: registrar CSV line %d: bad iana_id %q", line, rec[0])
+		}
+		out = append(out, model.Registrar{
+			IANAID: id,
+			Name:   rec[1],
+			Contact: model.Contact{
+				Org: rec[2], Email: rec[3], Street: rec[4],
+				City: rec[5], Country: rec[6], Phone: rec[7],
+			},
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package measure
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dropzero/internal/model"
+)
+
+func TestRegistrarsCSVRoundTrip(t *testing.T) {
+	regs := []model.Registrar{
+		{
+			IANAID: 1000, Name: "Alpha Registrar",
+			Contact: model.Contact{
+				Org: "Alpha, Inc.", Email: "ops@alpha.example",
+				Street: "1 Main St", City: "Denver", Country: "US", Phone: "+1.5550001",
+			},
+			Service: "Alpha", // must NOT round trip: ground truth stays private
+		},
+		{IANAID: 1001, Name: "Beta"},
+	}
+	var buf bytes.Buffer
+	if err := WriteRegistrarsCSV(&buf, regs); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "Alpha\"") && strings.Contains(buf.String(), "service") {
+		t.Fatal("ground-truth service label leaked into CSV")
+	}
+	got, err := ReadRegistrarsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	if got[0].IANAID != 1000 || got[0].Contact != regs[0].Contact {
+		t.Fatalf("row 0: %+v", got[0])
+	}
+	if got[0].Service != "" {
+		t.Fatalf("service label round-tripped: %q", got[0].Service)
+	}
+}
+
+func TestRegistrarsCSVCommaInOrg(t *testing.T) {
+	regs := []model.Registrar{{
+		IANAID:  1,
+		Contact: model.Contact{Org: "DropCatch.com, LLC"},
+	}}
+	var buf bytes.Buffer
+	if err := WriteRegistrarsCSV(&buf, regs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRegistrarsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Contact.Org != "DropCatch.com, LLC" {
+		t.Fatalf("org = %q", got[0].Contact.Org)
+	}
+}
+
+func TestReadRegistrarsCSVBadInput(t *testing.T) {
+	if _, err := ReadRegistrarsCSV(bytes.NewBufferString("wrong,header\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	var buf bytes.Buffer
+	WriteRegistrarsCSV(&buf, nil)
+	buf.WriteString("notanumber,n,o,e,s,c,c,p\n")
+	if _, err := ReadRegistrarsCSV(&buf); err == nil {
+		t.Fatal("bad iana_id accepted")
+	}
+}

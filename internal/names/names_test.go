@@ -1,0 +1,204 @@
+package names
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		label string
+		err   error
+	}{
+		{"example", nil},
+		{"ex-ample", nil},
+		{"3com", nil},
+		{"a", nil},
+		{"", ErrEmpty},
+		{strings.Repeat("a", 63), nil},
+		{strings.Repeat("a", 64), ErrTooLong},
+		{"-leading", ErrHyphenEdge},
+		{"trailing-", ErrHyphenEdge},
+		{"UPPER", ErrBadChar},
+		{"with.dot", ErrBadChar},
+		{"spa ce", ErrBadChar},
+		{"uni©ode", ErrBadChar},
+	}
+	for _, c := range cases {
+		err := Validate(c.label)
+		if c.err == nil && err != nil {
+			t.Errorf("Validate(%q) = %v, want nil", c.label, err)
+		}
+		if c.err != nil && !errors.Is(err, c.err) {
+			t.Errorf("Validate(%q) = %v, want %v", c.label, err, c.err)
+		}
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if Label("example.com") != "example" {
+		t.Fatal("Label failed on fqdn")
+	}
+	if Label("bare") != "bare" {
+		t.Fatal("Label failed on bare name")
+	}
+}
+
+func TestKeywordCount(t *testing.T) {
+	cases := []struct {
+		name string
+		min  int
+	}{
+		{"shopdeals.com", 2},
+		{"cryptocoin.com", 2},
+		{"xqzvkw.com", 0},
+	}
+	for _, c := range cases {
+		if got := KeywordCount(c.name); got < c.min {
+			t.Errorf("KeywordCount(%q) = %d, want >= %d", c.name, got, c.min)
+		}
+	}
+}
+
+func TestDictionaryCount(t *testing.T) {
+	if got := DictionaryCount("silverbrook.com"); got < 2 {
+		t.Fatalf("DictionaryCount(silverbrook) = %d, want >= 2", got)
+	}
+	if got := DictionaryCount("zzqqxx.com"); got != 0 {
+		t.Fatalf("DictionaryCount(zzqqxx) = %d, want 0", got)
+	}
+}
+
+func TestWordListsDisjoint(t *testing.T) {
+	kw := make(map[string]bool)
+	for _, w := range Keywords() {
+		kw[w] = true
+	}
+	for _, w := range Dictionary() {
+		if kw[w] {
+			t.Errorf("word %q appears in both keyword and dictionary lists", w)
+		}
+	}
+}
+
+func TestWordListsValid(t *testing.T) {
+	for _, w := range append(Keywords(), Dictionary()...) {
+		if err := Validate(w); err != nil {
+			t.Errorf("word %q is not a valid label: %v", w, err)
+		}
+	}
+}
+
+func TestGeneratorUniqueAndValid(t *testing.T) {
+	g := NewGenerator(rand.New(rand.NewSource(42)))
+	seen := make(map[string]bool)
+	for i := 0; i < 5000; i++ {
+		gen := g.Next()
+		if seen[gen.Label] {
+			t.Fatalf("duplicate label %q at i=%d", gen.Label, i)
+		}
+		seen[gen.Label] = true
+		if err := Validate(gen.Label); err != nil {
+			t.Fatalf("invalid label %q: %v", gen.Label, err)
+		}
+		if gen.Value < 0 || gen.Value > 1 {
+			t.Fatalf("value %f out of range for %q", gen.Value, gen.Label)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(rand.New(rand.NewSource(7)))
+	b := NewGenerator(rand.New(rand.NewSource(7)))
+	for i := 0; i < 100; i++ {
+		ga, gb := a.Next(), b.Next()
+		if ga != gb {
+			t.Fatalf("generators diverged at %d: %+v vs %+v", i, ga, gb)
+		}
+	}
+}
+
+func TestGeneratorClassMix(t *testing.T) {
+	g := NewGenerator(rand.New(rand.NewSource(1)))
+	counts := make(map[Class]int)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Class]++
+	}
+	// Long-random should be the majority class (~50 %).
+	if frac := float64(counts[ClassLongRandom]) / n; frac < 0.4 || frac > 0.6 {
+		t.Fatalf("long-random fraction = %.2f, want ~0.5", frac)
+	}
+	for c := Class(0); c < numClasses; c++ {
+		if counts[c] == 0 {
+			t.Errorf("class %v never generated", c)
+		}
+	}
+}
+
+func TestGeneratorValueOrdering(t *testing.T) {
+	g := NewGenerator(rand.New(rand.NewSource(2)))
+	sum := make(map[Class]float64)
+	n := make(map[Class]int)
+	for i := 0; i < 20000; i++ {
+		gen := g.Next()
+		sum[gen.Class] += gen.Value
+		n[gen.Class]++
+	}
+	mean := func(c Class) float64 { return sum[c] / float64(n[c]) }
+	if mean(ClassKeywordPair) <= mean(ClassLongRandom) {
+		t.Fatal("keyword pairs should be worth more than random strings")
+	}
+	if mean(ClassDictPair) <= mean(ClassHyphenated) {
+		t.Fatal("dictionary pairs should be worth more than hyphenated names")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c := Class(0); c < numClasses; c++ {
+		if s := c.String(); strings.HasPrefix(s, "Class(") {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+	if s := Class(200).String(); s != "Class(200)" {
+		t.Errorf("unknown class String = %q", s)
+	}
+}
+
+func TestTopValues(t *testing.T) {
+	gs := []Generated{{Value: 0.1}, {Value: 0.9}, {Value: 0.5}}
+	top := TopValues(gs, 2)
+	if len(top) != 2 || top[0] != 0.9 || top[1] != 0.5 {
+		t.Fatalf("TopValues = %v", top)
+	}
+	if got := TopValues(gs, 10); len(got) != 3 {
+		t.Fatalf("TopValues over-length = %v", got)
+	}
+}
+
+// Property: matcher count never exceeds len(label)/minWordLen and never
+// panics on arbitrary ASCII input.
+func TestMatcherCountBounds(t *testing.T) {
+	f := func(s string) bool {
+		lower := strings.ToLower(s)
+		n := keywordMatcher.count(lower)
+		return n >= 0 && n <= len(lower)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: generated labels survive a validate/relabel round trip.
+func TestGeneratedAlwaysValid(t *testing.T) {
+	g := NewGenerator(rand.New(rand.NewSource(99)))
+	f := func() bool {
+		return Validate(g.Next().Label) == nil
+	}
+	if err := quick.Check(func(byte) bool { return f() }, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package rdap
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// Client errors callers branch on.
+var (
+	// ErrNotFound means the domain is not registered (HTTP 404) — for the
+	// measurement pipeline this is a positive signal, not a failure.
+	ErrNotFound = errors.New("rdap: domain not registered")
+	// ErrServer covers 5xx responses; the pipeline falls back to WHOIS.
+	ErrServer = errors.New("rdap: server error")
+)
+
+// Client queries an RDAP service.
+type Client struct {
+	base *url.URL
+	http *http.Client
+}
+
+// NewClient returns a Client for the RDAP service at baseURL (e.g.
+// "http://127.0.0.1:8430"). httpClient may be nil for a default with a 10 s
+// timeout.
+func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("rdap: parse base URL: %w", err)
+	}
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{base: u, http: httpClient}, nil
+}
+
+// Domain fetches the RDAP domain object for name.
+func (c *Client) Domain(ctx context.Context, name string) (*DomainResponse, error) {
+	u := *c.base
+	u.Path = "/domain/" + name
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("rdap: build request: %w", err)
+	}
+	req.Header.Set("Accept", "application/rdap+json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("rdap: GET %s: %w", u.String(), err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var dr DomainResponse
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&dr); err != nil {
+			return nil, fmt.Errorf("rdap: decode response for %s: %w", name, err)
+		}
+		return &dr, nil
+	case resp.StatusCode == http.StatusNotFound:
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	case resp.StatusCode >= 500:
+		return nil, fmt.Errorf("%w: HTTP %d for %s", ErrServer, resp.StatusCode, name)
+	default:
+		return nil, fmt.Errorf("rdap: unexpected HTTP %d for %s", resp.StatusCode, name)
+	}
+}

@@ -1,0 +1,74 @@
+// Package rdap implements a Registration Data Access Protocol service in the
+// shape of RFC 7483 JSON, mirroring Verisign's RDAP pilot that the paper used
+// to collect second-precision registration, update and expiration timestamps.
+//
+// The server supports per-registrar fault injection so the measurement
+// pipeline's WHOIS fallback path is exercised the same way the paper had to
+// fall back for domains sponsored by Papaki Ltd (IANA ID 1727), whose
+// records made the pilot return HTTP 500.
+package rdap
+
+import (
+	"time"
+)
+
+// Event actions used in RDAP responses (RFC 7483 §4.5).
+const (
+	EventRegistration = "registration"
+	EventLastChanged  = "last changed"
+	EventExpiration   = "expiration"
+)
+
+// Event is one lifecycle event attached to a domain object.
+type Event struct {
+	Action string    `json:"eventAction"`
+	Date   time.Time `json:"eventDate"`
+}
+
+// Entity is a simplified RFC 7483 entity; the only role this registry
+// attaches is "registrar".
+type Entity struct {
+	ObjectClassName string   `json:"objectClassName"`
+	Handle          string   `json:"handle"`
+	Roles           []string `json:"roles"`
+	// PublicIDs carries the IANA Registrar ID the way the real .com RDAP
+	// service does.
+	PublicIDs []PublicID `json:"publicIds,omitempty"`
+	// VCard is a flattened stand-in for vcardArray carrying the registrar's
+	// contact details, which the clustering analysis consumes.
+	VCard map[string]string `json:"vcard,omitempty"`
+}
+
+// PublicID ties an entity to an external identifier registry.
+type PublicID struct {
+	Type       string `json:"type"`
+	Identifier string `json:"identifier"`
+}
+
+// DomainResponse is the RDAP domain object returned for GET /domain/{name}.
+type DomainResponse struct {
+	ObjectClassName string   `json:"objectClassName"`
+	Handle          string   `json:"handle"` // registry object ID
+	LDHName         string   `json:"ldhName"`
+	Status          []string `json:"status"`
+	Events          []Event  `json:"events"`
+	Entities        []Entity `json:"entities"`
+}
+
+// ErrorResponse is the RFC 7483 error body.
+type ErrorResponse struct {
+	ErrorCode   int      `json:"errorCode"`
+	Title       string   `json:"title"`
+	Description []string `json:"description,omitempty"`
+}
+
+// EventDate returns the date of the first event with the given action,
+// ok=false when absent.
+func (d *DomainResponse) EventDate(action string) (time.Time, bool) {
+	for _, e := range d.Events {
+		if e.Action == action {
+			return e.Date, true
+		}
+	}
+	return time.Time{}, false
+}

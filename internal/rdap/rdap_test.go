@@ -1,0 +1,169 @@
+package rdap
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"dropzero/internal/inproc"
+	"dropzero/internal/model"
+	"dropzero/internal/registry"
+	"dropzero/internal/simtime"
+)
+
+func newEnv(t *testing.T, cfg ServerConfig) (*registry.Store, *Client) {
+	t.Helper()
+	clock := simtime.NewSimClock(time.Date(2018, 1, 1, 12, 0, 0, 0, time.UTC))
+	store := registry.NewStore(clock)
+	store.AddRegistrar(model.Registrar{
+		IANAID: 1000, Name: "Test Registrar",
+		Contact: model.Contact{Org: "Test Org", Email: "ops@test.example", Phone: "+1.5550001111"},
+	})
+	store.AddRegistrar(model.Registrar{IANAID: 1727, Name: "Papaki Ltd"})
+	srv := NewServer(store, cfg)
+	client, err := NewClient("http://rdap.test", inproc.Client(srv.Handler()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, client
+}
+
+func TestDomainLookup(t *testing.T) {
+	store, client := newEnv(t, ServerConfig{})
+	d, err := store.Create("example.com", 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Domain(context.Background(), "example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ObjectClassName != "domain" || resp.LDHName != "example.com" {
+		t.Fatalf("response: %+v", resp)
+	}
+	id, err := ParseHandle(resp.Handle)
+	if err != nil || id != d.ID {
+		t.Fatalf("handle %q -> %d, %v", resp.Handle, id, err)
+	}
+	reg, ok := resp.EventDate(EventRegistration)
+	if !ok || !reg.Equal(d.Created) {
+		t.Fatalf("registration event: %v %v", reg, ok)
+	}
+	upd, ok := resp.EventDate(EventLastChanged)
+	if !ok || !upd.Equal(d.Updated) {
+		t.Fatalf("last changed event: %v %v", upd, ok)
+	}
+	exp, ok := resp.EventDate(EventExpiration)
+	if !ok || !exp.Equal(d.Expiry) {
+		t.Fatalf("expiration event: %v %v", exp, ok)
+	}
+	if len(resp.Entities) != 1 || resp.Entities[0].Handle != "1000" {
+		t.Fatalf("entities: %+v", resp.Entities)
+	}
+	if resp.Entities[0].VCard["org"] != "Test Org" {
+		t.Fatalf("vcard: %+v", resp.Entities[0].VCard)
+	}
+	if len(resp.Status) != 1 || resp.Status[0] != "active" {
+		t.Fatalf("status: %v", resp.Status)
+	}
+}
+
+func TestDomainNotFound(t *testing.T) {
+	_, client := newEnv(t, ServerConfig{})
+	_, err := client.Domain(context.Background(), "missing.com")
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing = %v, want ErrNotFound", err)
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	store, client := newEnv(t, ServerConfig{FailRegistrars: map[int]int{1727: http.StatusInternalServerError}})
+	store.Create("broken.com", 1727, 1)
+	store.Create("fine.com", 1000, 1)
+	_, err := client.Domain(context.Background(), "broken.com")
+	if !errors.Is(err, ErrServer) {
+		t.Fatalf("broken registrar = %v, want ErrServer", err)
+	}
+	if _, err := client.Domain(context.Background(), "fine.com"); err != nil {
+		t.Fatalf("healthy registrar = %v", err)
+	}
+}
+
+func TestParseHandle(t *testing.T) {
+	id, err := ParseHandle("42_DOMAIN_COM-VRSN")
+	if err != nil || id != 42 {
+		t.Fatalf("ParseHandle = %d, %v", id, err)
+	}
+	if _, err := ParseHandle("abc"); err == nil {
+		t.Fatal("malformed handle accepted")
+	}
+	id, err = ParseHandle("7")
+	if err != nil || id != 7 {
+		t.Fatalf("bare numeric handle = %d, %v", id, err)
+	}
+}
+
+func TestEventDateMissing(t *testing.T) {
+	dr := &DomainResponse{}
+	if _, ok := dr.EventDate(EventRegistration); ok {
+		t.Fatal("missing event reported present")
+	}
+}
+
+func TestServerOverTCP(t *testing.T) {
+	clock := simtime.NewSimClock(time.Date(2018, 1, 1, 12, 0, 0, 0, time.UTC))
+	store := registry.NewStore(clock)
+	store.AddRegistrar(model.Registrar{IANAID: 1000})
+	store.Create("tcp.com", 1000, 1)
+	srv := NewServer(store, ServerConfig{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := NewClient("http://"+addr.String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Domain(context.Background(), "tcp.com")
+	if err != nil || resp.LDHName != "tcp.com" {
+		t.Fatalf("TCP lookup: %+v %v", resp, err)
+	}
+}
+
+func TestHelpEndpoint(t *testing.T) {
+	clock := simtime.NewSimClock(time.Date(2018, 1, 1, 12, 0, 0, 0, time.UTC))
+	store := registry.NewStore(clock)
+	srv := NewServer(store, ServerConfig{})
+	httpc := inproc.Client(srv.Handler())
+	resp, err := httpc.Get("http://rdap.test/help")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("help: %v %v", resp, err)
+	}
+	resp.Body.Close()
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	clock := simtime.NewSimClock(time.Date(2018, 1, 1, 12, 0, 0, 0, time.UTC))
+	store := registry.NewStore(clock)
+	srv := NewServer(store, ServerConfig{})
+	httpc := inproc.Client(srv.Handler())
+	resp, err := httpc.Post("http://rdap.test/domain/x.com", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d", resp.StatusCode)
+	}
+}
+
+func TestMalformedName(t *testing.T) {
+	_, client := newEnv(t, ServerConfig{})
+	_, err := client.Domain(context.Background(), "")
+	if err == nil {
+		t.Fatal("empty name accepted")
+	}
+}

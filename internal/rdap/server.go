@@ -1,0 +1,149 @@
+package rdap
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"dropzero/internal/model"
+	"dropzero/internal/registry"
+)
+
+// ServerConfig parameterises an RDAP server.
+type ServerConfig struct {
+	// FailRegistrars maps registrar IANA IDs to the HTTP status the server
+	// returns for any domain they sponsor. Used to reproduce the Papaki-like
+	// failures that force clients onto the WHOIS fallback.
+	FailRegistrars map[int]int
+}
+
+// Server serves registry data as RFC 7483-shaped JSON over HTTP.
+type Server struct {
+	store *registry.Store
+	cfg   ServerConfig
+	http  *http.Server
+	ln    net.Listener
+}
+
+// NewServer returns a Server over store.
+func NewServer(store *registry.Store, cfg ServerConfig) *Server {
+	s := &Server{store: store, cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/domain/", s.handleDomain)
+	mux.HandleFunc("/help", s.handleHelp)
+	s.http = &http.Server{Handler: mux}
+	return s
+}
+
+// Handler exposes the HTTP handler, letting tests use httptest and the
+// in-process transport bypass TCP.
+func (s *Server) Handler() http.Handler { return s.http.Handler }
+
+// Listen binds addr and starts serving until Close.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rdap: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	go func() {
+		if err := s.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			_ = err // listener closed during shutdown
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error { return s.http.Close() }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/rdap+json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHelp(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"rdapConformance": []string{"rdap_level_0"},
+		"notices": []map[string]any{{
+			"title":       "dropzero registry RDAP pilot",
+			"description": []string{"lookups: GET /domain/{name}"},
+		}},
+	})
+}
+
+func (s *Server) handleDomain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{ErrorCode: 405, Title: "method not allowed"})
+		return
+	}
+	name := strings.ToLower(strings.TrimPrefix(r.URL.Path, "/domain/"))
+	if name == "" || strings.Contains(name, "/") {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{ErrorCode: 400, Title: "malformed domain name"})
+		return
+	}
+	d, err := s.store.Get(name)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{
+			ErrorCode:   404,
+			Title:       "object not found",
+			Description: []string{fmt.Sprintf("domain %s is not registered", name)},
+		})
+		return
+	}
+	if code, broken := s.cfg.FailRegistrars[d.RegistrarID]; broken {
+		writeJSON(w, code, ErrorResponse{ErrorCode: code, Title: "internal error"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.toResponse(d))
+}
+
+func (s *Server) toResponse(d *model.Domain) *DomainResponse {
+	resp := &DomainResponse{
+		ObjectClassName: "domain",
+		Handle:          fmt.Sprintf("%d_DOMAIN_%s-VRSN", d.ID, strings.ToUpper(string(d.TLD))),
+		LDHName:         d.Name,
+		Status:          []string{d.Status.String()},
+		Events: []Event{
+			{Action: EventRegistration, Date: d.Created},
+			{Action: EventLastChanged, Date: d.Updated},
+			{Action: EventExpiration, Date: d.Expiry},
+		},
+	}
+	ent := Entity{
+		ObjectClassName: "entity",
+		Handle:          strconv.Itoa(d.RegistrarID),
+		Roles:           []string{"registrar"},
+		PublicIDs:       []PublicID{{Type: "IANA Registrar ID", Identifier: strconv.Itoa(d.RegistrarID)}},
+	}
+	if reg, ok := s.store.Registrar(d.RegistrarID); ok {
+		ent.VCard = map[string]string{
+			"fn":    reg.Name,
+			"org":   reg.Contact.Org,
+			"email": reg.Contact.Email,
+			"adr":   reg.Contact.Street + ", " + reg.Contact.City + ", " + reg.Contact.Country,
+			"tel":   reg.Contact.Phone,
+		}
+	}
+	resp.Entities = []Entity{ent}
+	return resp
+}
+
+// ParseHandle extracts the numeric registry object ID from an RDAP handle
+// like "1234_DOMAIN_COM-VRSN".
+func ParseHandle(handle string) (uint64, error) {
+	i := strings.IndexByte(handle, '_')
+	if i < 0 {
+		i = len(handle)
+	}
+	id, err := strconv.ParseUint(handle[:i], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("rdap: malformed handle %q: %w", handle, err)
+	}
+	return id, nil
+}

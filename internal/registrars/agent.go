@@ -1,0 +1,150 @@
+package registrars
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dropzero/internal/epp"
+	"dropzero/internal/model"
+)
+
+// Catcher is an operational drop-catch agent: it holds EPP sessions across
+// an operator's accreditations and hammers speculative create commands for
+// its backordered names during the Drop. Each accreditation contributes an
+// independent per-accreditation create budget at the registry — the reason
+// three services hold 75 % of all accreditations and why create success
+// ratios of drop-catch registrars are as low as 0.05 %.
+//
+// Catcher is synchronous: the race driver calls Tick once per simulated
+// second, between applications of the registry's deletion schedule.
+type Catcher struct {
+	// Service is a label for reporting.
+	Service string
+
+	sessions []*epp.Client
+	next     int
+
+	pending map[string]bool
+	// Won maps caught names to their registration instants.
+	Won map[string]time.Time
+	// Lost names were re-registered by somebody else first.
+	Lost map[string]bool
+
+	// Attempts, RateLimited and Collisions count create commands sent,
+	// refused for budget, and lost races respectively.
+	Attempts    int
+	RateLimited int
+	Collisions  int
+}
+
+// NewCatcher dials and authenticates one EPP session per accreditation.
+func NewCatcher(service, addr string, accreditations []int, credential func(int) string) (*Catcher, error) {
+	if len(accreditations) == 0 {
+		return nil, fmt.Errorf("registrars: catcher %q needs at least one accreditation", service)
+	}
+	c := &Catcher{
+		Service: service,
+		pending: make(map[string]bool),
+		Won:     make(map[string]time.Time),
+		Lost:    make(map[string]bool),
+	}
+	for _, id := range accreditations {
+		sess, err := epp.Dial(addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("registrars: catcher %q dial: %w", service, err)
+		}
+		if err := sess.Login(id, credential(id)); err != nil {
+			sess.Close()
+			c.Close()
+			return nil, fmt.Errorf("registrars: catcher %q login %d: %w", service, id, err)
+		}
+		c.sessions = append(c.sessions, sess)
+	}
+	return c, nil
+}
+
+// Close terminates all EPP sessions.
+func (c *Catcher) Close() {
+	for _, s := range c.sessions {
+		s.Close()
+	}
+	c.sessions = nil
+}
+
+// Backorder adds names to the agent's target list.
+func (c *Catcher) Backorder(names ...string) {
+	for _, n := range names {
+		if !c.Won[n].IsZero() || c.Lost[n] {
+			continue
+		}
+		c.pending[n] = true
+	}
+}
+
+// Pending returns the number of unresolved backorders.
+func (c *Catcher) Pending() int { return len(c.pending) }
+
+// Sessions returns the number of accreditations in use.
+func (c *Catcher) Sessions() int { return len(c.sessions) }
+
+// Tick sends one round of speculative creates: every session attempts one
+// pending name. Names whose existing registration is still pendingDelete
+// stay on the list (the deletion has not happened yet); names already
+// re-registered by a competitor are marked lost.
+func (c *Catcher) Tick() error {
+	if len(c.pending) == 0 {
+		return nil
+	}
+	targets := make([]string, 0, len(c.pending))
+	for n := range c.pending {
+		targets = append(targets, n)
+	}
+	sort.Strings(targets)
+	ti := 0
+	for _, sess := range c.sessions {
+		if ti >= len(targets) {
+			break
+		}
+		name := targets[ti]
+		ti++
+		c.Attempts++
+		d, err := sess.Create(name, 1)
+		switch {
+		case err == nil:
+			delete(c.pending, name)
+			c.Won[name] = d.Created
+		case epp.IsCode(err, epp.CodeRateLimited):
+			c.RateLimited++
+		case epp.IsCode(err, epp.CodeObjectExists):
+			lost, lerr := c.lostRace(sess, name)
+			if lerr != nil {
+				return lerr
+			}
+			if lost {
+				delete(c.pending, name)
+				c.Lost[name] = true
+				c.Collisions++
+			}
+			// Otherwise the old registration is still pendingDelete:
+			// keep hammering.
+		default:
+			return fmt.Errorf("registrars: catcher %q create %s: %w", c.Service, name, err)
+		}
+	}
+	return nil
+}
+
+// lostRace distinguishes "not yet deleted" from "somebody else caught it".
+func (c *Catcher) lostRace(sess *epp.Client, name string) (bool, error) {
+	info, err := sess.Info(name)
+	if err != nil {
+		if epp.IsCode(err, epp.CodeObjectNotFound) {
+			// Deleted between our create and info; next Tick can take it.
+			return false, nil
+		}
+		return false, err
+	}
+	return info.Status != model.StatusPendingDelete.String(), nil
+}

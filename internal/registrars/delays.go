@@ -1,0 +1,158 @@
+package registrars
+
+import (
+	"math"
+	"time"
+)
+
+// Delay samplers per service, calibrated against the paper's Figure 6 CDFs
+// and the §4.3 narrative. All delays are in whole seconds, matching registry
+// timestamp precision.
+
+func (m *Market) seconds(f float64) time.Duration {
+	if f < 0 {
+		f = 0
+	}
+	return time.Duration(math.Round(f)) * time.Second
+}
+
+// dropCatchDelay samples the winner's latency in the deletion-instant race.
+func (m *Market) dropCatchDelay(service string, lot Lot) time.Duration {
+	r := m.rng.Float64()
+	switch service {
+	case SvcDropCatch:
+		// 99.3 % of DropCatch's re-registrations land at exactly 0 s; a
+		// tiny remainder trails, and a sliver returns at the 8–10 min
+		// batch visible in Figure 7's momentary market-share spike.
+		switch {
+		case r < 0.993:
+			return 0
+		case r < 0.996:
+			return m.seconds(1 + m.rng.Float64()*2)
+		default:
+			return 8*time.Minute + m.seconds(m.rng.Float64()*120)
+		}
+	case SvcSnapNames:
+		// SnapNames holds a small batch back until after the Drop — the
+		// horizontal line around 20:30 in Figure 4b.
+		if r < 0.985 {
+			return 0
+		}
+		return m.holdbackDelay(lot, 30*time.Minute, 10*time.Minute)
+	case SvcXZ:
+		// XZ: 74.8 % at 0 s, 89.4 % by 3 s, the tail within a minute.
+		switch {
+		case r < 0.748:
+			return 0
+		case r < 0.894:
+			return m.seconds(1 + float64(m.rng.Intn(3)))
+		default:
+			if lot.AgeYears >= 5 && m.rng.Float64() < 0.5 {
+				// Older-domain retry bursts around 6 s — one of the
+				// secondary age peaks in Figure 8.
+				return m.seconds(5 + float64(m.rng.Intn(4)))
+			}
+			d := 4 + m.rng.ExpFloat64()*12
+			if d > 60 {
+				d = 60
+			}
+			return m.seconds(d)
+		}
+	case SvcPheenix:
+		// Pheenix: majority at 0 s, then a steep rise 30–90 min after
+		// deletion (its postponed-batch behaviour).
+		switch {
+		case r < 0.68:
+			return 0
+		case r < 0.78:
+			return m.seconds(1 + float64(m.rng.Intn(5)))
+		default:
+			return 30*time.Minute + m.seconds(m.rng.Float64()*3600)
+		}
+	case SvcDynadot:
+		// Dynadot's backorders are cheaper and slightly less timely.
+		if r < 0.75 {
+			return 0
+		}
+		return m.seconds(1 + m.rng.ExpFloat64()*8)
+	case SvcGoDaddy:
+		// GoDaddy catches some names within seconds but essentially never
+		// at the exact instant.
+		return m.seconds(1 + m.rng.ExpFloat64()*9)
+	default:
+		return m.seconds(m.rng.ExpFloat64() * 10)
+	}
+}
+
+// holdbackDelay defers a re-registration until offset after the end of the
+// Drop (plus jitter), independent of when the domain itself was deleted —
+// producing the horizontal batch lines of Figure 4.
+func (m *Market) holdbackDelay(lot Lot, offset, jitter time.Duration) time.Duration {
+	base := lot.DropEnd.Sub(lot.DeletedAt)
+	if base < 0 {
+		base = 0
+	}
+	return base + offset + m.seconds(m.rng.Float64()*jitter.Seconds())
+}
+
+// apiDelay models home-grown drop-catch scripts over reseller APIs: never
+// earlier than 30 s after deletion, median around 26 minutes.
+func (m *Market) apiDelay(lot Lot) time.Duration {
+	if lot.AgeYears >= 5 && m.rng.Float64() < 0.25 {
+		// List-driven re-registration of aged domains about an hour after
+		// deletion (Figure 8's 1 h age peak).
+		return time.Hour + m.seconds(m.rng.NormFloat64()*180)
+	}
+	const medianSec = 26 * 60
+	d := math.Exp(math.Log(medianSec) + m.rng.NormFloat64()*0.9)
+	if d < 30 {
+		d = 30
+	}
+	return m.seconds(d)
+}
+
+// xinnetDelay mixes Xinnet's two modes: re-registrations held back until
+// shortly after the end of the Drop, and bulk batches 1–9 h after deletion
+// (where Xinnet's market share exceeds 50 %).
+func (m *Market) xinnetDelay(lot Lot) time.Duration {
+	r := m.rng.Float64()
+	switch {
+	case r < 0.03:
+		// A handful of direct catches, though never earlier than 10 s.
+		return m.seconds(10 + m.rng.Float64()*20)
+	case r < 0.33:
+		return m.holdbackDelay(lot, 2*time.Minute, 70*time.Minute)
+	default:
+		return time.Hour + m.seconds(m.rng.Float64()*8*3600)
+	}
+}
+
+// retailDelay models customer-driven demand at GoDaddy and the long tail:
+// a thin seconds-level sliver, then hours, with the bulk between 3 h and
+// 24 h and a tail beyond the day.
+func (m *Market) retailDelay(lot Lot) time.Duration {
+	if lot.AgeYears >= 5 && m.rng.Float64() < 0.18 {
+		// Overnight batch re-registration of aged inventory, 13–14 h after
+		// deletion (Figure 8's late age peak).
+		return 13*time.Hour + m.seconds(m.rng.Float64()*3600)
+	}
+	r := m.rng.Float64()
+	switch {
+	case r < 0.04:
+		return m.seconds(2 + m.rng.ExpFloat64()*10)
+	case r < 0.22:
+		return 10*time.Minute + m.seconds(m.rng.Float64()*(3*3600-600))
+	case r < 0.62:
+		return 3*time.Hour + m.seconds(m.rng.Float64()*5*3600)
+	case r < 0.94:
+		return 8*time.Hour + m.seconds(m.rng.Float64()*16*3600)
+	default:
+		return 24*time.Hour + m.seconds(m.rng.Float64()*float64(21*24*3600))
+	}
+}
+
+// dynadotLateDelay models Dynadot's customer-initiated re-registrations at
+// hour scale.
+func (m *Market) dynadotLateDelay() time.Duration {
+	return time.Hour + m.seconds(m.rng.ExpFloat64()*4*3600)
+}

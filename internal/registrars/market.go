@@ -1,0 +1,202 @@
+package registrars
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Lot describes one deleted domain from the market's point of view: the
+// ground-truth desirability and prior age the simulator knows, plus the
+// deletion instant and that day's (estimated) end of the Drop.
+type Lot struct {
+	Name      string
+	Value     float64 // ground-truth desirability in [0, 1]
+	AgeYears  int     // prior registration age
+	DeletedAt time.Time
+	DropEnd   time.Time
+}
+
+// Claim is the market's decision for one lot: which operator re-registers
+// the name, through which accreditation, and how long after the deletion
+// instant. A nil *Claim means the name is not re-registered within the
+// study's horizon.
+type Claim struct {
+	Service     string
+	RegistrarID int
+	Delay       time.Duration
+}
+
+// Time returns the re-registration instant.
+func (c *Claim) Time(lot Lot) time.Time { return lot.DeletedAt.Add(c.Delay) }
+
+// MarketConfig tunes the staged demand model. The defaults are calibrated so
+// that the aggregate statistics land near the paper's: ≈9.5 % of deleted
+// domains re-registered at 0 s, ≈11 % on the deletion day, ≈13 % within
+// 24 h, and per-cluster delay signatures matching Figure 6.
+type MarketConfig struct {
+	// BackorderSlope/BackorderOffset shape the probability that a lot is
+	// backordered at any drop-catch service: p = Slope·max(0, v−Offset),
+	// scaled by the age factor.
+	BackorderSlope  float64
+	BackorderOffset float64
+	// AgeBase/AgeBoost make older domains more attractive:
+	// factor = AgeBase + AgeBoost·min(age,6)/6.
+	AgeBase, AgeBoost float64
+	// Horizon caps claim delays; later re-registrations are dropped (they
+	// would not be visible to the T+8-weeks lookup anyway).
+	Horizon time.Duration
+}
+
+// DefaultMarketConfig returns the calibrated parameters.
+func DefaultMarketConfig() MarketConfig {
+	return MarketConfig{
+		BackorderSlope:  0.80,
+		BackorderOffset: 0.33,
+		AgeBase:         0.70,
+		AgeBoost:        0.55,
+		Horizon:         7 * 24 * time.Hour * 7, // 7 weeks
+	}
+}
+
+// dropCatchWeights is the relative capacity of services competing in the
+// instant-of-deletion race. GoDaddy's small weight models its occasional
+// seconds-level catches; Xinnet never competes here (Figure 6: almost no
+// Xinnet re-registrations until 10 s).
+var dropCatchWeights = []struct {
+	service string
+	weight  float64
+}{
+	{SvcDropCatch, 0.46},
+	{SvcSnapNames, 0.28},
+	{SvcXZ, 0.14},
+	{SvcPheenix, 0.06},
+	{SvcDynadot, 0.03},
+	{SvcGoDaddy, 0.03},
+}
+
+// Market decides the fate of every deleted domain. It is not safe for
+// concurrent use; the Drop is sequential anyway.
+type Market struct {
+	dir *Directory
+	cfg MarketConfig
+	rng *rand.Rand
+}
+
+// NewMarket returns a Market over the ecosystem directory.
+func NewMarket(dir *Directory, cfg MarketConfig, rng *rand.Rand) *Market {
+	if cfg.Horizon == 0 {
+		cfg = DefaultMarketConfig()
+	}
+	return &Market{dir: dir, cfg: cfg, rng: rng}
+}
+
+func (m *Market) ageFactor(age int) float64 {
+	if age > 6 {
+		age = 6
+	}
+	return m.cfg.AgeBase + m.cfg.AgeBoost*float64(age)/6
+}
+
+// Decide resolves one lot. Stages run in priority order, mirroring the race:
+// drop-catch backorders win the deletion instant; "home-grown" API catchers
+// pick over what remains seconds to minutes later; Xinnet's hybrid batches
+// follow; retail demand trickles in over hours; most names find no taker.
+func (m *Market) Decide(lot Lot) *Claim {
+	if c := m.stageDropCatch(lot); c != nil {
+		return m.capped(c)
+	}
+	if c := m.stageAPI(lot); c != nil {
+		return m.capped(c)
+	}
+	if c := m.stageXinnet(lot); c != nil {
+		return m.capped(c)
+	}
+	if c := m.stageRetail(lot); c != nil {
+		return m.capped(c)
+	}
+	return nil
+}
+
+func (m *Market) capped(c *Claim) *Claim {
+	if c.Delay > m.cfg.Horizon {
+		return nil
+	}
+	return c
+}
+
+func (m *Market) claim(service string, delay time.Duration) *Claim {
+	return &Claim{
+		Service:     service,
+		RegistrarID: m.dir.PickAccreditation(service, m.rng),
+		Delay:       delay,
+	}
+}
+
+// stageDropCatch models the backorder race at the deletion instant.
+func (m *Market) stageDropCatch(lot Lot) *Claim {
+	p := m.cfg.BackorderSlope * max0(lot.Value-m.cfg.BackorderOffset) * m.ageFactor(lot.AgeYears)
+	if m.rng.Float64() >= p {
+		return nil
+	}
+	// Weighted winner among competing services.
+	total := 0.0
+	for _, w := range dropCatchWeights {
+		total += w.weight
+	}
+	r := m.rng.Float64() * total
+	service := dropCatchWeights[len(dropCatchWeights)-1].service
+	for _, w := range dropCatchWeights {
+		if r < w.weight {
+			service = w.service
+			break
+		}
+		r -= w.weight
+	}
+	return m.claim(service, m.dropCatchDelay(service, lot))
+}
+
+// stageAPI models "home-grown" drop-catching over reseller APIs (DropKing
+// over 1API and the like): it starts no earlier than 30 s after deletion and
+// has its median around 26 minutes.
+func (m *Market) stageAPI(lot Lot) *Claim {
+	p := 0.0015 + 0.032*max0(lot.Value-0.20)*m.ageFactor(lot.AgeYears)
+	if m.rng.Float64() >= p {
+		return nil
+	}
+	return m.claim(Svc1API, m.apiDelay(lot))
+}
+
+// stageXinnet models Xinnet's hybrid behaviour: holding back re-registrations
+// until after the end of the Drop, plus large batches 1–9 h later.
+func (m *Market) stageXinnet(lot Lot) *Claim {
+	p := 0.005 + 0.036*max0(lot.Value-0.30)
+	if m.rng.Float64() >= p {
+		return nil
+	}
+	return m.claim(SvcXinnet, m.xinnetDelay(lot))
+}
+
+// stageRetail models ordinary customer-driven demand at GoDaddy, Dynadot and
+// the long tail, spread over hours to weeks.
+func (m *Market) stageRetail(lot Lot) *Claim {
+	p := 0.008 + 0.042*max0(lot.Value-0.15)
+	if m.rng.Float64() >= p {
+		return nil
+	}
+	r := m.rng.Float64()
+	switch {
+	case r < 0.45:
+		return m.claim(SvcGoDaddy, m.retailDelay(lot))
+	case r < 0.65:
+		return m.claim(SvcDynadot, m.dynadotLateDelay())
+	default:
+		return m.claim(SvcOther, m.retailDelay(lot))
+	}
+}
+
+func max0(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return x
+}

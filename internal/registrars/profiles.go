@@ -1,0 +1,211 @@
+// Package registrars models the actors competing for deleted domains: the
+// drop-catch services (DropCatch, SnapNames, Pheenix, XZ), the hybrid and
+// retail registrars (Dynadot, GoDaddy, Xinnet), the reseller-API providers
+// (1API) used for "home-grown" drop-catching, and a long tail of ordinary
+// registrars.
+//
+// Each service controls one or more ICANN accreditations whose contact
+// details it reuses — the signal the paper's clustering recovers — and each
+// has a distinct re-registration timing behaviour calibrated to the
+// per-cluster delay CDFs in the paper's Figure 6.
+package registrars
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dropzero/internal/model"
+)
+
+// Canonical service (cluster) names used across the analyses.
+const (
+	SvcDropCatch = "DropCatch"
+	SvcSnapNames = "SnapNames"
+	SvcPheenix   = "Pheenix"
+	SvcXZ        = "XZ"
+	SvcDynadot   = "Dynadot"
+	SvcGoDaddy   = "GoDaddy"
+	SvcXinnet    = "Xinnet"
+	Svc1API      = "1API"
+	SvcOther     = "other"
+)
+
+// serviceSpec describes one operator's accreditation holdings.
+type serviceSpec struct {
+	name        string
+	accredCount int
+	org         string
+	emailDomain string
+	street      string
+	city        string
+	country     string
+	phonePrefix string
+	// orgVariants, when non-empty, introduces spelling noise into the org
+	// field of some accreditations; the clustering must still join them via
+	// the shared email domain and phone prefix.
+	orgVariants []string
+}
+
+// specs defines the simulated ecosystem. The three large drop-catch services
+// together hold roughly 75 % of all accreditations, as the paper reports.
+var specs = []serviceSpec{
+	{
+		name: SvcDropCatch, accredCount: 130,
+		org: "DropCatch.com LLC", emailDomain: "dropcatch.example",
+		street: "2635 Walnut Street", city: "Denver", country: "US", phonePrefix: "+1.3032",
+		orgVariants: []string{"DropCatch.com, LLC", "DROPCATCH.COM LLC"},
+	},
+	{
+		name: SvcSnapNames, accredCount: 85,
+		org: "SnapNames Services Inc", emailDomain: "snapnames.example",
+		street: "10 Corporate Drive", city: "Portland", country: "US", phonePrefix: "+1.5038",
+		orgVariants: []string{"SnapNames Services, Inc."},
+	},
+	{
+		name: SvcPheenix, accredCount: 45,
+		org: "Pheenix Group", emailDomain: "pheenix.example",
+		street: "4422 Aviation Way", city: "Los Angeles", country: "US", phonePrefix: "+1.2137",
+	},
+	{
+		name: SvcXZ, accredCount: 28,
+		org: "XZ.com Technology Ltd", emailDomain: "xz.example",
+		street: "88 Keji Road", city: "Xiamen", country: "CN", phonePrefix: "+86.592",
+	},
+	{
+		name: SvcDynadot, accredCount: 2,
+		org: "Dynadot LLC", emailDomain: "dynadot.example",
+		street: "210 S Ellsworth Ave", city: "San Mateo", country: "US", phonePrefix: "+1.6502",
+	},
+	{
+		name: SvcGoDaddy, accredCount: 3,
+		org: "GoDaddy.com LLC", emailDomain: "godaddy.example",
+		street: "14455 N Hayden Rd", city: "Scottsdale", country: "US", phonePrefix: "+1.4805",
+	},
+	{
+		name: SvcXinnet, accredCount: 2,
+		org: "Xin Net Technology Corp", emailDomain: "xinnet.example",
+		street: "3rd Floor, Jiuling Building", city: "Beijing", country: "CN", phonePrefix: "+86.108",
+	},
+	{
+		name: Svc1API, accredCount: 1,
+		org: "1API GmbH", emailDomain: "1api.example",
+		street: "Talstrasse 27", city: "Homburg", country: "DE", phonePrefix: "+49.684",
+	},
+}
+
+// tailCount is the number of independent single-accreditation registrars in
+// the long tail; each is its own cluster.
+const tailCount = 60
+
+// Directory is the simulated registrar ecosystem: every accreditation, its
+// operator, and the EPP credentials the operator holds.
+type Directory struct {
+	registrars []model.Registrar
+	byService  map[string][]int // service → IANA IDs
+	serviceOf  map[int]string
+	creds      map[int]string
+}
+
+// BuildDirectory synthesises the ecosystem. IANA IDs are assigned
+// sequentially starting at 1000; credentials are derived deterministically.
+func BuildDirectory(rng *rand.Rand) *Directory {
+	d := &Directory{
+		byService: make(map[string][]int),
+		serviceOf: make(map[int]string),
+		creds:     make(map[int]string),
+	}
+	next := 1000
+	add := func(svc string, r model.Registrar) {
+		r.Service = svc
+		d.registrars = append(d.registrars, r)
+		d.byService[svc] = append(d.byService[svc], r.IANAID)
+		d.serviceOf[r.IANAID] = svc
+		d.creds[r.IANAID] = fmt.Sprintf("token-%d", r.IANAID)
+	}
+	for _, spec := range specs {
+		for i := 0; i < spec.accredCount; i++ {
+			org := spec.org
+			if len(spec.orgVariants) > 0 && rng.Float64() < 0.25 {
+				org = spec.orgVariants[rng.Intn(len(spec.orgVariants))]
+			}
+			add(spec.name, model.Registrar{
+				IANAID: next,
+				Name:   fmt.Sprintf("%s Accreditation %d", spec.name, i+1),
+				Contact: model.Contact{
+					Org:     org,
+					Email:   fmt.Sprintf("ops%d@%s", i+1, spec.emailDomain),
+					Street:  spec.street,
+					City:    spec.city,
+					Country: spec.country,
+					Phone:   fmt.Sprintf("%s%04d", spec.phonePrefix, rng.Intn(10000)),
+				},
+			})
+			next++
+		}
+	}
+	for i := 0; i < tailCount; i++ {
+		add(SvcOther, model.Registrar{
+			IANAID: next,
+			Name:   fmt.Sprintf("Registrar %d Inc", next),
+			Contact: model.Contact{
+				Org:     fmt.Sprintf("Registrar %d Inc", next),
+				Email:   fmt.Sprintf("hostmaster@reg%d.example", next),
+				Street:  fmt.Sprintf("%d Main Street", 100+rng.Intn(900)),
+				City:    "Springfield",
+				Country: "US",
+				Phone:   fmt.Sprintf("+1.555%07d", rng.Intn(10000000)),
+			},
+		})
+		next++
+	}
+	return d
+}
+
+// Registrars returns every accreditation.
+func (d *Directory) Registrars() []model.Registrar {
+	return append([]model.Registrar(nil), d.registrars...)
+}
+
+// ServiceOf maps an accreditation to its operator, SvcOther's members map to
+// per-registrar singleton labels only via the clustering — here they all
+// report SvcOther.
+func (d *Directory) ServiceOf(ianaID int) string { return d.serviceOf[ianaID] }
+
+// Accreditations returns the IANA IDs a service controls.
+func (d *Directory) Accreditations(service string) []int {
+	return append([]int(nil), d.byService[service]...)
+}
+
+// PickAccreditation draws one of a service's accreditations uniformly; a
+// drop-catch service spreads its create load across all of them.
+func (d *Directory) PickAccreditation(service string, rng *rand.Rand) int {
+	ids := d.byService[service]
+	if len(ids) == 0 {
+		panic(fmt.Sprintf("registrars: no accreditations for service %q", service))
+	}
+	return ids[rng.Intn(len(ids))]
+}
+
+// Credentials returns the EPP login tokens per accreditation, suitable for
+// epp.ServerConfig.
+func (d *Directory) Credentials() map[int]string {
+	out := make(map[int]string, len(d.creds))
+	for k, v := range d.creds {
+		out[k] = v
+	}
+	return out
+}
+
+// Credential returns one accreditation's EPP token.
+func (d *Directory) Credential(ianaID int) string { return d.creds[ianaID] }
+
+// ShareOfAccreditations returns the fraction of all accreditations the given
+// services control; the paper's headline is ≈75 % for the three largest
+// drop-catch services.
+func (d *Directory) ShareOfAccreditations(services ...string) float64 {
+	n := 0
+	for _, svc := range services {
+		n += len(d.byService[svc])
+	}
+	return float64(n) / float64(len(d.registrars))
+}

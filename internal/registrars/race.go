@@ -1,0 +1,63 @@
+package registrars
+
+import (
+	"math/rand"
+	"time"
+
+	"dropzero/internal/model"
+	"dropzero/internal/registry"
+	"dropzero/internal/simtime"
+)
+
+// RaceResult summarises one Drop raced by live agents.
+type RaceResult struct {
+	Events []model.DeletionEvent
+	// Ticks is the number of simulated seconds driven.
+	Ticks int
+}
+
+// RunRace executes day's deletion schedule second by second while the given
+// agents hammer the registry over their EPP sessions. Between consecutive
+// seconds every agent gets one Tick; the tick order rotates so no agent has
+// a standing first-mover advantage (at the registry, creates are first come,
+// first served regardless).
+//
+// The clock is advanced through the whole Drop window plus grace ticks so
+// agents can pick up names deleted in the final second.
+func RunRace(clock *simtime.SimClock, runner *registry.DropRunner, day simtime.Day, rng *rand.Rand, agents []*Catcher) (*RaceResult, error) {
+	sched := runner.Schedule(day, rng)
+	res := &RaceResult{}
+	if len(sched) == 0 {
+		return res, nil
+	}
+	start := sched[0].Time
+	end := sched[len(sched)-1].Time
+	if clock.Now().Before(start) {
+		clock.Set(start)
+	}
+	i := 0
+	rotation := 0
+	const graceTicks = 10
+	for t := start; !t.After(end.Add(graceTicks * time.Second)); t = t.Add(time.Second) {
+		if t.After(clock.Now()) {
+			clock.Set(t)
+		}
+		for i < len(sched) && !sched[i].Time.After(t) {
+			ev, err := runner.Apply(sched[i])
+			if err != nil {
+				return res, err
+			}
+			res.Events = append(res.Events, ev)
+			i++
+		}
+		for k := range agents {
+			agent := agents[(k+rotation)%len(agents)]
+			if err := agent.Tick(); err != nil {
+				return res, err
+			}
+		}
+		rotation++
+		res.Ticks++
+	}
+	return res, nil
+}

@@ -1,0 +1,290 @@
+package registrars
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"dropzero/internal/simtime"
+)
+
+func testDir() *Directory {
+	return BuildDirectory(rand.New(rand.NewSource(1)))
+}
+
+func TestDirectoryAccreditationShares(t *testing.T) {
+	dir := testDir()
+	// The paper: three large drop-catch services control ≈75 % of all
+	// registrar accreditations.
+	share := dir.ShareOfAccreditations(SvcDropCatch, SvcSnapNames, SvcPheenix)
+	if share < 0.68 || share > 0.82 {
+		t.Fatalf("top-3 drop-catch accreditation share = %.2f, want ≈0.75", share)
+	}
+}
+
+func TestDirectoryLookups(t *testing.T) {
+	dir := testDir()
+	ids := dir.Accreditations(SvcDropCatch)
+	if len(ids) == 0 {
+		t.Fatal("DropCatch has no accreditations")
+	}
+	for _, id := range ids {
+		if dir.ServiceOf(id) != SvcDropCatch {
+			t.Fatalf("ServiceOf(%d) = %q", id, dir.ServiceOf(id))
+		}
+		if dir.Credential(id) == "" {
+			t.Fatalf("no credential for %d", id)
+		}
+	}
+	if got := len(dir.Credentials()); got != len(dir.Registrars()) {
+		t.Fatalf("credentials %d != registrars %d", got, len(dir.Registrars()))
+	}
+}
+
+func TestDirectoryUniqueIANAIDs(t *testing.T) {
+	dir := testDir()
+	seen := make(map[int]bool)
+	for _, r := range dir.Registrars() {
+		if seen[r.IANAID] {
+			t.Fatalf("duplicate IANA ID %d", r.IANAID)
+		}
+		seen[r.IANAID] = true
+		if r.Service == "" {
+			t.Fatalf("registrar %d has no service label", r.IANAID)
+		}
+	}
+}
+
+func TestDirectoryDeterministic(t *testing.T) {
+	a := BuildDirectory(rand.New(rand.NewSource(5)))
+	b := BuildDirectory(rand.New(rand.NewSource(5)))
+	ra, rb := a.Registrars(), b.Registrars()
+	if len(ra) != len(rb) {
+		t.Fatal("directories differ in size")
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("registrar %d differs: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+}
+
+func TestPickAccreditationSpread(t *testing.T) {
+	dir := testDir()
+	rng := rand.New(rand.NewSource(2))
+	seen := make(map[int]bool)
+	for i := 0; i < 2000; i++ {
+		seen[dir.PickAccreditation(SvcDropCatch, rng)] = true
+	}
+	if len(seen) < len(dir.Accreditations(SvcDropCatch))/2 {
+		t.Fatalf("accreditation spread too narrow: %d", len(seen))
+	}
+}
+
+func marketLot(value float64, age int) Lot {
+	day := simtime.Day{Year: 2018, Month: time.January, Dom: 10}
+	return Lot{
+		Name:      "lot.com",
+		Value:     value,
+		AgeYears:  age,
+		DeletedAt: day.At(19, 20, 0),
+		DropEnd:   day.At(20, 1, 0),
+	}
+}
+
+func newMarket(seed int64) *Market {
+	return NewMarket(testDir(), DefaultMarketConfig(), rand.New(rand.NewSource(seed)))
+}
+
+func TestMarketWorthlessNamesMostlyUnsold(t *testing.T) {
+	m := newMarket(1)
+	claimed := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if m.Decide(marketLot(0.05, 1)) != nil {
+			claimed++
+		}
+	}
+	if frac := float64(claimed) / n; frac > 0.05 {
+		t.Fatalf("worthless-name claim rate = %.3f, want < 0.05", frac)
+	}
+}
+
+func TestMarketValuableNamesMostlyCaught(t *testing.T) {
+	m := newMarket(2)
+	zero := 0
+	claimed := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		c := m.Decide(marketLot(0.9, 5))
+		if c == nil {
+			continue
+		}
+		claimed++
+		if c.Delay == 0 {
+			zero++
+		}
+	}
+	if frac := float64(claimed) / n; frac < 0.35 {
+		t.Fatalf("valuable-name claim rate = %.3f, want > 0.35", frac)
+	}
+	if frac := float64(zero) / float64(claimed); frac < 0.5 {
+		t.Fatalf("zero-delay share of claims = %.3f, want > 0.5", frac)
+	}
+}
+
+func TestMarketAgeEffect(t *testing.T) {
+	m := newMarket(3)
+	rate := func(age int) float64 {
+		caught := 0
+		const n = 30000
+		for i := 0; i < n; i++ {
+			if c := m.Decide(marketLot(0.7, age)); c != nil && c.Delay <= 3*time.Second {
+				caught++
+			}
+		}
+		return float64(caught) / 30000
+	}
+	young, old := rate(1), rate(6)
+	if old <= young {
+		t.Fatalf("older domains not preferred: young=%.3f old=%.3f", young, old)
+	}
+}
+
+func TestMarketClaimAccreditationMatchesService(t *testing.T) {
+	m := newMarket(4)
+	for i := 0; i < 5000; i++ {
+		c := m.Decide(marketLot(0.85, 3))
+		if c == nil {
+			continue
+		}
+		if got := m.dir.ServiceOf(c.RegistrarID); got != c.Service {
+			t.Fatalf("claim service %q but accreditation belongs to %q", c.Service, got)
+		}
+	}
+}
+
+func TestMarketHorizonCap(t *testing.T) {
+	cfg := DefaultMarketConfig()
+	cfg.Horizon = time.Hour
+	m := NewMarket(testDir(), cfg, rand.New(rand.NewSource(5)))
+	for i := 0; i < 20000; i++ {
+		if c := m.Decide(marketLot(0.6, 2)); c != nil && c.Delay > time.Hour {
+			t.Fatalf("claim beyond horizon: %v", c.Delay)
+		}
+	}
+}
+
+func TestDropCatchDelaysByService(t *testing.T) {
+	m := newMarket(6)
+	lot := marketLot(0.9, 2)
+	sample := func(svc string, n int) (zero, le3, total int) {
+		for i := 0; i < n; i++ {
+			d := m.dropCatchDelay(svc, lot)
+			total++
+			if d == 0 {
+				zero++
+			}
+			if d <= 3*time.Second {
+				le3++
+			}
+		}
+		return
+	}
+	// DropCatch: 99.3 % at 0 s.
+	zero, _, total := sample(SvcDropCatch, 50000)
+	if frac := float64(zero) / float64(total); frac < 0.985 || frac > 0.999 {
+		t.Fatalf("DropCatch 0s share = %.4f, want ≈0.993", frac)
+	}
+	// XZ: ≈74.8 % at 0 s, ≈89.4 % by 3 s.
+	zero, le3, total := sample(SvcXZ, 50000)
+	if frac := float64(zero) / float64(total); frac < 0.70 || frac > 0.80 {
+		t.Fatalf("XZ 0s share = %.4f, want ≈0.748", frac)
+	}
+	if frac := float64(le3) / float64(total); frac < 0.85 || frac > 0.93 {
+		t.Fatalf("XZ ≤3s share = %.4f, want ≈0.894", frac)
+	}
+	// GoDaddy never wins at exactly 0 s.
+	zero, _, _ = sample(SvcGoDaddy, 20000)
+	if zero != 0 {
+		t.Fatalf("GoDaddy won %d times at 0 s", zero)
+	}
+}
+
+func TestAPIDelayFloor(t *testing.T) {
+	m := newMarket(7)
+	lot := marketLot(0.8, 1)
+	var sum time.Duration
+	n := 20000
+	for i := 0; i < n; i++ {
+		d := m.apiDelay(lot)
+		if d < 30*time.Second {
+			t.Fatalf("API delay %v below the 30 s floor", d)
+		}
+		sum += d
+	}
+	mean := sum / time.Duration(n)
+	if mean < 10*time.Minute || mean > 4*time.Hour {
+		t.Fatalf("API mean delay = %v, want tens of minutes", mean)
+	}
+}
+
+func TestXinnetDelayModes(t *testing.T) {
+	m := newMarket(8)
+	lot := marketLot(0.8, 1)
+	early, hold, hours := 0, 0, 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d := m.xinnetDelay(lot)
+		switch {
+		case d < 10*time.Second:
+			t.Fatalf("Xinnet delay %v below 10 s", d)
+		case d < time.Minute:
+			early++
+		case d < time.Hour:
+			hold++
+		default:
+			hours++
+		}
+	}
+	if early == 0 || hold == 0 || hours == 0 {
+		t.Fatalf("Xinnet modes missing: early=%d hold=%d hours=%d", early, hold, hours)
+	}
+	if hours < n/2 {
+		t.Fatalf("Xinnet bulk should be at hour scale: %d/%d", hours, n)
+	}
+}
+
+func TestHoldbackDelayLandsAfterDropEnd(t *testing.T) {
+	m := newMarket(9)
+	lot := marketLot(0.8, 1)
+	for i := 0; i < 1000; i++ {
+		d := m.holdbackDelay(lot, 2*time.Minute, 10*time.Minute)
+		at := lot.DeletedAt.Add(d)
+		if at.Before(lot.DropEnd.Add(2 * time.Minute)) {
+			t.Fatalf("holdback at %v, before drop end + offset", at)
+		}
+	}
+}
+
+func TestMarketDeterministic(t *testing.T) {
+	a, b := newMarket(42), newMarket(42)
+	for i := 0; i < 1000; i++ {
+		lot := marketLot(float64(i%10)/10, i%7)
+		ca, cb := a.Decide(lot), b.Decide(lot)
+		if (ca == nil) != (cb == nil) {
+			t.Fatalf("determinism broken at %d", i)
+		}
+		if ca != nil && *ca != *cb {
+			t.Fatalf("claims differ at %d: %+v vs %+v", i, ca, cb)
+		}
+	}
+}
+
+func TestClaimTime(t *testing.T) {
+	lot := marketLot(0.5, 1)
+	c := &Claim{Delay: 90 * time.Second}
+	if got := c.Time(lot); !got.Equal(lot.DeletedAt.Add(90 * time.Second)) {
+		t.Fatalf("Claim.Time = %v", got)
+	}
+}

@@ -1,0 +1,178 @@
+package registry
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"dropzero/internal/model"
+	"dropzero/internal/simtime"
+)
+
+// DropConfig parameterises the daily deletion process. Verisign does not
+// document the real one; the values here reproduce the observable behaviour
+// the paper reports: the Drop starts at 19:00 UTC (2 pm Eastern), lasts
+// roughly an hour depending on queue length, deletes domains in
+// (lastUpdated, domainID) order across .com and .net combined, and does not
+// proceed at a perfectly constant rate.
+type DropConfig struct {
+	// StartHour/StartMinute is the local start of the Drop in UTC.
+	StartHour, StartMinute int
+	// BaseRatePerSec is the average number of deletions processed per
+	// second; fractional rates are honoured by carrying the remainder
+	// across seconds. 24/s deletes 86 k domains in an hour.
+	BaseRatePerSec float64
+	// RateJitter is the fractional per-second variation of the rate,
+	// in [0, 1). 0.3 means each second processes 70–130 % of the base rate.
+	RateJitter float64
+	// DayRateSpread varies the whole day's processing rate: each Drop runs
+	// at base · U(1−spread, 1+spread/2). The paper's Drop durations do not
+	// scale linearly with volume (18 Jan ran until 20:49, 11 Feb ended
+	// 19:56), which a fixed rate cannot produce.
+	DayRateSpread float64
+	// StallProb is the per-second probability that the process stalls for
+	// StallSeconds (batch boundaries, registry housekeeping). Stalls are one
+	// source of the imperfect linearity visible in the paper's Figure 4a.
+	StallProb    float64
+	StallSeconds int
+}
+
+// DefaultDropConfig returns the configuration used by the experiments.
+func DefaultDropConfig() DropConfig {
+	return DropConfig{
+		StartHour:      19,
+		BaseRatePerSec: 25,
+		RateJitter:     0.3,
+		DayRateSpread:  0.2,
+		StallProb:      0.004,
+		StallSeconds:   8,
+	}
+}
+
+// QueueEntry is one position in a day's deletion queue.
+type QueueEntry struct {
+	Name    string
+	TLD     model.TLD
+	ID      uint64
+	Updated time.Time
+}
+
+// DropRunner executes the Drop for a Store.
+type DropRunner struct {
+	store *Store
+	cfg   DropConfig
+}
+
+// NewDropRunner returns a runner over store with cfg (zero cfg gets
+// defaults).
+func NewDropRunner(store *Store, cfg DropConfig) *DropRunner {
+	if cfg.BaseRatePerSec == 0 {
+		cfg = DefaultDropConfig()
+	}
+	return &DropRunner{store: store, cfg: cfg}
+}
+
+// Config returns the active configuration.
+func (r *DropRunner) Config() DropConfig { return r.cfg }
+
+// BuildQueue assembles day's deletion queue: every pendingDelete domain
+// scheduled for day, .com and .net combined, ordered by the registration's
+// last-updated timestamp with the domain ID as the tie breaker. This is the
+// predictable order the paper infers in §4.1.
+func (r *DropRunner) BuildQueue(day simtime.Day) []QueueEntry {
+	var q []QueueEntry
+	r.store.Each(func(d *model.Domain) bool {
+		if d.Status == model.StatusPendingDelete && d.DeleteDay == day {
+			q = append(q, QueueEntry{Name: d.Name, TLD: d.TLD, ID: d.ID, Updated: d.Updated})
+		}
+		return true
+	})
+	sort.Slice(q, func(i, j int) bool {
+		if !q[i].Updated.Equal(q[j].Updated) {
+			return q[i].Updated.Before(q[j].Updated)
+		}
+		return q[i].ID < q[j].ID
+	})
+	return q
+}
+
+// Scheduled is one planned deletion: the instant rank Rank's domain will be
+// purged. The schedule is the registry's internal plan — exactly the
+// information drop-catch services pay to predict.
+type Scheduled struct {
+	Name string
+	TLD  model.TLD
+	Time time.Time
+	Rank int
+}
+
+// Schedule plans day's Drop without executing it: the queue in (lastUpdated,
+// domainID) order with second-precision deletion instants paced by the
+// configured rate, day-level rate variation, per-second jitter and stalls.
+func (r *DropRunner) Schedule(day simtime.Day, rng *rand.Rand) []Scheduled {
+	queue := r.BuildQueue(day)
+	out := make([]Scheduled, 0, len(queue))
+	t := day.At(r.cfg.StartHour, r.cfg.StartMinute, 0)
+	i := 0
+	carry := 0.0
+	dayRate := r.cfg.BaseRatePerSec
+	if r.cfg.DayRateSpread > 0 {
+		dayRate *= 1 - r.cfg.DayRateSpread + 1.5*r.cfg.DayRateSpread*rng.Float64()
+	}
+	for i < len(queue) {
+		if r.cfg.StallProb > 0 && rng.Float64() < r.cfg.StallProb {
+			t = t.Add(time.Duration(r.cfg.StallSeconds) * time.Second)
+		}
+		jitter := 1 + r.cfg.RateJitter*(2*rng.Float64()-1)
+		want := dayRate*jitter + carry
+		n := int(want)
+		carry = want - float64(n)
+		for k := 0; k < n && i < len(queue); k++ {
+			out = append(out, Scheduled{Name: queue[i].Name, TLD: queue[i].TLD, Time: t, Rank: i})
+			i++
+		}
+		t = t.Add(time.Second)
+	}
+	return out
+}
+
+// Apply purges one scheduled deletion, making the name available.
+func (r *DropRunner) Apply(s Scheduled) (model.DeletionEvent, error) {
+	ev, err := r.store.purge(s.Name, s.Time, s.Rank)
+	if err != nil {
+		return ev, fmt.Errorf("drop rank %d: %w", s.Rank, err)
+	}
+	return ev, nil
+}
+
+// Run executes day's Drop, purging every queued domain and returning the
+// ground-truth deletion events in order. rng drives the pacing noise; pass a
+// seeded source for reproducible runs.
+//
+// Run assigns second-precision deletion instants: several domains share each
+// second (the registry processes tens of deletions per second), which is why
+// the paper's envelope model sees multiple ranks per timestamp. Callers that
+// need to interleave other work with the deletions (for example racing EPP
+// agents against the Drop) should use Schedule and Apply directly.
+func (r *DropRunner) Run(day simtime.Day, rng *rand.Rand) ([]model.DeletionEvent, error) {
+	sched := r.Schedule(day, rng)
+	events := make([]model.DeletionEvent, 0, len(sched))
+	for _, s := range sched {
+		ev, err := r.Apply(s)
+		if err != nil {
+			return events, err
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+// EndTime returns the instant of the last deletion in events, or the zero
+// time for an empty Drop.
+func EndTime(events []model.DeletionEvent) time.Time {
+	if len(events) == 0 {
+		return time.Time{}
+	}
+	return events[len(events)-1].Time
+}

@@ -1,0 +1,157 @@
+package registry
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"dropzero/internal/model"
+	"dropzero/internal/simtime"
+)
+
+// LifecycleConfig parameterises the post-expiration pipeline. The defaults
+// follow ICANN policy for .com/.net: an auto-renew grace period during which
+// the registrar decides the domain's fate (0–45 days, registrar-specific),
+// a 30-day redemption period, and 5 days of pendingDelete.
+type LifecycleConfig struct {
+	// RedemptionDays is the length of the redemption period.
+	RedemptionDays int
+	// PendingDeleteDays is the length of the pendingDelete period; the
+	// domain is purged during the Drop on the day this period ends.
+	PendingDeleteDays int
+	// GraceDays maps a registrar IANA ID to the number of days after
+	// expiration that registrar waits before deleting non-renewed domains.
+	// Registrars absent from the map use DefaultGraceDays. The spread in
+	// these values is what makes deletion dates diverge from expiration
+	// dates (the paper's earlier "WHOIS Lost in Translation" finding).
+	GraceDays map[int]int
+	// DefaultGraceDays is used for registrars not in GraceDays.
+	DefaultGraceDays int
+	// BatchHour/BatchMinute position each registrar's daily deletion batch;
+	// the second is derived from the registrar ID so that one registrar's
+	// batch lands on one timestamp (producing the large last-updated ties
+	// the paper had to break with domain IDs), while different registrars
+	// interleave.
+	BatchHour, BatchMinute int
+}
+
+// DefaultLifecycleConfig returns the ICANN-policy defaults.
+func DefaultLifecycleConfig() LifecycleConfig {
+	return LifecycleConfig{
+		RedemptionDays:    30,
+		PendingDeleteDays: 5,
+		DefaultGraceDays:  35,
+		BatchHour:         6,
+		BatchMinute:       30,
+	}
+}
+
+func (c LifecycleConfig) graceDays(registrarID int) int {
+	if d, ok := c.GraceDays[registrarID]; ok {
+		return d
+	}
+	return c.DefaultGraceDays
+}
+
+// BatchInstant returns the second at which registrarID's deletion batch runs
+// on day. Spacing registrars a few seconds apart mirrors the observation that
+// many registrars update large batches of domains at the same time.
+func (c LifecycleConfig) BatchInstant(day simtime.Day, registrarID int) time.Time {
+	// splitmix64-style scramble: batch instants must not be monotonic in
+	// the IANA ID, or sorting by registrar ID would accidentally reproduce
+	// the update-time order and the §4.1 order search could not tell the
+	// two apart.
+	h := uint64(registrarID) + 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	extraMin := int(h % 97)
+	sec := int((h / 97) % 60)
+	return day.At(c.BatchHour, c.BatchMinute, 0).Add(time.Duration(extraMin)*time.Minute + time.Duration(sec)*time.Second)
+}
+
+// Lifecycle advances domains through the expiration pipeline. It is driven
+// once per simulated day (before the Drop) by the orchestrator, or on a
+// timer when running against the real clock.
+type Lifecycle struct {
+	store *Store
+	cfg   LifecycleConfig
+}
+
+// NewLifecycle returns a Lifecycle over store.
+func NewLifecycle(store *Store, cfg LifecycleConfig) *Lifecycle {
+	if cfg.RedemptionDays == 0 && cfg.PendingDeleteDays == 0 && cfg.DefaultGraceDays == 0 {
+		cfg = DefaultLifecycleConfig()
+	}
+	return &Lifecycle{store: store, cfg: cfg}
+}
+
+// Config returns the active configuration.
+func (l *Lifecycle) Config() LifecycleConfig { return l.cfg }
+
+// Tick processes all state transitions due at now. It returns the number of
+// transitions performed. Transitions are applied in a deterministic order
+// (sorted by domain ID) so equal inputs give equal outputs.
+func (l *Lifecycle) Tick(now time.Time) int {
+	now = simtime.Trunc(now)
+	day := simtime.DayOf(now)
+
+	type change struct {
+		d  *model.Domain
+		fn func() error
+	}
+	var changes []change
+
+	l.store.Each(func(d *model.Domain) bool {
+		switch d.Status {
+		case model.StatusActive:
+			if !d.Expiry.After(now) {
+				changes = append(changes, change{d, func() error {
+					// Registry auto-renews at expiration; the registrar's
+					// grace clock starts at the old expiry.
+					return l.store.setState(d.Name, model.StatusAutoRenew, d.Expiry, simtime.Day{})
+				}})
+			}
+		case model.StatusAutoRenew:
+			graceEnd := d.Expiry.AddDate(0, 0, l.cfg.graceDays(d.RegistrarID))
+			if !graceEnd.After(now) {
+				batch := l.cfg.BatchInstant(day, d.RegistrarID)
+				changes = append(changes, change{d, func() error {
+					// Registrar deletes the domain: this is the "last
+					// updated" instant that will drive the deletion order.
+					return l.store.setState(d.Name, model.StatusRedemption, batch, simtime.Day{})
+				}})
+			}
+		case model.StatusRedemption:
+			redemptionEnd := d.Updated.AddDate(0, 0, l.cfg.RedemptionDays)
+			if !redemptionEnd.After(now) {
+				deleteDay := day.AddDays(l.cfg.PendingDeleteDays)
+				changes = append(changes, change{d, func() error {
+					return l.store.MarkPendingDelete(d.Name, time.Time{}, deleteDay)
+				}})
+			}
+		}
+		return true
+	})
+
+	sort.Slice(changes, func(i, j int) bool { return changes[i].d.ID < changes[j].d.ID })
+	n := 0
+	for _, c := range changes {
+		if err := c.fn(); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// SpreadGraceDays populates GraceDays with registrar-specific values in
+// [minDays, maxDays], drawn deterministically from rng, for every registrar
+// currently known to the store.
+func SpreadGraceDays(cfg *LifecycleConfig, store *Store, minDays, maxDays int, rng *rand.Rand) {
+	if cfg.GraceDays == nil {
+		cfg.GraceDays = make(map[int]int)
+	}
+	for _, r := range store.Registrars() {
+		cfg.GraceDays[r.IANAID] = minDays + rng.Intn(maxDays-minDays+1)
+	}
+}

@@ -1,0 +1,513 @@
+// Package registry implements the Verisign-like registry substrate: an
+// in-memory domain database with first-come-first-served creation, the
+// post-expiration lifecycle, and the daily Drop process that deletes
+// pending-delete domains in a deterministic order.
+//
+// The paper's measurement model only relies on properties of the real
+// registry that this package reproduces faithfully: second-precision
+// Created/Updated/Expiry timestamps, strictly increasing domain IDs, a
+// deletion order keyed on (Updated, ID) across .com and .net combined, and
+// deletions paced over roughly an hour starting at 19:00 UTC.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dropzero/internal/model"
+	"dropzero/internal/simtime"
+)
+
+// Sentinel errors returned by Store operations. Callers (the EPP server in
+// particular) branch on these to map them to protocol result codes.
+var (
+	ErrExists           = errors.New("registry: object exists")
+	ErrNotFound         = errors.New("registry: object does not exist")
+	ErrBadName          = errors.New("registry: invalid domain name")
+	ErrUnknownTLD       = errors.New("registry: TLD not operated by this registry")
+	ErrUnknownRegistrar = errors.New("registry: unknown registrar")
+	ErrNotPendingDelete = errors.New("registry: domain is not in pendingDelete")
+	ErrWrongRegistrar   = errors.New("registry: domain sponsored by another registrar")
+	ErrBadAuthInfo      = errors.New("registry: authorization information invalid")
+	ErrStatusProhibits  = errors.New("registry: object status prohibits operation")
+)
+
+// Observer receives registry lifecycle events. Implementations must not
+// call back into the Store synchronously from the handler if they take their
+// own locks that Store methods can contend on; the EPP server's poll queue
+// is the canonical consumer.
+type Observer interface {
+	// DomainPurged fires when a Drop deletion removes a registration;
+	// registrarID is the sponsor that lost the name.
+	DomainPurged(ev model.DeletionEvent, registrarID int)
+	// DomainTransitioned fires on lifecycle state changes.
+	DomainTransitioned(name string, registrarID int, from, to model.Status)
+	// DomainTransferred fires when a registration changes sponsor; the
+	// losing registrar is the natural poll-message recipient.
+	DomainTransferred(name string, losingID, gainingID int)
+}
+
+// Store is the registry database. All methods are safe for concurrent use.
+type Store struct {
+	clock simtime.Clock
+
+	mu         sync.RWMutex
+	domains    map[string]*model.Domain // active registrations by name
+	byID       map[uint64]*model.Domain
+	registrars map[int]model.Registrar
+	nextID     uint64
+	observer   Observer
+	// authInfo holds each registration's transfer authorisation code. Never
+	// exposed through RDAP/WHOIS; only the sponsor may read it.
+	authInfo map[string]string
+
+	// deletions is the ground-truth archive of Drop deletions, per day.
+	deletions map[simtime.Day][]model.DeletionEvent
+}
+
+// NewStore returns an empty Store reading time from clock.
+func NewStore(clock simtime.Clock) *Store {
+	return &Store{
+		clock:      clock,
+		domains:    make(map[string]*model.Domain),
+		byID:       make(map[uint64]*model.Domain),
+		registrars: make(map[int]model.Registrar),
+		nextID:     1,
+		authInfo:   make(map[string]string),
+		deletions:  make(map[simtime.Day][]model.DeletionEvent),
+	}
+}
+
+// SetObserver installs the event consumer; pass nil to remove it. Events
+// are delivered synchronously, after the store's own state change commits.
+func (s *Store) SetObserver(o Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observer = o
+}
+
+// AddRegistrar registers an accreditation. Creating or updating domains under
+// an unknown IANA ID fails.
+func (s *Store) AddRegistrar(r model.Registrar) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.registrars[r.IANAID] = r
+}
+
+// Registrar looks up an accreditation by IANA ID.
+func (s *Store) Registrar(ianaID int) (model.Registrar, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.registrars[ianaID]
+	return r, ok
+}
+
+// Registrars returns all accreditations, sorted by IANA ID.
+func (s *Store) Registrars() []model.Registrar {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]model.Registrar, 0, len(s.registrars))
+	for _, r := range s.registrars {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IANAID < out[j].IANAID })
+	return out
+}
+
+func splitName(name string) (label string, tld model.TLD, err error) {
+	t, ok := model.TLDOf(name)
+	if !ok {
+		return "", "", fmt.Errorf("%w: %q", ErrUnknownTLD, name)
+	}
+	label = name[:len(name)-len(t)-1]
+	if label == "" || len(label) > 63 {
+		return "", "", fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	for i := 0; i < len(label); i++ {
+		c := label[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-':
+		default:
+			return "", "", fmt.Errorf("%w: %q", ErrBadName, name)
+		}
+	}
+	if label[0] == '-' || label[len(label)-1] == '-' {
+		return "", "", fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	return label, t, nil
+}
+
+// Available reports whether name could be created right now.
+func (s *Store) Available(name string) (bool, error) {
+	if _, _, err := splitName(name); err != nil {
+		return false, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, taken := s.domains[name]
+	return !taken, nil
+}
+
+// Create registers name to registrarID for termYears, timestamped with the
+// store clock. It fails with ErrExists if the name is taken in any lifecycle
+// state — names in pendingDelete are not re-registrable until purged by the
+// Drop, which is exactly the scarcity drop-catching competes over.
+func (s *Store) Create(name string, registrarID int, termYears int) (*model.Domain, error) {
+	return s.CreateAt(name, registrarID, termYears, s.clock.Now())
+}
+
+// CreateAt is Create with an explicit creation instant; the simulation driver
+// uses it to materialise claims resolved during a Drop at their exact
+// re-registration times. The instant is truncated to whole seconds.
+func (s *Store) CreateAt(name string, registrarID int, termYears int, at time.Time) (*model.Domain, error) {
+	_, tld, err := splitName(name)
+	if err != nil {
+		return nil, err
+	}
+	if termYears < 1 || termYears > 10 {
+		return nil, fmt.Errorf("%w: term %d years", ErrBadName, termYears)
+	}
+	at = simtime.Trunc(at)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.registrars[registrarID]; !ok {
+		return nil, fmt.Errorf("%w: IANA ID %d", ErrUnknownRegistrar, registrarID)
+	}
+	if _, taken := s.domains[name]; taken {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	d := &model.Domain{
+		ID:          s.nextID,
+		Name:        name,
+		TLD:         tld,
+		RegistrarID: registrarID,
+		Created:     at,
+		Updated:     at,
+		Expiry:      at.AddDate(termYears, 0, 0),
+		Status:      model.StatusActive,
+	}
+	s.nextID++
+	s.domains[name] = d
+	s.byID[d.ID] = d
+	s.authInfo[name] = deriveAuthInfo(d.ID, name)
+	return cloned(d), nil
+}
+
+// deriveAuthInfo mints a registration's transfer code (splitmix64 over the
+// object ID and name, base-36 rendered). Deterministic so equal simulations
+// stay equal; opaque enough that it cannot be guessed from public data.
+func deriveAuthInfo(id uint64, name string) string {
+	h := id + 0x9e3779b97f4a7c15
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 0x100000001b3
+	}
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h ^= h >> 31
+	const digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+	buf := make([]byte, 12)
+	for i := range buf {
+		buf[i] = digits[h%36]
+		h /= 36
+	}
+	return "AX-" + string(buf)
+}
+
+// AuthInfo returns the registration's transfer code; only the sponsoring
+// registrar may read it.
+func (s *Store) AuthInfo(name string, registrarID int) (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.domains[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if d.RegistrarID != registrarID {
+		return "", fmt.Errorf("%w: %q", ErrWrongRegistrar, name)
+	}
+	return s.authInfo[name], nil
+}
+
+// Transfer moves an active registration to the gaining registrar when the
+// presented authorisation code matches, rotating the code and recording the
+// update (registrar transfers bump the "last updated" timestamp, another
+// reason update times spread across registrations). The losing sponsor is
+// notified through the observer.
+func (s *Store) Transfer(name string, gainingID int, authInfo string) error {
+	s.mu.Lock()
+	d, ok := s.domains[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if _, ok := s.registrars[gainingID]; !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: IANA ID %d", ErrUnknownRegistrar, gainingID)
+	}
+	if d.Status != model.StatusActive && d.Status != model.StatusAutoRenew {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q in %v", ErrStatusProhibits, name, d.Status)
+	}
+	if d.RegistrarID == gainingID {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q already sponsored by %d", ErrWrongRegistrar, name, gainingID)
+	}
+	if s.authInfo[name] != authInfo || authInfo == "" {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrBadAuthInfo, name)
+	}
+	losing := d.RegistrarID
+	d.RegistrarID = gainingID
+	d.Updated = simtime.Trunc(s.clock.Now())
+	d.Status = model.StatusActive
+	s.authInfo[name] = deriveAuthInfo(d.ID^0x5bf0, name)
+	obs := s.observer
+	s.mu.Unlock()
+	if obs != nil {
+		obs.DomainTransferred(name, losing, gainingID)
+	}
+	return nil
+}
+
+// Get returns a copy of the current registration of name.
+func (s *Store) Get(name string) (*model.Domain, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.domains[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return cloned(d), nil
+}
+
+// GetByID returns a copy of the registration with the given registry object
+// ID, if it still exists.
+func (s *Store) GetByID(id uint64) (*model.Domain, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	return cloned(d), nil
+}
+
+// Touch records a registrar-initiated update to the domain, setting the
+// "last updated" timestamp that later determines the deletion order.
+func (s *Store) Touch(name string, registrarID int) error {
+	return s.TouchAt(name, registrarID, s.clock.Now())
+}
+
+// TouchAt is Touch at an explicit instant (truncated to seconds).
+func (s *Store) TouchAt(name string, registrarID int, at time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.domains[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if d.RegistrarID != registrarID {
+		return fmt.Errorf("%w: %q", ErrWrongRegistrar, name)
+	}
+	d.Updated = simtime.Trunc(at)
+	return nil
+}
+
+// Renew extends the registration by years and records the update.
+func (s *Store) Renew(name string, registrarID int, years int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.domains[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if d.RegistrarID != registrarID {
+		return fmt.Errorf("%w: %q", ErrWrongRegistrar, name)
+	}
+	now := simtime.Trunc(s.clock.Now())
+	d.Expiry = d.Expiry.AddDate(years, 0, 0)
+	d.Updated = now
+	d.Status = model.StatusActive
+	return nil
+}
+
+// setState transitions a domain's lifecycle state; used by the lifecycle
+// engine and the population seeder (via the exported helpers below).
+func (s *Store) setState(name string, st model.Status, updated time.Time, deleteDay simtime.Day) error {
+	s.mu.Lock()
+	d, ok := s.domains[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	from := d.Status
+	d.Status = st
+	if !updated.IsZero() {
+		d.Updated = simtime.Trunc(updated)
+	}
+	d.DeleteDay = deleteDay
+	obs := s.observer
+	registrarID := d.RegistrarID
+	s.mu.Unlock()
+	if obs != nil && from != st {
+		obs.DomainTransitioned(name, registrarID, from, st)
+	}
+	return nil
+}
+
+// MarkRedemption moves the domain into the redemption period following a
+// registrar-initiated delete; at is the delete instant and becomes the
+// domain's last-updated timestamp (the future deletion-order key).
+func (s *Store) MarkRedemption(name string, at time.Time) error {
+	return s.setState(name, model.StatusRedemption, at, simtime.Day{})
+}
+
+// MarkPendingDelete moves the domain into pendingDelete scheduled for
+// deletion on day. updated is the registrar's delete instant (the future
+// deletion-order key); pass the zero time to keep the current value.
+func (s *Store) MarkPendingDelete(name string, updated time.Time, day simtime.Day) error {
+	return s.setState(name, model.StatusPendingDelete, updated, day)
+}
+
+// PendingDeletions returns copies of all domains in pendingDelete whose
+// scheduled deletion day falls within [from, from+days). Results are sorted
+// by (DeleteDay, Name) so published pending-delete lists are stable — the
+// paper observed that list order is *not* the deletion order (Figure 3, top).
+func (s *Store) PendingDeletions(from simtime.Day, days int) []*model.Domain {
+	end := from.AddDays(days)
+	s.mu.RLock()
+	out := make([]*model.Domain, 0, 1024)
+	for _, d := range s.domains {
+		if d.Status != model.StatusPendingDelete {
+			continue
+		}
+		if d.DeleteDay.Before(from) || !d.DeleteDay.Before(end) {
+			continue
+		}
+		out = append(out, cloned(d))
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DeleteDay != out[j].DeleteDay {
+			return out[i].DeleteDay.Before(out[j].DeleteDay)
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// purge removes the domain as part of a Drop, recording the ground-truth
+// deletion event. The caller (DropRunner) holds the deletion order.
+func (s *Store) purge(name string, at time.Time, rank int) (model.DeletionEvent, error) {
+	s.mu.Lock()
+	d, ok := s.domains[name]
+	if !ok {
+		s.mu.Unlock()
+		return model.DeletionEvent{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if d.Status != model.StatusPendingDelete {
+		status := d.Status
+		s.mu.Unlock()
+		return model.DeletionEvent{}, fmt.Errorf("%w: %q in %v", ErrNotPendingDelete, name, status)
+	}
+	ev := model.DeletionEvent{
+		DomainID: d.ID,
+		Name:     d.Name,
+		TLD:      d.TLD,
+		Time:     simtime.Trunc(at),
+		Rank:     rank,
+	}
+	delete(s.domains, name)
+	delete(s.byID, d.ID)
+	delete(s.authInfo, name)
+	day := simtime.DayOf(at)
+	s.deletions[day] = append(s.deletions[day], ev)
+	obs := s.observer
+	registrarID := d.RegistrarID
+	s.mu.Unlock()
+	if obs != nil {
+		obs.DomainPurged(ev, registrarID)
+	}
+	return ev, nil
+}
+
+// Deletions returns the ground-truth deletion events recorded on day, in
+// deletion order. The measurement pipeline must not use these; they exist
+// for the inference-accuracy ablation.
+func (s *Store) Deletions(day simtime.Day) []model.DeletionEvent {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]model.DeletionEvent(nil), s.deletions[day]...)
+}
+
+// Count returns the number of live (non-purged) registrations.
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.domains)
+}
+
+// StatusCounts tallies live registrations per lifecycle state.
+func (s *Store) StatusCounts() map[model.Status]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[model.Status]int)
+	for _, d := range s.domains {
+		out[d.Status]++
+	}
+	return out
+}
+
+// Each calls fn for every live registration (copies, unspecified order) and
+// stops early if fn returns false.
+func (s *Store) Each(fn func(*model.Domain) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, d := range s.domains {
+		if !fn(cloned(d)) {
+			return
+		}
+	}
+}
+
+// SeedAt inserts a fully specified historical registration. The population
+// seeder uses it to backfill domains that were created years before the
+// simulation starts. IDs must be assigned through the store to preserve the
+// "IDs increase with creation time" invariant, so SeedAt takes no ID; call it
+// in creation-time order.
+func (s *Store) SeedAt(name string, registrarID int, created, updated, expiry time.Time, st model.Status, deleteDay simtime.Day) (*model.Domain, error) {
+	_, tld, err := splitName(name)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.registrars[registrarID]; !ok {
+		return nil, fmt.Errorf("%w: IANA ID %d", ErrUnknownRegistrar, registrarID)
+	}
+	if _, taken := s.domains[name]; taken {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	d := &model.Domain{
+		ID:          s.nextID,
+		Name:        name,
+		TLD:         tld,
+		RegistrarID: registrarID,
+		Created:     simtime.Trunc(created),
+		Updated:     simtime.Trunc(updated),
+		Expiry:      simtime.Trunc(expiry),
+		Status:      st,
+		DeleteDay:   deleteDay,
+	}
+	s.nextID++
+	s.domains[name] = d
+	s.byID[d.ID] = d
+	return cloned(d), nil
+}
+
+func cloned(d *model.Domain) *model.Domain {
+	c := *d
+	return &c
+}

@@ -1,0 +1,498 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dropzero/internal/model"
+	"dropzero/internal/simtime"
+)
+
+func testClock() *simtime.SimClock {
+	return simtime.NewSimClock(time.Date(2018, 1, 1, 12, 0, 0, 0, time.UTC))
+}
+
+func testStore(t *testing.T) (*Store, *simtime.SimClock) {
+	t.Helper()
+	clock := testClock()
+	s := NewStore(clock)
+	s.AddRegistrar(model.Registrar{IANAID: 1000, Name: "Test Registrar"})
+	s.AddRegistrar(model.Registrar{IANAID: 1001, Name: "Other Registrar"})
+	return s, clock
+}
+
+func TestCreateAndGet(t *testing.T) {
+	s, clock := testStore(t)
+	d, err := s.Create("example.com", 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID == 0 || d.Name != "example.com" || d.TLD != model.COM {
+		t.Fatalf("created domain wrong: %+v", d)
+	}
+	if !d.Created.Equal(simtime.Trunc(clock.Now())) {
+		t.Fatalf("Created = %v, want clock time", d.Created)
+	}
+	if want := d.Created.AddDate(2, 0, 0); !d.Expiry.Equal(want) {
+		t.Fatalf("Expiry = %v, want %v", d.Expiry, want)
+	}
+	got, err := s.Get("example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != d.ID {
+		t.Fatalf("Get returned different domain: %+v", got)
+	}
+	byID, err := s.GetByID(d.ID)
+	if err != nil || byID.Name != "example.com" {
+		t.Fatalf("GetByID: %+v, %v", byID, err)
+	}
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	s, _ := testStore(t)
+	if _, err := s.Create("example.com", 1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Create("example.com", 1001, 1)
+	if !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create: %v, want ErrExists", err)
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	s, _ := testStore(t)
+	cases := []struct {
+		name  string
+		years int
+		want  error
+	}{
+		{"example.org", 1, ErrUnknownTLD},
+		{"noext", 1, ErrUnknownTLD},
+		{".com", 1, ErrBadName},
+		{"-bad.com", 1, ErrBadName},
+		{"bad-.com", 1, ErrBadName},
+		{"UPPER.com", 1, ErrBadName},
+		{"ok.com", 0, ErrBadName},
+		{"ok.com", 11, ErrBadName},
+	}
+	for _, c := range cases {
+		if _, err := s.Create(c.name, 1000, c.years); !errors.Is(err, c.want) {
+			t.Errorf("Create(%q, %d) = %v, want %v", c.name, c.years, err, c.want)
+		}
+	}
+	if _, err := s.Create("ok.com", 999, 1); !errors.Is(err, ErrUnknownRegistrar) {
+		t.Errorf("unknown registrar: %v", err)
+	}
+}
+
+func TestCreateReturnsCopy(t *testing.T) {
+	s, _ := testStore(t)
+	d, _ := s.Create("example.com", 1000, 1)
+	d.Name = "mutated.com"
+	got, _ := s.Get("example.com")
+	if got == nil || got.Name != "example.com" {
+		t.Fatal("store was mutated through returned pointer")
+	}
+}
+
+func TestAvailable(t *testing.T) {
+	s, _ := testStore(t)
+	avail, err := s.Available("example.com")
+	if err != nil || !avail {
+		t.Fatalf("Available before create: %v, %v", avail, err)
+	}
+	s.Create("example.com", 1000, 1)
+	avail, err = s.Available("example.com")
+	if err != nil || avail {
+		t.Fatalf("Available after create: %v, %v", avail, err)
+	}
+	if _, err := s.Available("bad domain.com"); !errors.Is(err, ErrBadName) {
+		t.Fatalf("Available(bad) = %v", err)
+	}
+}
+
+func TestTouchUpdatesTimestamp(t *testing.T) {
+	s, clock := testStore(t)
+	s.Create("example.com", 1000, 1)
+	clock.Advance(time.Hour)
+	if err := s.Touch("example.com", 1000); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := s.Get("example.com")
+	if !d.Updated.Equal(simtime.Trunc(clock.Now())) {
+		t.Fatalf("Updated = %v, want %v", d.Updated, clock.Now())
+	}
+	if err := s.Touch("example.com", 1001); !errors.Is(err, ErrWrongRegistrar) {
+		t.Fatalf("Touch by wrong registrar: %v", err)
+	}
+	if err := s.Touch("missing.com", 1000); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Touch missing: %v", err)
+	}
+}
+
+func TestRenewExtendsExpiry(t *testing.T) {
+	s, _ := testStore(t)
+	d, _ := s.Create("example.com", 1000, 1)
+	if err := s.Renew("example.com", 1000, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get("example.com")
+	if want := d.Expiry.AddDate(2, 0, 0); !got.Expiry.Equal(want) {
+		t.Fatalf("Expiry = %v, want %v", got.Expiry, want)
+	}
+	if err := s.Renew("example.com", 1001, 1); !errors.Is(err, ErrWrongRegistrar) {
+		t.Fatalf("Renew wrong registrar: %v", err)
+	}
+}
+
+func TestIDsIncreaseWithCreation(t *testing.T) {
+	s, clock := testStore(t)
+	var last uint64
+	for i := 0; i < 10; i++ {
+		d, err := s.Create(fmt.Sprintf("domain%d.com", i), 1000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.ID <= last {
+			t.Fatalf("ID %d not increasing after %d", d.ID, last)
+		}
+		last = d.ID
+		clock.Advance(time.Second)
+	}
+}
+
+func TestMarkRedemptionAndPendingDelete(t *testing.T) {
+	s, clock := testStore(t)
+	s.Create("example.com", 1000, 1)
+	at := clock.Now().Add(time.Hour)
+	if err := s.MarkRedemption("example.com", at); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := s.Get("example.com")
+	if d.Status != model.StatusRedemption || !d.Updated.Equal(simtime.Trunc(at)) {
+		t.Fatalf("after MarkRedemption: %+v", d)
+	}
+	day := simtime.DayOf(clock.Now()).AddDays(35)
+	if err := s.MarkPendingDelete("example.com", time.Time{}, day); err != nil {
+		t.Fatal(err)
+	}
+	d, _ = s.Get("example.com")
+	if d.Status != model.StatusPendingDelete || d.DeleteDay != day {
+		t.Fatalf("after MarkPendingDelete: %+v", d)
+	}
+	// Updated must be preserved when zero time passed.
+	if !d.Updated.Equal(simtime.Trunc(at)) {
+		t.Fatalf("Updated changed: %v", d.Updated)
+	}
+}
+
+func TestPendingDeletionsWindow(t *testing.T) {
+	s, clock := testStore(t)
+	base := simtime.DayOf(clock.Now())
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("d%d.com", i)
+		s.Create(name, 1000, 1)
+		s.MarkPendingDelete(name, time.Time{}, base.AddDays(i))
+	}
+	got := s.PendingDeletions(base, 5)
+	if len(got) != 5 {
+		t.Fatalf("PendingDeletions returned %d, want 5", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if b.DeleteDay.Before(a.DeleteDay) {
+			t.Fatal("results not sorted by delete day")
+		}
+		if a.DeleteDay == b.DeleteDay && a.Name > b.Name {
+			t.Fatal("results not sorted by name within day")
+		}
+	}
+}
+
+func TestPurgeLifecycleChecks(t *testing.T) {
+	s, clock := testStore(t)
+	s.Create("active.com", 1000, 1)
+	if _, err := s.purge("active.com", clock.Now(), 0); !errors.Is(err, ErrNotPendingDelete) {
+		t.Fatalf("purge active: %v", err)
+	}
+	if _, err := s.purge("missing.com", clock.Now(), 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("purge missing: %v", err)
+	}
+}
+
+func TestPurgeRecordsGroundTruthAndFreesName(t *testing.T) {
+	s, clock := testStore(t)
+	d, _ := s.Create("example.com", 1000, 1)
+	day := simtime.DayOf(clock.Now())
+	s.MarkPendingDelete("example.com", time.Time{}, day)
+	at := day.At(19, 0, 7)
+	ev, err := s.purge("example.com", at, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.DomainID != d.ID || ev.Rank != 42 || !ev.Time.Equal(at) {
+		t.Fatalf("event = %+v", ev)
+	}
+	if _, err := s.Get("example.com"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("domain still present after purge")
+	}
+	if _, err := s.GetByID(d.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatal("byID index still present after purge")
+	}
+	evs := s.Deletions(day)
+	if len(evs) != 1 || evs[0].Name != "example.com" {
+		t.Fatalf("Deletions = %+v", evs)
+	}
+	// The name is re-registrable now, with a new ID.
+	nd, err := s.Create("example.com", 1001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.ID <= d.ID {
+		t.Fatalf("re-registration ID %d not greater than %d", nd.ID, d.ID)
+	}
+}
+
+func TestSeedAtPreservesFields(t *testing.T) {
+	s, _ := testStore(t)
+	created := time.Date(2014, 3, 1, 4, 5, 6, 0, time.UTC)
+	updated := time.Date(2017, 11, 27, 6, 30, 12, 0, time.UTC)
+	expiry := time.Date(2017, 10, 20, 4, 5, 6, 0, time.UTC)
+	day := simtime.Day{Year: 2018, Month: time.January, Dom: 2}
+	d, err := s.SeedAt("seeded.com", 1000, created, updated, expiry, model.StatusPendingDelete, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Created.Equal(created) || !d.Updated.Equal(updated) || !d.Expiry.Equal(expiry) {
+		t.Fatalf("seeded timestamps wrong: %+v", d)
+	}
+	if d.Status != model.StatusPendingDelete || d.DeleteDay != day {
+		t.Fatalf("seeded status wrong: %+v", d)
+	}
+}
+
+func TestRegistrarsSorted(t *testing.T) {
+	s, _ := testStore(t)
+	rs := s.Registrars()
+	if len(rs) != 2 || rs[0].IANAID != 1000 || rs[1].IANAID != 1001 {
+		t.Fatalf("Registrars = %+v", rs)
+	}
+	if _, ok := s.Registrar(1000); !ok {
+		t.Fatal("Registrar(1000) missing")
+	}
+	if _, ok := s.Registrar(555); ok {
+		t.Fatal("Registrar(555) found")
+	}
+}
+
+func TestEachEarlyStop(t *testing.T) {
+	s, _ := testStore(t)
+	for i := 0; i < 5; i++ {
+		s.Create(fmt.Sprintf("d%d.com", i), 1000, 1)
+	}
+	n := 0
+	s.Each(func(*model.Domain) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("Each visited %d, want 3", n)
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s, _ := testStore(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				name := fmt.Sprintf("g%d-i%d.com", g, i)
+				if _, err := s.Create(name, 1000, 1); err != nil {
+					t.Errorf("create %s: %v", name, err)
+					return
+				}
+				if _, err := s.Get(name); err != nil {
+					t.Errorf("get %s: %v", name, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Count() != 800 {
+		t.Fatalf("Count = %d, want 800", s.Count())
+	}
+}
+
+// recordingObserver captures registry events for assertions.
+type recordingObserver struct {
+	purged      []string
+	transitions []string
+}
+
+func (r *recordingObserver) DomainPurged(ev model.DeletionEvent, registrarID int) {
+	r.purged = append(r.purged, fmt.Sprintf("%s@%d", ev.Name, registrarID))
+}
+
+func (r *recordingObserver) DomainTransitioned(name string, registrarID int, from, to model.Status) {
+	r.transitions = append(r.transitions, fmt.Sprintf("%s:%v->%v", name, from, to))
+}
+
+func TestStoreObserverEvents(t *testing.T) {
+	s, clock := testStore(t)
+	obs := &recordingObserver{}
+	s.SetObserver(obs)
+
+	s.Create("watched.com", 1000, 1)
+	if err := s.MarkRedemption("watched.com", clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	day := simtime.DayOf(clock.Now()).AddDays(35)
+	if err := s.MarkPendingDelete("watched.com", time.Time{}, day); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.purge("watched.com", day.At(19, 0, 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.transitions) != 2 {
+		t.Fatalf("transitions = %v", obs.transitions)
+	}
+	if obs.transitions[0] != "watched.com:active->redemptionPeriod" {
+		t.Fatalf("first transition = %q", obs.transitions[0])
+	}
+	if len(obs.purged) != 1 || obs.purged[0] != "watched.com@1000" {
+		t.Fatalf("purged = %v", obs.purged)
+	}
+
+	// Removing the observer stops delivery.
+	s.SetObserver(nil)
+	s.Create("quiet.com", 1000, 1)
+	s.MarkRedemption("quiet.com", clock.Now())
+	if len(obs.transitions) != 2 {
+		t.Fatalf("events after removal: %v", obs.transitions)
+	}
+}
+
+// TestStoreObserverCanReadStore guards against deadlock: observers may call
+// back into the store synchronously.
+func TestStoreObserverCanReadStore(t *testing.T) {
+	s, clock := testStore(t)
+	s.Create("reader.com", 1000, 1)
+	s.SetObserver(observerFunc(func() {
+		if _, err := s.Get("reader.com"); err != nil {
+			t.Errorf("observer read: %v", err)
+		}
+	}))
+	if err := s.MarkRedemption("reader.com", clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// observerFunc adapts a closure to Observer for the reentrancy test.
+type observerFunc func()
+
+func (f observerFunc) DomainPurged(model.DeletionEvent, int)                      { f() }
+func (f observerFunc) DomainTransitioned(string, int, model.Status, model.Status) { f() }
+
+func TestAuthInfoAccess(t *testing.T) {
+	s, _ := testStore(t)
+	s.Create("auth.com", 1000, 1)
+	code, err := s.AuthInfo("auth.com", 1000)
+	if err != nil || code == "" {
+		t.Fatalf("sponsor read: %q %v", code, err)
+	}
+	if _, err := s.AuthInfo("auth.com", 1001); !errors.Is(err, ErrWrongRegistrar) {
+		t.Fatalf("foreign read: %v", err)
+	}
+	if _, err := s.AuthInfo("missing.com", 1000); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing read: %v", err)
+	}
+}
+
+func TestTransfer(t *testing.T) {
+	s, clock := testStore(t)
+	s.Create("moving.com", 1000, 1)
+	code, _ := s.AuthInfo("moving.com", 1000)
+
+	if err := s.Transfer("moving.com", 1001, "wrong"); !errors.Is(err, ErrBadAuthInfo) {
+		t.Fatalf("wrong code: %v", err)
+	}
+	if err := s.Transfer("moving.com", 1000, code); !errors.Is(err, ErrWrongRegistrar) {
+		t.Fatalf("self transfer: %v", err)
+	}
+	if err := s.Transfer("moving.com", 999, code); !errors.Is(err, ErrUnknownRegistrar) {
+		t.Fatalf("unknown gaining registrar: %v", err)
+	}
+	clock.Advance(time.Hour)
+	if err := s.Transfer("moving.com", 1001, code); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := s.Get("moving.com")
+	if d.RegistrarID != 1001 {
+		t.Fatalf("sponsor = %d", d.RegistrarID)
+	}
+	if !d.Updated.Equal(simtime.Trunc(clock.Now())) {
+		t.Fatalf("Updated = %v", d.Updated)
+	}
+	// The code rotates: the old one no longer works for a transfer back.
+	if err := s.Transfer("moving.com", 1000, code); !errors.Is(err, ErrBadAuthInfo) {
+		t.Fatalf("stale code: %v", err)
+	}
+	newCode, err := s.AuthInfo("moving.com", 1001)
+	if err != nil || newCode == code {
+		t.Fatalf("code not rotated: %q %v", newCode, err)
+	}
+}
+
+func TestTransferStatusProhibits(t *testing.T) {
+	s, clock := testStore(t)
+	s.Create("stuck.com", 1000, 1)
+	code, _ := s.AuthInfo("stuck.com", 1000)
+	s.MarkRedemption("stuck.com", clock.Now())
+	if err := s.Transfer("stuck.com", 1001, code); !errors.Is(err, ErrStatusProhibits) {
+		t.Fatalf("redemption transfer: %v", err)
+	}
+}
+
+func (r *recordingObserver) DomainTransferred(name string, losingID, gainingID int) {
+	r.transitions = append(r.transitions, fmt.Sprintf("%s:xfer %d->%d", name, losingID, gainingID))
+}
+
+func (f observerFunc) DomainTransferred(string, int, int) { f() }
+
+func TestTransferNotifiesObserver(t *testing.T) {
+	s, _ := testStore(t)
+	obs := &recordingObserver{}
+	s.SetObserver(obs)
+	s.Create("note.com", 1000, 1)
+	code, _ := s.AuthInfo("note.com", 1000)
+	if err := s.Transfer("note.com", 1001, code); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tr := range obs.transitions {
+		if tr == "note.com:xfer 1000->1001" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("transfer event missing: %v", obs.transitions)
+	}
+}
+
+func TestStatusCounts(t *testing.T) {
+	s, clock := testStore(t)
+	s.Create("a.com", 1000, 1)
+	s.Create("b.com", 1000, 1)
+	s.MarkRedemption("b.com", clock.Now())
+	counts := s.StatusCounts()
+	if counts[model.StatusActive] != 1 || counts[model.StatusRedemption] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}

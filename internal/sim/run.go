@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"dropzero/internal/dropscope"
+	"dropzero/internal/inproc"
+	"dropzero/internal/measure"
+	"dropzero/internal/model"
+	"dropzero/internal/rdap"
+	"dropzero/internal/registrars"
+	"dropzero/internal/registry"
+	"dropzero/internal/safebrowsing"
+	"dropzero/internal/simtime"
+	"dropzero/internal/whois"
+)
+
+// Truth is the simulator's ground truth for one domain, used only by the
+// inference-accuracy ablations and calibration tests.
+type Truth struct {
+	Value    float64
+	AgeYears int
+	// Claim is nil when the market left the name unregistered.
+	Claim *registrars.Claim
+	// DeletedAt is the exact instant the registry made the name available.
+	DeletedAt time.Time
+}
+
+// Result is everything a study produces.
+type Result struct {
+	Config Config
+	// Observations is the measured dataset: every .com domain from the
+	// pending delete lists with collected prior metadata.
+	Observations []*model.Observation
+	// Deletions is the registry's ground-truth event log per day (.com and
+	// .net combined, in deletion order).
+	Deletions map[simtime.Day][]model.DeletionEvent
+	// DropEnd is the true end of each day's Drop.
+	DropEnd map[simtime.Day]time.Time
+	// Truths is ground truth by domain name.
+	Truths map[string]Truth
+	// Directory is the registrar ecosystem (carries ground-truth Service
+	// labels for scoring the contact clustering).
+	Directory *registrars.Directory
+	// Registrars is every accreditation, as also served via RDAP.
+	Registrars []model.Registrar
+	// PipelineStats reports measurement activity (lookup counts, RDAP
+	// failures, WHOIS fallbacks).
+	PipelineStats measure.Stats
+}
+
+// Run executes a full study. It is deterministic for a given Config.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Days <= 0 || cfg.Scale <= 0 {
+		return nil, fmt.Errorf("sim: config needs positive Days and Scale (got %d, %g)", cfg.Days, cfg.Scale)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	clock := simtime.NewSimClock(cfg.StartDay.AddDays(-1).At(12, 0, 0))
+
+	// Ecosystem.
+	dir := registrars.BuildDirectory(rng)
+	store := registry.NewStore(clock)
+	for _, r := range dir.Registrars() {
+		store.AddRegistrar(r)
+	}
+	market := registrars.NewMarket(dir, cfg.Market, rand.New(rand.NewSource(cfg.Seed+11)))
+	oracle := safebrowsing.NewOracle()
+	labelRng := rand.New(rand.NewSource(cfg.Seed + 13))
+
+	// Population.
+	seeder := newSeeder(cfg, dir, rand.New(rand.NewSource(cfg.Seed+3)))
+	lifecycleCfg := registry.DefaultLifecycleConfig()
+	meta, err := seeder.seedAll(store, lifecycleCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Public surfaces. RDAP failures are attached to tail registrars that
+	// sponsor expiring domains, so the WHOIS fallback really fires.
+	failures := map[int]int{}
+	tail := dir.Accreditations(registrars.SvcOther)
+	for i := 0; i < cfg.RDAPFailures && i < len(tail); i++ {
+		failures[tail[i]] = 500
+	}
+	rdapSrv := rdap.NewServer(store, rdap.ServerConfig{FailRegistrars: failures})
+	scopeSrv := dropscope.NewServer(store)
+	whoisSrv := whois.NewServer(store)
+	whoisAddr, err := whoisSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer whoisSrv.Close()
+
+	rdapClient, err := rdap.NewClient("http://rdap.internal", inproc.Client(rdapSrv.Handler()))
+	if err != nil {
+		return nil, err
+	}
+	scopeClient, err := dropscope.NewClient("http://scope.internal", inproc.Client(scopeSrv.Handler()))
+	if err != nil {
+		return nil, err
+	}
+	oracleAddr, err := oracle.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer oracle.Close()
+	oracleClient, err := safebrowsing.NewClient("http://"+oracleAddr.String(), nil)
+	if err != nil {
+		return nil, err
+	}
+
+	pipeline := &measure.Pipeline{
+		Lists:     scopeClient,
+		RDAP:      rdapClient,
+		WHOIS:     &whois.Client{Addr: whoisAddr.String()},
+		Oracle:    oracleClient,
+		TLDFilter: model.COM,
+	}
+
+	runner := registry.NewDropRunner(store, cfg.scaledDrop())
+	dropRng := rand.New(rand.NewSource(cfg.Seed + 5))
+
+	res := &Result{
+		Config:     cfg,
+		Deletions:  make(map[simtime.Day][]model.DeletionEvent, cfg.Days),
+		DropEnd:    make(map[simtime.Day]time.Time, cfg.Days),
+		Truths:     make(map[string]Truth, len(meta)),
+		Directory:  dir,
+		Registrars: dir.Registrars(),
+	}
+	ctx := context.Background()
+
+	day := cfg.StartDay
+	for i := 0; i < cfg.Days; i++ {
+		// Morning: the measurement pipeline downloads today's pending list
+		// and collects metadata for domains deleting three days out.
+		clock.Set(day.At(10, 0, 0))
+		if err := pipeline.CollectDaily(ctx, day); err != nil {
+			return nil, err
+		}
+
+		// 19:00 UTC: the Drop.
+		clock.Set(day.At(19, 0, 0))
+		events, err := runner.Run(day, dropRng)
+		if err != nil {
+			return nil, err
+		}
+		res.Deletions[day] = events
+		dropEnd := registry.EndTime(events)
+		res.DropEnd[day] = dropEnd
+
+		// The market claims deleted names; claims materialise in
+		// chronological order so registry IDs keep increasing with time.
+		type pendingCreate struct {
+			claim *registrars.Claim
+			at    time.Time
+			name  string
+		}
+		var creates []pendingCreate
+		for _, ev := range events {
+			m := meta[ev.Name]
+			lot := registrars.Lot{
+				Name:      ev.Name,
+				Value:     m.value,
+				AgeYears:  m.ageYears,
+				DeletedAt: ev.Time,
+				DropEnd:   dropEnd,
+			}
+			claim := market.Decide(lot)
+			res.Truths[ev.Name] = Truth{
+				Value:     m.value,
+				AgeYears:  m.ageYears,
+				Claim:     claim,
+				DeletedAt: ev.Time,
+			}
+			if claim == nil {
+				continue
+			}
+			creates = append(creates, pendingCreate{claim: claim, at: claim.Time(lot), name: ev.Name})
+		}
+		sort.SliceStable(creates, func(a, b int) bool { return creates[a].at.Before(creates[b].at) })
+		for _, c := range creates {
+			if _, err := store.CreateAt(c.name, c.claim.RegistrarID, 1, c.at); err != nil {
+				return nil, fmt.Errorf("sim: materialise claim for %s: %w", c.name, err)
+			}
+			oracle.Set(c.name, cfg.Labels.Label(c.claim.Delay, labelRng))
+		}
+
+		day = day.Next()
+		clock.Set(day.At(0, 1, 0))
+	}
+
+	// ≥8 weeks later: the re-registration lookups.
+	finalDay := cfg.StartDay.AddDays(cfg.Days + cfg.FinalizeAfterDays)
+	clock.Set(finalDay.At(12, 0, 0))
+	obs, err := pipeline.Finalize(ctx)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(obs, func(i, j int) bool { return obs[i].Name < obs[j].Name })
+	res.Observations = obs
+	res.PipelineStats = pipeline.Stats()
+	return res, nil
+}

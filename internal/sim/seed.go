@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"dropzero/internal/model"
+	"dropzero/internal/names"
+	"dropzero/internal/registrars"
+	"dropzero/internal/registry"
+	"dropzero/internal/simtime"
+)
+
+// Lot metadata the simulator keeps about every expiring domain: the
+// ground-truth desirability and age driving demand. The measurement side
+// never sees it.
+type lotMeta struct {
+	value    float64
+	ageYears int
+}
+
+// ageDistribution is the prior-registration age mix (in whole years). Most
+// deleted domains were never renewed (age 1); a long tail is much older —
+// the inventory whose re-registrations Figure 8 tracks.
+var ageDistribution = []struct {
+	years  int
+	weight float64
+}{
+	{1, 0.52}, {2, 0.16}, {3, 0.10}, {4, 0.07}, {5, 0.05},
+	{6, 0.035}, {7, 0.02}, {8, 0.015}, {9, 0.01}, {10, 0.008},
+	{11, 0.005}, {12, 0.004}, {13, 0.003}, {14, 0.002}, {15, 0.003},
+}
+
+func sampleAge(rng *rand.Rand) int {
+	r := rng.Float64()
+	for _, a := range ageDistribution {
+		if r < a.weight {
+			return a.years
+		}
+		r -= a.weight
+	}
+	return 1
+}
+
+// domainSpec is one expiring domain before insertion into the store.
+type domainSpec struct {
+	name        string
+	registrarID int
+	created     time.Time
+	updated     time.Time
+	expiry      time.Time
+	deleteDay   simtime.Day
+	meta        lotMeta
+}
+
+// seeder builds the historical population.
+type seeder struct {
+	cfg   Config
+	rng   *rand.Rand
+	gen   *names.Generator
+	dir   *registrars.Directory
+	grace map[int]int // per prior-sponsor grace days
+	// priorSponsors are the registrars that sponsored the expiring
+	// registrations: retail registrars, not drop-catch services.
+	priorSponsors []int
+}
+
+func newSeeder(cfg Config, dir *registrars.Directory, rng *rand.Rand) *seeder {
+	s := &seeder{
+		cfg:   cfg,
+		rng:   rng,
+		gen:   names.NewGenerator(rng),
+		dir:   dir,
+		grace: make(map[int]int),
+	}
+	// Expiring domains were sponsored by GoDaddy, Dynadot, Xinnet and the
+	// long tail — with GoDaddy over-represented as the largest registrar.
+	s.priorSponsors = append(s.priorSponsors, dir.Accreditations(registrars.SvcGoDaddy)...)
+	s.priorSponsors = append(s.priorSponsors, dir.Accreditations(registrars.SvcDynadot)...)
+	s.priorSponsors = append(s.priorSponsors, dir.Accreditations(registrars.SvcXinnet)...)
+	s.priorSponsors = append(s.priorSponsors, dir.Accreditations(registrars.SvcOther)...)
+	for _, id := range s.priorSponsors {
+		s.grace[id] = 25 + rng.Intn(21) // 25–45 days after expiry
+	}
+	return s
+}
+
+func (s *seeder) pickSponsor() int {
+	// 25 % GoDaddy (its accreditations lead the list), rest uniform.
+	gd := s.dir.Accreditations(registrars.SvcGoDaddy)
+	if s.rng.Float64() < 0.25 {
+		return gd[s.rng.Intn(len(gd))]
+	}
+	return s.priorSponsors[s.rng.Intn(len(s.priorSponsors))]
+}
+
+// specsForDay generates comCount expiring .com domains deleted on day, plus
+// the interleaved .net share on top — the published (and measured) volume
+// counts .com only, like the paper's Figure 1.
+func (s *seeder) specsForDay(day simtime.Day, comCount int, lifecycle registry.LifecycleConfig) []domainSpec {
+	count := comCount + int(float64(comCount)*s.cfg.NetShare+0.5)
+	out := make([]domainSpec, 0, count)
+	updatedDay := day.AddDays(-(lifecycle.RedemptionDays + lifecycle.PendingDeleteDays))
+	for i := 0; i < count; i++ {
+		g := s.gen.Next()
+		tld := model.COM
+		if i >= comCount {
+			tld = model.NET
+		}
+		sponsor := s.pickSponsor()
+		// The registrar deleted the whole day's batch at one instant; the
+		// per-registrar batch second is what makes last-updated ties big
+		// and the (Updated, ID) order non-trivial.
+		updated := lifecycle.BatchInstant(updatedDay, sponsor)
+		expiry := updated.AddDate(0, 0, -s.grace[sponsor])
+		age := sampleAge(s.rng)
+		created := expiry.AddDate(-age, 0, 0).Add(-time.Duration(s.rng.Intn(86400)) * time.Second)
+		out = append(out, domainSpec{
+			name:        g.Label + "." + string(tld),
+			registrarID: sponsor,
+			created:     created,
+			updated:     updated,
+			expiry:      expiry,
+			deleteDay:   day,
+			meta:        lotMeta{value: g.Value, ageYears: age},
+		})
+	}
+	return out
+}
+
+// seedAll generates the full population for every deletion day, inserts it
+// into the store in creation order (preserving the ID/creation-time
+// invariant), and returns the ground-truth metadata by name.
+func (s *seeder) seedAll(store *registry.Store, lifecycle registry.LifecycleConfig) (map[string]lotMeta, error) {
+	var specs []domainSpec
+	volRng := rand.New(rand.NewSource(s.cfg.Seed + 7))
+	day := s.cfg.StartDay
+	for i := 0; i < s.cfg.Days; i++ {
+		specs = append(specs, s.specsForDay(day, s.cfg.dailyVolume(i, volRng), lifecycle)...)
+		day = day.Next()
+	}
+	sort.SliceStable(specs, func(i, j int) bool { return specs[i].created.Before(specs[j].created) })
+	meta := make(map[string]lotMeta, len(specs))
+	for _, sp := range specs {
+		if _, err := store.SeedAt(sp.name, sp.registrarID, sp.created, sp.updated, sp.expiry,
+			model.StatusPendingDelete, sp.deleteDay); err != nil {
+			return nil, fmt.Errorf("sim: seed %s: %w", sp.name, err)
+		}
+		meta[sp.name] = sp.meta
+	}
+	return meta, nil
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"dropzero/internal/core"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Days = 6
+	cfg.Scale = 0.02
+	return cfg
+}
+
+func TestRunSmoke(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Observations) == 0 {
+		t.Fatal("no observations")
+	}
+	total := 0
+	rereg := 0
+	zero := 0
+	sameDay := 0
+	for _, o := range res.Observations {
+		total++
+		if o.Rereg != nil {
+			rereg++
+			if o.SameDayRereg() {
+				sameDay++
+			}
+		}
+	}
+	days, skipped := core.AnalyzeAll(res.Observations, core.DefaultEnvelopeConfig())
+	for _, d := range AllZeroDelays(days) {
+		_ = d
+		zero++
+	}
+	t.Logf("total=%d rereg=%.4f sameday=%.4f zero=%.4f skippedDays=%d stats=%+v",
+		total, frac(rereg, total), frac(sameDay, total), frac(zero, total), skipped, res.PipelineStats)
+}
+
+// AllZeroDelays is a test helper returning re-registrations at exactly 0 s.
+func AllZeroDelays(days []*core.DayAnalysis) []core.DelayResult {
+	var out []core.DelayResult
+	for _, d := range core.AllDelays(days) {
+		if d.Delay == 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func frac(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Days = 2
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Observations) != len(b.Observations) {
+		t.Fatalf("observation counts differ: %d vs %d", len(a.Observations), len(b.Observations))
+	}
+	for i := range a.Observations {
+		oa, ob := a.Observations[i], b.Observations[i]
+		if oa.Name != ob.Name || oa.Prior != ob.Prior {
+			t.Fatalf("observation %d differs: %+v vs %+v", i, oa, ob)
+		}
+		if (oa.Rereg == nil) != (ob.Rereg == nil) {
+			t.Fatalf("rereg presence differs for %s", oa.Name)
+		}
+		if oa.Rereg != nil && !oa.Rereg.Time.Equal(ob.Rereg.Time) {
+			t.Fatalf("rereg time differs for %s: %v vs %v", oa.Name, oa.Rereg.Time, ob.Rereg.Time)
+		}
+	}
+	_ = time.Second
+}

@@ -1,0 +1,122 @@
+// Package simtime provides the virtual-time substrate used throughout
+// dropzero. The registry, the registrar agents and the measurement pipeline
+// all observe time through the Clock interface so that a 56-day measurement
+// study can run in milliseconds of wall time while still producing
+// second-precision timestamps like the ones Verisign's RDAP pilot exposed.
+package simtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source shared by all components. Timestamps are
+// always UTC; the registry rounds them to whole seconds before persisting,
+// matching the precision of the RDAP data the paper worked with.
+type Clock interface {
+	// Now returns the current instant in UTC.
+	Now() time.Time
+}
+
+// RealClock reads the wall clock. It is used by the interactive commands
+// (cmd/dropserve) where components run against real time.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now().UTC() }
+
+// SimClock is a manually advanced virtual clock. The zero value is not
+// usable; construct with NewSimClock. SimClock is safe for concurrent use:
+// server goroutines may read it while the simulation driver advances it.
+type SimClock struct {
+	mu  sync.RWMutex
+	now time.Time
+}
+
+// NewSimClock returns a SimClock starting at the given instant (converted to
+// UTC).
+func NewSimClock(start time.Time) *SimClock {
+	return &SimClock{now: start.UTC()}
+}
+
+// Now implements Clock.
+func (c *SimClock) Now() time.Time {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d. It panics if d is negative: virtual
+// time, like real time, never runs backwards, and a negative advance is
+// always a simulation-driver bug.
+func (c *SimClock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: Advance(%v): negative duration", d))
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Set jumps the clock to t. It panics if t is before the current time.
+func (c *SimClock) Set(t time.Time) {
+	t = t.UTC()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.Before(c.now) {
+		panic(fmt.Sprintf("simtime: Set(%v): before current time %v", t, c.now))
+	}
+	c.now = t
+}
+
+// Day identifies a UTC calendar day. It is the unit the Drop operates on:
+// every domain is deleted on exactly one Day, and the envelope model is
+// computed per Day.
+type Day struct {
+	Year  int
+	Month time.Month
+	Dom   int
+}
+
+// DayOf returns the UTC day containing t.
+func DayOf(t time.Time) Day {
+	t = t.UTC()
+	y, m, d := t.Date()
+	return Day{Year: y, Month: m, Dom: d}
+}
+
+// Start returns midnight UTC at the beginning of the day.
+func (d Day) Start() time.Time {
+	return time.Date(d.Year, d.Month, d.Dom, 0, 0, 0, 0, time.UTC)
+}
+
+// At returns the instant hh:mm:ss on this day.
+func (d Day) At(hh, mm, ss int) time.Time {
+	return time.Date(d.Year, d.Month, d.Dom, hh, mm, ss, 0, time.UTC)
+}
+
+// Next returns the following calendar day.
+func (d Day) Next() Day { return DayOf(d.Start().Add(36 * time.Hour)) }
+
+// AddDays returns the day n days later (n may be negative).
+func (d Day) AddDays(n int) Day {
+	return DayOf(d.Start().Add(time.Duration(n)*24*time.Hour + 12*time.Hour).Add(-12 * time.Hour))
+}
+
+// Before reports whether d is strictly earlier than other.
+func (d Day) Before(other Day) bool {
+	return d.Start().Before(other.Start())
+}
+
+// String formats the day as YYYY-MM-DD.
+func (d Day) String() string {
+	return fmt.Sprintf("%04d-%02d-%02d", d.Year, int(d.Month), d.Dom)
+}
+
+// Trunc rounds t down to whole seconds in UTC. All registry-visible
+// timestamps pass through Trunc, mirroring the second precision of the RDAP
+// timestamps in the paper's dataset.
+func Trunc(t time.Time) time.Time {
+	return t.UTC().Truncate(time.Second)
+}

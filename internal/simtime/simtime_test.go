@@ -1,0 +1,162 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimClockAdvance(t *testing.T) {
+	start := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	c := NewSimClock(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), start)
+	}
+	c.Advance(90 * time.Second)
+	if got := c.Now(); !got.Equal(start.Add(90 * time.Second)) {
+		t.Fatalf("after Advance: %v", got)
+	}
+}
+
+func TestSimClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewSimClock(time.Now()).Advance(-time.Second)
+}
+
+func TestSimClockSetBackwardPanics(t *testing.T) {
+	c := NewSimClock(time.Date(2018, 1, 2, 0, 0, 0, 0, time.UTC))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set(earlier) did not panic")
+		}
+	}()
+	c.Set(time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC))
+}
+
+func TestSimClockSetConvertsToUTC(t *testing.T) {
+	loc := time.FixedZone("EST", -5*3600)
+	c := NewSimClock(time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC))
+	c.Set(time.Date(2018, 1, 1, 14, 0, 0, 0, loc)) // 19:00 UTC
+	want := time.Date(2018, 1, 1, 19, 0, 0, 0, time.UTC)
+	if !c.Now().Equal(want) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), want)
+	}
+	if c.Now().Location() != time.UTC {
+		t.Fatalf("Now() location = %v, want UTC", c.Now().Location())
+	}
+}
+
+func TestRealClockUTC(t *testing.T) {
+	if loc := (RealClock{}).Now().Location(); loc != time.UTC {
+		t.Fatalf("RealClock location = %v, want UTC", loc)
+	}
+}
+
+func TestDayOfAndStart(t *testing.T) {
+	ts := time.Date(2018, 2, 28, 23, 59, 59, 999, time.UTC)
+	d := DayOf(ts)
+	if d != (Day{2018, time.February, 28}) {
+		t.Fatalf("DayOf = %+v", d)
+	}
+	if got := d.Start(); !got.Equal(time.Date(2018, 2, 28, 0, 0, 0, 0, time.UTC)) {
+		t.Fatalf("Start = %v", got)
+	}
+}
+
+func TestDayAt(t *testing.T) {
+	d := Day{2018, time.January, 2}
+	got := d.At(19, 30, 15)
+	want := time.Date(2018, 1, 2, 19, 30, 15, 0, time.UTC)
+	if !got.Equal(want) {
+		t.Fatalf("At = %v, want %v", got, want)
+	}
+}
+
+func TestDayNextAcrossMonth(t *testing.T) {
+	d := Day{2018, time.January, 31}
+	if n := d.Next(); n != (Day{2018, time.February, 1}) {
+		t.Fatalf("Next = %+v", n)
+	}
+}
+
+func TestDayNextAcrossYear(t *testing.T) {
+	d := Day{2017, time.December, 31}
+	if n := d.Next(); n != (Day{2018, time.January, 1}) {
+		t.Fatalf("Next = %+v", n)
+	}
+}
+
+func TestDayAddDays(t *testing.T) {
+	d := Day{2018, time.January, 1}
+	cases := []struct {
+		n    int
+		want Day
+	}{
+		{0, Day{2018, time.January, 1}},
+		{1, Day{2018, time.January, 2}},
+		{31, Day{2018, time.February, 1}},
+		{-1, Day{2017, time.December, 31}},
+		{58, Day{2018, time.February, 28}},
+		{59, Day{2018, time.March, 1}}, // 2018 is not a leap year
+	}
+	for _, c := range cases {
+		if got := d.AddDays(c.n); got != c.want {
+			t.Errorf("AddDays(%d) = %+v, want %+v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestDayAddDaysManyConsistentWithNext(t *testing.T) {
+	d := Day{2018, time.January, 1}
+	step := d
+	for i := 1; i <= 400; i++ {
+		step = step.Next()
+		if got := d.AddDays(i); got != step {
+			t.Fatalf("AddDays(%d) = %+v, want %+v", i, got, step)
+		}
+	}
+}
+
+func TestDayBefore(t *testing.T) {
+	a := Day{2018, time.January, 2}
+	b := Day{2018, time.January, 3}
+	if !a.Before(b) || b.Before(a) || a.Before(a) {
+		t.Fatal("Before ordering wrong")
+	}
+}
+
+func TestDayString(t *testing.T) {
+	if s := (Day{2018, time.February, 5}).String(); s != "2018-02-05" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestTrunc(t *testing.T) {
+	ts := time.Date(2018, 1, 1, 12, 0, 0, 999999999, time.UTC)
+	if got := Trunc(ts); got.Nanosecond() != 0 || got.Second() != 0 {
+		t.Fatalf("Trunc = %v", got)
+	}
+	loc := time.FixedZone("X", 3600)
+	got := Trunc(time.Date(2018, 1, 1, 1, 0, 0, 500, loc))
+	if got.Location() != time.UTC || got.Hour() != 0 {
+		t.Fatalf("Trunc non-UTC = %v", got)
+	}
+}
+
+func TestSimClockConcurrentReads(t *testing.T) {
+	c := NewSimClock(time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			c.Advance(time.Millisecond)
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		_ = c.Now()
+	}
+	<-done
+}

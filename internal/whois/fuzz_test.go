@@ -1,0 +1,20 @@
+package whois
+
+import "testing"
+
+// FuzzParse hardens the WHOIS response parser against arbitrary peer output:
+// it must never panic, and a successfully parsed record must either convert
+// to a domain or fail with a clean error.
+func FuzzParse(f *testing.F) {
+	f.Add(Format(sampleDomain()))
+	f.Add("No match for domain \"X.COM\".\r\n")
+	f.Add("")
+	f.Add("Key: Value\r\nOther: : :\r\n")
+	f.Fuzz(func(t *testing.T, body string) {
+		rec, err := Parse(body)
+		if err != nil {
+			return
+		}
+		_, _ = rec.Domain()
+	})
+}

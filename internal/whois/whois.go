@@ -1,0 +1,292 @@
+// Package whois implements the legacy port-43 lookup protocol: the client
+// sends one domain name terminated by CRLF, the server answers with a
+// key/value record and closes the connection. The measurement pipeline uses
+// it as the fallback when RDAP lookups fail, mirroring the paper's data
+// collection.
+package whois
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dropzero/internal/model"
+	"dropzero/internal/registry"
+)
+
+// Record field labels, matching the labels Verisign's thin WHOIS emits.
+const (
+	FieldDomainName  = "Domain Name"
+	FieldDomainID    = "Registry Domain ID"
+	FieldRegistrarID = "Registrar IANA ID"
+	FieldUpdated     = "Updated Date"
+	FieldCreated     = "Creation Date"
+	FieldExpiry      = "Registry Expiry Date"
+	FieldStatus      = "Domain Status"
+)
+
+// noMatchPrefix starts the reply for unregistered names.
+const noMatchPrefix = "No match for"
+
+// ErrNoMatch is returned by Client.Lookup for unregistered names.
+var ErrNoMatch = errors.New("whois: no match")
+
+// timeLayout is the timestamp format on the wire (RFC 3339, UTC, seconds).
+const timeLayout = "2006-01-02T15:04:05Z"
+
+// Record is a parsed WHOIS response.
+type Record struct {
+	Fields map[string]string
+}
+
+// Domain reconstructs the registration metadata from a Record.
+func (r *Record) Domain() (*model.Domain, error) {
+	get := func(k string) (string, error) {
+		v, ok := r.Fields[k]
+		if !ok {
+			return "", fmt.Errorf("whois: record missing %q", k)
+		}
+		return v, nil
+	}
+	name, err := get(FieldDomainName)
+	if err != nil {
+		return nil, err
+	}
+	idStr, err := get(FieldDomainID)
+	if err != nil {
+		return nil, err
+	}
+	id, err := strconv.ParseUint(strings.TrimSuffix(idStr, "_DOMAIN"), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("whois: malformed domain ID %q: %w", idStr, err)
+	}
+	regStr, err := get(FieldRegistrarID)
+	if err != nil {
+		return nil, err
+	}
+	regID, err := strconv.Atoi(regStr)
+	if err != nil {
+		return nil, fmt.Errorf("whois: malformed registrar ID %q: %w", regStr, err)
+	}
+	parseT := func(k string) (time.Time, error) {
+		v, err := get(k)
+		if err != nil {
+			return time.Time{}, err
+		}
+		t, err := time.Parse(timeLayout, v)
+		if err != nil {
+			return time.Time{}, fmt.Errorf("whois: malformed %s %q: %w", k, v, err)
+		}
+		return t, nil
+	}
+	created, err := parseT(FieldCreated)
+	if err != nil {
+		return nil, err
+	}
+	updated, err := parseT(FieldUpdated)
+	if err != nil {
+		return nil, err
+	}
+	expiry, err := parseT(FieldExpiry)
+	if err != nil {
+		return nil, err
+	}
+	statusStr, err := get(FieldStatus)
+	if err != nil {
+		return nil, err
+	}
+	status, err := model.ParseStatus(statusStr)
+	if err != nil {
+		return nil, err
+	}
+	name = strings.ToLower(name)
+	tld, _ := model.TLDOf(name)
+	return &model.Domain{
+		ID:          id,
+		Name:        name,
+		TLD:         tld,
+		RegistrarID: regID,
+		Created:     created,
+		Updated:     updated,
+		Expiry:      expiry,
+		Status:      status,
+	}, nil
+}
+
+// Format renders a domain as a WHOIS response body.
+func Format(d *model.Domain) string {
+	fields := map[string]string{
+		FieldDomainName:  strings.ToUpper(d.Name),
+		FieldDomainID:    fmt.Sprintf("%d_DOMAIN", d.ID),
+		FieldRegistrarID: strconv.Itoa(d.RegistrarID),
+		FieldUpdated:     d.Updated.UTC().Format(timeLayout),
+		FieldCreated:     d.Created.UTC().Format(timeLayout),
+		FieldExpiry:      d.Expiry.UTC().Format(timeLayout),
+		FieldStatus:      d.Status.String(),
+	}
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "   %s: %s\r\n", k, fields[k])
+	}
+	b.WriteString("\r\n>>> Last update of whois database <<<\r\n")
+	return b.String()
+}
+
+// Parse extracts a Record from a WHOIS response body. ErrNoMatch is returned
+// for "No match" replies.
+func Parse(body string) (*Record, error) {
+	rec := &Record{Fields: make(map[string]string)}
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimRight(line, "\r")
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, noMatchPrefix) {
+			return nil, ErrNoMatch
+		}
+		if trimmed == "" || strings.HasPrefix(trimmed, ">>>") {
+			continue
+		}
+		k, v, ok := strings.Cut(trimmed, ": ")
+		if !ok {
+			continue
+		}
+		rec.Fields[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	if len(rec.Fields) == 0 {
+		return nil, fmt.Errorf("whois: empty record")
+	}
+	return rec, nil
+}
+
+// Server answers WHOIS queries from a registry store.
+type Server struct {
+	store *registry.Store
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewServer returns a WHOIS server over store.
+func NewServer(store *registry.Store) *Server {
+	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds addr and serves until Close.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("whois: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(conn)
+			}()
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Close stops the listener and in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	line, err := bufio.NewReader(io.LimitReader(conn, 512)).ReadString('\n')
+	if err != nil && line == "" {
+		return
+	}
+	name := strings.ToLower(strings.TrimSpace(line))
+	d, err := s.store.Get(name)
+	if err != nil {
+		fmt.Fprintf(conn, "%s domain %q.\r\n", noMatchPrefix, strings.ToUpper(name))
+		return
+	}
+	io.WriteString(conn, Format(d))
+}
+
+// Client performs WHOIS lookups against one server address.
+type Client struct {
+	Addr string
+	// Timeout bounds each lookup; zero means 10 s.
+	Timeout time.Duration
+}
+
+// Lookup queries the server for name.
+func (c *Client) Lookup(name string) (*model.Domain, error) {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", c.Addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("whois: dial %s: %w", c.Addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := fmt.Fprintf(conn, "%s\r\n", name); err != nil {
+		return nil, fmt.Errorf("whois: send query: %w", err)
+	}
+	body, err := io.ReadAll(io.LimitReader(conn, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("whois: read response: %w", err)
+	}
+	rec, err := Parse(string(body))
+	if err != nil {
+		return nil, err
+	}
+	return rec.Domain()
+}

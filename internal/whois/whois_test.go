@@ -1,0 +1,161 @@
+package whois
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dropzero/internal/model"
+	"dropzero/internal/registry"
+	"dropzero/internal/simtime"
+)
+
+func sampleDomain() *model.Domain {
+	return &model.Domain{
+		ID:          1234,
+		Name:        "example.com",
+		TLD:         model.COM,
+		RegistrarID: 1000,
+		Created:     time.Date(2014, 3, 1, 4, 5, 6, 0, time.UTC),
+		Updated:     time.Date(2017, 11, 27, 6, 30, 12, 0, time.UTC),
+		Expiry:      time.Date(2018, 3, 1, 4, 5, 6, 0, time.UTC),
+		Status:      model.StatusPendingDelete,
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	d := sampleDomain()
+	body := Format(d)
+	rec, err := Parse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rec.Domain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != d.ID || got.Name != d.Name || got.RegistrarID != d.RegistrarID {
+		t.Fatalf("round trip identity: %+v", got)
+	}
+	if !got.Created.Equal(d.Created) || !got.Updated.Equal(d.Updated) || !got.Expiry.Equal(d.Expiry) {
+		t.Fatalf("round trip timestamps: %+v", got)
+	}
+	if got.Status != d.Status || got.TLD != model.COM {
+		t.Fatalf("round trip status/tld: %+v", got)
+	}
+}
+
+func TestParseNoMatch(t *testing.T) {
+	if _, err := Parse("No match for domain \"MISSING.COM\".\r\n"); !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("Parse(no match) = %v", err)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if _, err := Parse("\r\n\r\n"); err == nil {
+		t.Fatal("Parse(empty) succeeded")
+	}
+}
+
+func TestParseIgnoresTrailer(t *testing.T) {
+	body := Format(sampleDomain())
+	if !strings.Contains(body, ">>>") {
+		t.Fatal("Format should include trailer")
+	}
+	rec, err := Parse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range rec.Fields {
+		if strings.HasPrefix(k, ">>>") {
+			t.Fatal("trailer leaked into fields")
+		}
+	}
+}
+
+func TestRecordDomainMissingField(t *testing.T) {
+	rec := &Record{Fields: map[string]string{FieldDomainName: "x.com"}}
+	if _, err := rec.Domain(); err == nil {
+		t.Fatal("incomplete record accepted")
+	}
+}
+
+func TestRecordDomainMalformed(t *testing.T) {
+	d := sampleDomain()
+	body := Format(d)
+	rec, _ := Parse(body)
+	rec.Fields[FieldUpdated] = "yesterday"
+	if _, err := rec.Domain(); err == nil {
+		t.Fatal("malformed date accepted")
+	}
+	rec, _ = Parse(body)
+	rec.Fields[FieldDomainID] = "abc"
+	if _, err := rec.Domain(); err == nil {
+		t.Fatal("malformed ID accepted")
+	}
+}
+
+func newWhoisServer(t *testing.T) (*registry.Store, string) {
+	t.Helper()
+	clock := simtime.NewSimClock(time.Date(2018, 1, 1, 12, 0, 0, 0, time.UTC))
+	store := registry.NewStore(clock)
+	store.AddRegistrar(model.Registrar{IANAID: 1000, Name: "Test"})
+	srv := NewServer(store)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return store, addr.String()
+}
+
+func TestServerLookup(t *testing.T) {
+	store, addr := newWhoisServer(t)
+	if _, err := store.Create("lookup.com", 1000, 3); err != nil {
+		t.Fatal(err)
+	}
+	c := &Client{Addr: addr}
+	d, err := c.Lookup("lookup.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "lookup.com" || d.RegistrarID != 1000 {
+		t.Fatalf("lookup: %+v", d)
+	}
+}
+
+func TestServerLookupCaseInsensitive(t *testing.T) {
+	store, addr := newWhoisServer(t)
+	store.Create("mixed.com", 1000, 1)
+	c := &Client{Addr: addr}
+	if _, err := c.Lookup("MIXED.com"); err != nil {
+		t.Fatalf("case-insensitive lookup: %v", err)
+	}
+}
+
+func TestServerNoMatch(t *testing.T) {
+	_, addr := newWhoisServer(t)
+	c := &Client{Addr: addr}
+	if _, err := c.Lookup("missing.com"); !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("missing lookup = %v, want ErrNoMatch", err)
+	}
+}
+
+func TestServerManySequentialLookups(t *testing.T) {
+	store, addr := newWhoisServer(t)
+	store.Create("many.com", 1000, 1)
+	c := &Client{Addr: addr}
+	for i := 0; i < 50; i++ {
+		if _, err := c.Lookup("many.com"); err != nil {
+			t.Fatalf("lookup %d: %v", i, err)
+		}
+	}
+}
+
+func TestClientDialError(t *testing.T) {
+	c := &Client{Addr: "127.0.0.1:1", Timeout: 200 * time.Millisecond}
+	if _, err := c.Lookup("x.com"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
