@@ -17,8 +17,10 @@
 package dropzero_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"sync"
 	"testing"
 	"time"
@@ -26,8 +28,12 @@ import (
 	"dropzero"
 	"dropzero/internal/analysis"
 	"dropzero/internal/core"
+	"dropzero/internal/dropscope"
 	"dropzero/internal/epp"
+	"dropzero/internal/inproc"
+	"dropzero/internal/measure"
 	"dropzero/internal/model"
+	"dropzero/internal/rdap"
 	"dropzero/internal/registrars"
 	"dropzero/internal/registry"
 	"dropzero/internal/sim"
@@ -561,4 +567,109 @@ func BenchmarkClusterRegistrars(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		dropzero.ClusterRegistrars(res.Registrars)
 	}
+}
+
+// --- measurement-pipeline throughput ------------------------------------
+
+// pipelineBenchWorld is a registry with n pending .com deletions, shared by
+// the throughput variants below.
+type pipelineBenchWorld struct {
+	store *registry.Store
+	scope *dropscope.Client
+	day   simtime.Day
+	n     int
+}
+
+func newPipelineBenchWorld(b *testing.B, n int) *pipelineBenchWorld {
+	b.Helper()
+	day := simtime.Day{Year: 2018, Month: time.March, Dom: 5}
+	clock := simtime.NewSimClock(day.At(9, 0, 0))
+	store := registry.NewStore(clock)
+	store.AddRegistrar(model.Registrar{IANAID: 1000, Name: "Sponsor"})
+	lc := registry.DefaultLifecycleConfig()
+	for i := 0; i < n; i++ {
+		updated := lc.BatchInstant(day.AddDays(-35), 1000)
+		name := fmt.Sprintf("bench-pipe%05d.com", i)
+		if _, err := store.SeedAt(name, 1000, updated.AddDate(-2, 0, 0), updated,
+			updated.AddDate(0, 0, -35), model.StatusPendingDelete, day); err != nil {
+			b.Fatal(err)
+		}
+	}
+	scopeSrv := dropscope.NewServer(store)
+	scope, err := dropscope.NewClient("http://scope.bench", inproc.Client(scopeSrv.Handler()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &pipelineBenchWorld{store: store, scope: scope, day: day, n: n}
+}
+
+// latencyHandler adds a fixed service delay to every request, modelling the
+// network round-trip the in-proc transport otherwise skips. On the real
+// wire, per-lookup latency — not CPU — is what the worker pool hides, so
+// the throughput comparison is meaningless without it.
+type latencyHandler struct {
+	h   http.Handler
+	rtt time.Duration
+}
+
+func (l latencyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	time.Sleep(l.rtt)
+	l.h.ServeHTTP(w, r)
+}
+
+// BenchmarkPipelineThroughput measures CollectDaily lookup fan-out:
+// sequential vs an 8-worker pool, over the in-proc RDAP transport (with a
+// simulated 300 µs RTT) and over real TCP. The parallel variants must
+// sustain several times the sequential lookups/sec; datasets stay
+// byte-identical (see sim.TestRunDeterministicAcrossParallelism).
+func BenchmarkPipelineThroughput(b *testing.B) {
+	const nDomains = 300
+	const rtt = 300 * time.Microsecond
+	world := newPipelineBenchWorld(b, nDomains)
+	ctx := context.Background()
+
+	run := func(b *testing.B, rdapClient *rdap.Client, parallelism int) {
+		b.Helper()
+		lookups := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pipe := &measure.Pipeline{
+				Lists:       world.scope,
+				RDAP:        rdapClient,
+				TLDFilter:   model.COM,
+				Parallelism: parallelism,
+			}
+			if err := pipe.CollectDaily(ctx, world.day); err != nil {
+				b.Fatal(err)
+			}
+			if st := pipe.Stats(); st.Lookups != world.n {
+				b.Fatalf("lookups = %d, want %d", st.Lookups, world.n)
+			}
+			lookups += world.n
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(lookups)/b.Elapsed().Seconds(), "lookups/sec")
+	}
+
+	rdapSrv := rdap.NewServer(world.store, rdap.ServerConfig{})
+	inprocClient, err := rdap.NewClient("http://rdap.bench",
+		inproc.Client(latencyHandler{h: rdapSrv.Handler(), rtt: rtt}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("inproc/seq", func(b *testing.B) { run(b, inprocClient, 1) })
+	b.Run("inproc/par8", func(b *testing.B) { run(b, inprocClient, 8) })
+
+	tcpSrv := rdap.NewServer(world.store, rdap.ServerConfig{})
+	addr, err := tcpSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tcpSrv.Close()
+	tcpClient, err := rdap.NewClient("http://"+addr.String(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("tcp/seq", func(b *testing.B) { run(b, tcpClient, 1) })
+	b.Run("tcp/par8", func(b *testing.B) { run(b, tcpClient, 8) })
 }

@@ -32,6 +32,7 @@ func main() {
 	days := flag.Int("days", 14, "inline simulation: deletion days")
 	scale := flag.Float64("scale", 0.05, "inline simulation: volume scale")
 	seed := flag.Int64("seed", 1, "inline simulation: seed")
+	parallelism := flag.Int("parallelism", 0, "lookup/figure workers (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
 	asJSON := flag.Bool("json", false, "emit the machine-readable summary instead of the text report")
 	flag.Parse()
 
@@ -55,6 +56,7 @@ func main() {
 		cfg.Days = *days
 		cfg.Scale = *scale
 		cfg.Seed = *seed
+		cfg.Parallelism = *parallelism
 		log.Printf("no -data given; simulating %d days at scale %.3f...", cfg.Days, cfg.Scale)
 		res, err := sim.Run(cfg)
 		if err != nil {
@@ -67,6 +69,7 @@ func main() {
 			Deletions:    res.Deletions,
 		}
 	}
+	in.Parallelism = *parallelism
 
 	a := analysis.New(in)
 	report := a.BuildReport()

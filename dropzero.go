@@ -97,6 +97,7 @@ func AnalysisInputFromResult(res *Result) AnalysisInput {
 		Registrars:   res.Registrars,
 		ServiceOf:    res.Directory.ServiceOf,
 		Deletions:    res.Deletions,
+		Parallelism:  res.Config.Parallelism,
 	}
 }
 

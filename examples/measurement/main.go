@@ -71,12 +71,19 @@ func main() {
 	must(err)
 	oracleClient, err := safebrowsing.NewClient("http://"+oracleAddr, nil)
 	must(err)
+	// Lookups fan out over a bounded worker pool; the WHOIS client keeps the
+	// same number of pre-dialed connections ready for fallback queries. The
+	// collected dataset is identical at any parallelism.
+	const parallelism = 8
+	whoisClient := &whois.Client{Addr: whoisAddr, PoolSize: parallelism}
+	defer whoisClient.Close()
 	pipe := &measure.Pipeline{
-		Lists:     scopeClient,
-		RDAP:      rdapClient,
-		WHOIS:     &whois.Client{Addr: whoisAddr},
-		Oracle:    oracleClient,
-		TLDFilter: model.COM,
+		Lists:       scopeClient,
+		RDAP:        rdapClient,
+		WHOIS:       whoisClient,
+		Oracle:      oracleClient,
+		TLDFilter:   model.COM,
+		Parallelism: parallelism,
 	}
 
 	// Study loop: collect every morning, Drop at 19:00, market claims.

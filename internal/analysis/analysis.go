@@ -17,6 +17,7 @@ import (
 	"dropzero/internal/cluster"
 	"dropzero/internal/core"
 	"dropzero/internal/model"
+	"dropzero/internal/par"
 	"dropzero/internal/registrars"
 	"dropzero/internal/simtime"
 )
@@ -39,6 +40,10 @@ type Input struct {
 	// Deletions is the simulator's ground-truth event log for the
 	// inference-accuracy ablation; nil outside simulations.
 	Deletions map[simtime.Day][]model.DeletionEvent
+	// Parallelism bounds the worker pool behind the independent figure
+	// generators (the Figure 4 panels, the per-cluster CDFs); 0 defaults to
+	// GOMAXPROCS, 1 is sequential. Outputs are identical at every setting.
+	Parallelism int
 }
 
 // Analysis carries the shared intermediate state the figure generators
@@ -118,6 +123,9 @@ func canonicalService(normalizedLabel string) (string, bool) {
 
 // Input returns the analysis input.
 func (a *Analysis) Input() Input { return a.in }
+
+// workers resolves the Parallelism knob.
+func (a *Analysis) workers() int { return par.Workers(a.in.Parallelism) }
 
 // ClusterOf returns the display cluster name for an accreditation.
 func (a *Analysis) ClusterOf(ianaID int) string {

@@ -2,6 +2,8 @@ package analysis
 
 import (
 	"time"
+
+	"dropzero/internal/par"
 )
 
 // Heatmap is one Figure 4 panel: counts of re-registrations binned by
@@ -100,11 +102,12 @@ func (a *Analysis) Fig4Heatmap(cluster string, cfg HeatmapConfig) *Heatmap {
 
 // Fig4Panels builds the paper's six panels: all registrars, SnapNames,
 // Pheenix, GoDaddy, Xinnet and 1API. Cluster names must be the display
-// names from ClusterOf.
+// names from ClusterOf. Panels are independent single-pass aggregations, so
+// they build on the Input.Parallelism worker pool; the result slice order is
+// fixed by the clusters argument either way.
 func (a *Analysis) Fig4Panels(clusters []string, cfg HeatmapConfig) []*Heatmap {
-	panels := []*Heatmap{a.Fig4Heatmap("", cfg)}
-	for _, c := range clusters {
-		panels = append(panels, a.Fig4Heatmap(c, cfg))
-	}
-	return panels
+	all := append([]string{""}, clusters...)
+	return par.Do(a.workers(), len(all), func(i int) *Heatmap {
+		return a.Fig4Heatmap(all[i], cfg)
+	})
 }

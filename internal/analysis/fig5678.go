@@ -1,10 +1,12 @@
 package analysis
 
 import (
+	"slices"
 	"sort"
 	"time"
 
 	"dropzero/internal/core"
+	"dropzero/internal/par"
 )
 
 // Fig5 is the delay CDF over the 24 h after deletion, as shares of all
@@ -116,10 +118,12 @@ func (a *Analysis) Fig6ClusterCDFs(clusters []string) []Fig6Curve {
 		}
 		byCluster[a.ReregClusterOf(d)] = append(byCluster[a.ReregClusterOf(d)], d.Delay)
 	}
-	out := make([]Fig6Curve, 0, len(clusters))
-	for _, cl := range clusters {
+	// Each cluster's curve sorts and scans only its own delays; build them
+	// on the worker pool, output order fixed by the clusters argument.
+	return par.Do(a.workers(), len(clusters), func(i int) Fig6Curve {
+		cl := clusters[i]
 		delays := byCluster[cl]
-		sort.Slice(delays, func(i, j int) bool { return delays[i] < delays[j] })
+		slices.Sort(delays)
 		curve := Fig6Curve{Cluster: cl, Thresholds: thresholds, Pct: make([]float64, len(thresholds)), N: len(delays)}
 		if len(delays) > 0 {
 			for i, th := range thresholds {
@@ -129,9 +133,8 @@ func (a *Analysis) Fig6ClusterCDFs(clusters []string) []Fig6Curve {
 			curve.Median = delays[(len(delays)-1)/2]
 			curve.MinDelay = delays[0]
 		}
-		out = append(out, curve)
-	}
-	return out
+		return curve
+	})
 }
 
 // Fig7 is the interval market-share analysis by registrar cluster.

@@ -10,11 +10,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"strconv"
+	"strings"
 	"time"
 
 	"dropzero/internal/dropscope"
 	"dropzero/internal/model"
+	"dropzero/internal/par"
 	"dropzero/internal/rdap"
 	"dropzero/internal/safebrowsing"
 	"dropzero/internal/simtime"
@@ -41,6 +44,12 @@ type Pipeline struct {
 	// to .com. Empty means no filter.
 	TLDFilter model.TLD
 
+	// Parallelism bounds the worker pool that fans per-domain lookups out in
+	// CollectDaily and Finalize; 0 defaults to GOMAXPROCS, 1 is fully
+	// sequential. Results are merged in canonical (name) order, so datasets
+	// and Stats are identical at every setting.
+	Parallelism int
+
 	pending map[string]*pendingDomain
 	stats   Stats
 }
@@ -65,8 +74,29 @@ type Stats struct {
 	OracleLookups   int
 }
 
+// add accumulates the per-lookup counter deltas produced by the workers.
+// Merging happens on the caller's goroutine, in canonical lookup order, so
+// the totals match a sequential run exactly.
+func (s *Stats) add(d Stats) {
+	s.ListEntries += d.ListEntries
+	s.Lookups += d.Lookups
+	s.RDAPErrors += d.RDAPErrors
+	s.WHOISFallbacks += d.WHOISFallbacks
+	s.FallbackFailed += d.FallbackFailed
+	s.Reregistered += d.Reregistered
+	s.NotReregistered += d.NotReregistered
+	s.OracleLookups += d.OracleLookups
+}
+
 // Stats returns a copy of the activity counters.
 func (p *Pipeline) Stats() Stats { return p.stats }
+
+// workers resolves the Parallelism knob.
+func (p *Pipeline) workers() int { return par.Workers(p.Parallelism) }
+
+// byName orders pending domains canonically; the fan-out/merge order of both
+// lookup passes, which makes parallel runs bit-for-bit deterministic.
+func byName(a, b *pendingDomain) int { return strings.Compare(a.name, b.name) }
 
 // PendingCount returns the number of domains currently tracked.
 func (p *Pipeline) PendingCount() int { return len(p.pending) }
@@ -100,42 +130,60 @@ func (p *Pipeline) CollectDaily(ctx context.Context, today simtime.Day) error {
 	// Fetch metadata for domains deleting within the lookup window that we
 	// have not resolved yet. The ≤ comparison (rather than ==) bootstraps
 	// the first days of the study, when domains closer than three days out
-	// appear on the very first list.
+	// appear on the very first list. Lookups fan out over the worker pool;
+	// failed lookups leave prior nil and are retried on later days while the
+	// window lasts.
 	cutoff := today.AddDays(LookaheadLookupDays)
+	due := make([]*pendingDomain, 0, len(p.pending))
 	for _, pd := range p.pending {
 		if pd.prior != nil || cutoff.Before(pd.deleteDay) {
 			continue
 		}
-		prior, err := p.lookupPrior(ctx, pd.name)
-		if err != nil {
-			continue // counted inside lookupPrior
-		}
-		pd.prior = prior
+		due = append(due, pd)
+	}
+	slices.SortFunc(due, byName)
+	type priorResult struct {
+		prior *model.PriorRegistration
+		delta Stats
+	}
+	results := par.Do(p.workers(), len(due), func(i int) priorResult {
+		var r priorResult
+		r.prior, r.delta = p.lookupPrior(ctx, due[i].name)
+		return r
+	})
+	for i, r := range results {
+		p.stats.add(r.delta)
+		due[i].prior = r.prior
 	}
 	return nil
 }
 
 // lookupPrior fetches registration metadata over RDAP, falling back to WHOIS
-// on 5xx.
-func (p *Pipeline) lookupPrior(ctx context.Context, name string) (*model.PriorRegistration, error) {
-	p.stats.Lookups++
+// on 5xx. It runs on pool workers: it must not touch Pipeline state, so it
+// returns its counter increments as a Stats delta (prior is nil on failure).
+func (p *Pipeline) lookupPrior(ctx context.Context, name string) (*model.PriorRegistration, Stats) {
+	delta := Stats{Lookups: 1}
 	dr, err := p.RDAP.Domain(ctx, name)
 	if err == nil {
-		return priorFromRDAP(dr)
+		prior, perr := priorFromRDAP(dr)
+		if perr != nil {
+			return nil, delta
+		}
+		return prior, delta
 	}
 	if errors.Is(err, rdap.ErrNotFound) {
-		return nil, err
+		return nil, delta
 	}
-	p.stats.RDAPErrors++
+	delta.RDAPErrors++
 	if p.WHOIS == nil {
-		p.stats.FallbackFailed++
-		return nil, err
+		delta.FallbackFailed++
+		return nil, delta
 	}
-	p.stats.WHOISFallbacks++
-	d, werr := p.WHOIS.Lookup(name)
+	delta.WHOISFallbacks++
+	d, werr := p.WHOIS.LookupContext(ctx, name)
 	if werr != nil {
-		p.stats.FallbackFailed++
-		return nil, fmt.Errorf("measure: whois fallback for %s: %w", name, werr)
+		delta.FallbackFailed++
+		return nil, delta
 	}
 	return &model.PriorRegistration{
 		ID:          d.ID,
@@ -143,7 +191,7 @@ func (p *Pipeline) lookupPrior(ctx context.Context, name string) (*model.PriorRe
 		Created:     d.Created,
 		Updated:     d.Updated,
 		Expiry:      d.Expiry,
-	}, nil
+	}, delta
 }
 
 func priorFromRDAP(dr *rdap.DomainResponse) (*model.PriorRegistration, error) {
@@ -190,40 +238,64 @@ func registrarID(dr *rdap.DomainResponse) (int, error) {
 // Finalize performs the T+8-weeks re-lookups and assembles the dataset. Call
 // once, after advancing the clock at least eight weeks past the last
 // deletion day. Domains whose prior metadata could not be collected are
-// omitted, like the paper's error cases.
+// omitted, like the paper's error cases. Re-lookups (and the oracle queries
+// for re-registered names) fan out over the worker pool; the dataset is
+// returned sorted by name regardless of Parallelism.
 func (p *Pipeline) Finalize(ctx context.Context) ([]*model.Observation, error) {
-	out := make([]*model.Observation, 0, len(p.pending))
+	collected := make([]*pendingDomain, 0, len(p.pending))
 	for _, pd := range p.pending {
-		if pd.prior == nil {
-			continue
+		if pd.prior != nil {
+			collected = append(collected, pd)
 		}
+	}
+	slices.SortFunc(collected, byName)
+	type finalResult struct {
+		// obs is nil for restored domains (same object ID: the deletion
+		// never happened), which are not part of the study population.
+		obs   *model.Observation
+		delta Stats
+		err   error
+	}
+	results := par.Do(p.workers(), len(collected), func(i int) finalResult {
+		pd := collected[i]
 		obs := &model.Observation{
 			Name:      pd.name,
 			TLD:       pd.tld,
 			DeleteDay: pd.deleteDay,
 			Prior:     *pd.prior,
 		}
+		var r finalResult
 		cur, err := p.lookupCurrent(ctx, pd.name)
 		switch {
 		case err == nil && cur != nil && cur.ID != pd.prior.ID:
 			obs.Rereg = &model.Rereg{Time: cur.Created, RegistrarID: cur.RegistrarID}
-			p.stats.Reregistered++
+			r.delta.Reregistered++
 		case err == nil && cur != nil:
-			// Same object ID: the deletion never happened (restored
-			// domain); not part of the study population.
-			continue
+			return r
 		default:
-			p.stats.NotReregistered++
+			r.delta.NotReregistered++
 		}
 		if obs.Rereg != nil && p.Oracle != nil {
-			p.stats.OracleLookups++
+			r.delta.OracleLookups++
 			mal, err := p.Oracle.Lookup(pd.name)
 			if err != nil {
-				return nil, fmt.Errorf("measure: oracle lookup %s: %w", pd.name, err)
+				r.err = fmt.Errorf("measure: oracle lookup %s: %w", pd.name, err)
+				return r
 			}
 			obs.Malicious = mal
 		}
-		out = append(out, obs)
+		r.obs = obs
+		return r
+	})
+	out := make([]*model.Observation, 0, len(collected))
+	for _, r := range results {
+		p.stats.add(r.delta)
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.obs != nil {
+			out = append(out, r.obs)
+		}
 	}
 	return out, nil
 }
@@ -239,7 +311,7 @@ func (p *Pipeline) lookupCurrent(ctx context.Context, name string) (*model.Prior
 		return nil, nil
 	}
 	if p.WHOIS != nil {
-		d, werr := p.WHOIS.Lookup(name)
+		d, werr := p.WHOIS.LookupContext(ctx, name)
 		if werr == nil {
 			return &model.PriorRegistration{
 				ID:          d.ID,

@@ -1,0 +1,57 @@
+// Package par provides the bounded fan-out primitive shared by the
+// measurement pipeline and the figure generators: run n independent tasks on
+// at most `workers` goroutines and collect their results *by index*, so the
+// output order — and therefore everything downstream of it — is identical no
+// matter how the scheduler interleaves the workers. Determinism by
+// construction, not by locking.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism knob: values > 0 are used as-is, anything
+// else defaults to GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Do runs fn(0..n-1) on at most workers goroutines and returns the results
+// indexed by input position. workers <= 1 (or n <= 1) degrades to a plain
+// sequential loop on the calling goroutine — the zero-overhead baseline the
+// determinism tests compare against. fn must be safe for concurrent calls
+// when workers > 1.
+func Do[R any](workers, n int, fn func(int) R) []R {
+	out := make([]R, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

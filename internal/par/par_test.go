@@ -1,0 +1,43 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoPreservesIndexOrder(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		got := Do(workers, 50, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestDoRunsEveryTaskExactlyOnce(t *testing.T) {
+	var calls atomic.Int64
+	Do(8, 1000, func(i int) struct{} {
+		calls.Add(1)
+		return struct{}{}
+	})
+	if n := calls.Load(); n != 1000 {
+		t.Fatalf("calls = %d", n)
+	}
+}
+
+func TestDoZeroTasks(t *testing.T) {
+	if got := Do(4, 0, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("len = %d", len(got))
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if Workers(7) != 7 {
+		t.Fatal("explicit value not honoured")
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("default must be at least 1")
+	}
+}

@@ -20,7 +20,10 @@ var (
 	ErrServer = errors.New("rdap: server error")
 )
 
-// Client queries an RDAP service.
+// Client queries an RDAP service. It is safe for concurrent use: all state
+// is immutable after NewClient and the underlying *http.Client is itself
+// concurrency-safe, so one Client can serve a whole lookup worker pool (and
+// share the transport's connection pool across workers).
 type Client struct {
 	base *url.URL
 	http *http.Client

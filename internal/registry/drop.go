@@ -1,9 +1,10 @@
 package registry
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"time"
 
 	"dropzero/internal/model"
@@ -88,11 +89,11 @@ func (r *DropRunner) BuildQueue(day simtime.Day) []QueueEntry {
 		}
 		return true
 	})
-	sort.Slice(q, func(i, j int) bool {
-		if !q[i].Updated.Equal(q[j].Updated) {
-			return q[i].Updated.Before(q[j].Updated)
+	slices.SortFunc(q, func(a, b QueueEntry) int {
+		if c := a.Updated.Compare(b.Updated); c != 0 {
+			return c
 		}
-		return q[i].ID < q[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	return q
 }

@@ -11,9 +11,11 @@
 package registry
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 	"time"
 
@@ -113,7 +115,7 @@ func (s *Store) Registrars() []model.Registrar {
 	for _, r := range s.registrars {
 		out = append(out, r)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].IANAID < out[j].IANAID })
+	slices.SortFunc(out, func(a, b model.Registrar) int { return cmp.Compare(a.IANAID, b.IANAID) })
 	return out
 }
 
@@ -389,11 +391,14 @@ func (s *Store) PendingDeletions(from simtime.Day, days int) []*model.Domain {
 		out = append(out, cloned(d))
 	}
 	s.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].DeleteDay != out[j].DeleteDay {
-			return out[i].DeleteDay.Before(out[j].DeleteDay)
+	slices.SortFunc(out, func(a, b *model.Domain) int {
+		if a.DeleteDay != b.DeleteDay {
+			if a.DeleteDay.Before(b.DeleteDay) {
+				return -1
+			}
+			return 1
 		}
-		return out[i].Name < out[j].Name
+		return strings.Compare(a.Name, b.Name)
 	})
 	return out
 }

@@ -52,6 +52,11 @@ type Config struct {
 	// FinalizeAfterDays is the gap between the last deletion day and the
 	// re-registration lookup pass (the paper waited at least 8 weeks).
 	FinalizeAfterDays int
+	// Parallelism bounds the measurement pipeline's lookup worker pool
+	// (0 = GOMAXPROCS, 1 = sequential). Results are deterministic at every
+	// setting: equal seeds give byte-identical datasets regardless of how
+	// many workers collected them.
+	Parallelism int
 }
 
 // DefaultConfig returns the configuration used by the experiment harness: a

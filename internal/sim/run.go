@@ -4,13 +4,15 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
+	"strings"
 	"time"
 
 	"dropzero/internal/dropscope"
 	"dropzero/internal/inproc"
 	"dropzero/internal/measure"
 	"dropzero/internal/model"
+	"dropzero/internal/par"
 	"dropzero/internal/rdap"
 	"dropzero/internal/registrars"
 	"dropzero/internal/registry"
@@ -113,12 +115,16 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	workers := par.Workers(cfg.Parallelism)
+	whoisClient := &whois.Client{Addr: whoisAddr.String(), PoolSize: workers}
+	defer whoisClient.Close()
 	pipeline := &measure.Pipeline{
-		Lists:     scopeClient,
-		RDAP:      rdapClient,
-		WHOIS:     &whois.Client{Addr: whoisAddr.String()},
-		Oracle:    oracleClient,
-		TLDFilter: model.COM,
+		Lists:       scopeClient,
+		RDAP:        rdapClient,
+		WHOIS:       whoisClient,
+		Oracle:      oracleClient,
+		TLDFilter:   model.COM,
+		Parallelism: workers,
 	}
 
 	runner := registry.NewDropRunner(store, cfg.scaledDrop())
@@ -160,7 +166,7 @@ func Run(cfg Config) (*Result, error) {
 			at    time.Time
 			name  string
 		}
-		var creates []pendingCreate
+		creates := make([]pendingCreate, 0, len(events))
 		for _, ev := range events {
 			m := meta[ev.Name]
 			lot := registrars.Lot{
@@ -182,7 +188,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 			creates = append(creates, pendingCreate{claim: claim, at: claim.Time(lot), name: ev.Name})
 		}
-		sort.SliceStable(creates, func(a, b int) bool { return creates[a].at.Before(creates[b].at) })
+		slices.SortStableFunc(creates, func(a, b pendingCreate) int { return a.at.Compare(b.at) })
 		for _, c := range creates {
 			if _, err := store.CreateAt(c.name, c.claim.RegistrarID, 1, c.at); err != nil {
 				return nil, fmt.Errorf("sim: materialise claim for %s: %w", c.name, err)
@@ -201,7 +207,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(obs, func(i, j int) bool { return obs[i].Name < obs[j].Name })
+	slices.SortFunc(obs, func(a, b *model.Observation) int { return strings.Compare(a.Name, b.Name) })
 	res.Observations = obs
 	res.PipelineStats = pipeline.Stats()
 	return res, nil

@@ -3,7 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"time"
 
 	"dropzero/internal/model"
@@ -141,7 +141,7 @@ func (s *seeder) seedAll(store *registry.Store, lifecycle registry.LifecycleConf
 		specs = append(specs, s.specsForDay(day, s.cfg.dailyVolume(i, volRng), lifecycle)...)
 		day = day.Next()
 	}
-	sort.SliceStable(specs, func(i, j int) bool { return specs[i].created.Before(specs[j].created) })
+	slices.SortStableFunc(specs, func(a, b domainSpec) int { return a.created.Compare(b.created) })
 	meta := make(map[string]lotMeta, len(specs))
 	for _, sp := range specs {
 		if _, err := store.SeedAt(sp.name, sp.registrarID, sp.created, sp.updated, sp.expiry,

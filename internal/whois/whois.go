@@ -7,6 +7,7 @@ package whois
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -258,25 +259,74 @@ func (s *Server) serveConn(conn net.Conn) {
 	io.WriteString(conn, Format(d))
 }
 
-// Client performs WHOIS lookups against one server address.
+// Client performs WHOIS lookups against one server address. It is safe for
+// concurrent use: the measurement pipeline fans fallback lookups out over a
+// worker pool.
+//
+// Port-43 WHOIS is a one-shot protocol — the server answers a single query
+// and closes the connection — so connections cannot be *reused*. Instead the
+// Client keeps up to PoolSize pre-dialed idle connections ready, refilling in
+// the background after each lookup, so steady-state queries stop paying a
+// dial round-trip on the critical path.
 type Client struct {
 	Addr string
-	// Timeout bounds each lookup; zero means 10 s.
+	// Timeout bounds each lookup (dial + query + read) when the context
+	// carries no earlier deadline; zero means 10 s.
 	Timeout time.Duration
+	// PoolSize caps the pre-dialed idle connections kept for future lookups;
+	// zero disables dial-ahead.
+	PoolSize int
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
 }
 
-// Lookup queries the server for name.
+// Lookup queries the server for name. It is the context-free compatibility
+// wrapper around LookupContext.
 func (c *Client) Lookup(name string) (*model.Domain, error) {
+	return c.LookupContext(context.Background(), name)
+}
+
+// LookupContext queries the server for name. The context bounds dialing and
+// the read of the response; a hung server fails the lookup instead of
+// stalling the caller.
+func (c *Client) LookupContext(ctx context.Context, name string) (*model.Domain, error) {
 	timeout := c.Timeout
 	if timeout == 0 {
 		timeout = 10 * time.Second
 	}
-	conn, err := net.DialTimeout("tcp", c.Addr, timeout)
-	if err != nil {
-		return nil, fmt.Errorf("whois: dial %s: %w", c.Addr, err)
+	deadline := time.Now().Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
 	}
+	conn, pooled := c.takeIdle()
+	if conn == nil {
+		var err error
+		conn, err = c.dial(ctx, deadline)
+		if err != nil {
+			return nil, err
+		}
+	}
+	d, err := query(conn, name, deadline)
+	if err != nil && pooled && ctx.Err() == nil {
+		// A pre-dialed connection can have gone stale (server-side idle
+		// timeout); retry exactly once on a fresh dial.
+		if conn, derr := c.dial(ctx, deadline); derr == nil {
+			d, err = query(conn, name, deadline)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.refill()
+	return d, nil
+}
+
+// query runs one request/response exchange and always closes conn.
+func query(conn net.Conn, name string, deadline time.Time) (*model.Domain, error) {
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(timeout))
+	conn.SetDeadline(deadline)
 	if _, err := fmt.Fprintf(conn, "%s\r\n", name); err != nil {
 		return nil, fmt.Errorf("whois: send query: %w", err)
 	}
@@ -289,4 +339,67 @@ func (c *Client) Lookup(name string) (*model.Domain, error) {
 		return nil, err
 	}
 	return rec.Domain()
+}
+
+func (c *Client) dial(ctx context.Context, deadline time.Time) (net.Conn, error) {
+	var d net.Dialer
+	d.Deadline = deadline
+	conn, err := d.DialContext(ctx, "tcp", c.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("whois: dial %s: %w", c.Addr, err)
+	}
+	return conn, nil
+}
+
+func (c *Client) takeIdle() (net.Conn, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		return conn, true
+	}
+	return nil, false
+}
+
+// refill dials ahead in the background until the idle pool is full.
+func (c *Client) refill() {
+	c.mu.Lock()
+	wanted := !c.closed && len(c.idle) < c.PoolSize
+	c.mu.Unlock()
+	if !wanted {
+		return
+	}
+	go func() {
+		timeout := c.Timeout
+		if timeout == 0 {
+			timeout = 10 * time.Second
+		}
+		conn, err := net.DialTimeout("tcp", c.Addr, timeout)
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		if !c.closed && len(c.idle) < c.PoolSize {
+			c.idle = append(c.idle, conn)
+			conn = nil
+		}
+		c.mu.Unlock()
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+}
+
+// Close releases the pre-dialed connections. The Client stays usable — later
+// lookups simply dial on demand — but stops dialing ahead.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, conn := range c.idle {
+		conn.Close()
+	}
+	c.idle = nil
+	return nil
 }

@@ -1,8 +1,11 @@
 package whois
 
 import (
+	"context"
 	"errors"
+	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -157,5 +160,100 @@ func TestClientDialError(t *testing.T) {
 	c := &Client{Addr: "127.0.0.1:1", Timeout: 200 * time.Millisecond}
 	if _, err := c.Lookup("x.com"); err == nil {
 		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestClientContextDeadline(t *testing.T) {
+	// A listener that accepts but never answers: the context deadline must
+	// fail the lookup instead of stalling for the full client timeout.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+	c := &Client{Addr: ln.Addr().String(), Timeout: 30 * time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.LookupContext(ctx, "hang.com"); err == nil {
+		t.Fatal("lookup against mute server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("context deadline not honoured: took %v", elapsed)
+	}
+}
+
+func TestClientPooledLookups(t *testing.T) {
+	store, addr := newWhoisServer(t)
+	store.Create("pooled.com", 1000, 1)
+	c := &Client{Addr: addr, PoolSize: 4}
+	defer c.Close()
+	for i := 0; i < 30; i++ {
+		if _, err := c.Lookup("pooled.com"); err != nil {
+			t.Fatalf("pooled lookup %d: %v", i, err)
+		}
+	}
+}
+
+func TestClientPoolSurvivesStaleConnections(t *testing.T) {
+	store, addr := newWhoisServer(t)
+	store.Create("stale.com", 1000, 1)
+	c := &Client{Addr: addr, PoolSize: 2}
+	defer c.Close()
+	if _, err := c.Lookup("stale.com"); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage whatever the background refill dialed: close the pooled
+	// conns from the client side, so the next lookup hits a dead socket and
+	// must retry on a fresh dial.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		n := len(c.idle)
+		c.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.mu.Lock()
+	for _, conn := range c.idle {
+		conn.Close()
+	}
+	c.mu.Unlock()
+	if _, err := c.Lookup("stale.com"); err != nil {
+		t.Fatalf("lookup after stale pooled conn: %v", err)
+	}
+}
+
+func TestClientConcurrentLookups(t *testing.T) {
+	store, addr := newWhoisServer(t)
+	store.Create("conc.com", 1000, 1)
+	c := &Client{Addr: addr, PoolSize: 8}
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Lookup("conc.com"); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
 	}
 }
