@@ -507,6 +507,34 @@ func BenchmarkAblationAccreditationRace(b *testing.B) {
 	b.ReportMetric(100*bigWins/bigAttempts, "create-success-pct(paper:<<1-for-dropcatch)")
 }
 
+// BenchmarkStudyWallClock measures the end-to-end wall-clock cost of one
+// full-volume deletion day: seed the expiring population at the paper's
+// scale, run the Drop, let the market claim names, run the measurement
+// pipeline. This is the number the registry's due-day indexes exist to keep
+// flat as the simulated zone grows — the daily sweeps are O(due work), so
+// study time tracks deletion volume, not store size. Tracked per PR in the
+// perf trajectory artifact (BENCH_2.json).
+func BenchmarkStudyWallClock(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Days = 1
+	cfg.Scale = 1.0
+	var deleted int
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		deleted = 0
+		for _, evs := range res.Deletions {
+			deleted += len(evs)
+		}
+		if deleted == 0 {
+			b.Fatal("study deleted nothing")
+		}
+	}
+	b.ReportMetric(float64(deleted), "deletions/day(paper:66k-112k)")
+}
+
 // --- micro-benchmarks of the core algorithms -----------------------------
 
 // BenchmarkCoreRank measures ranking one full-volume day.

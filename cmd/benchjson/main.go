@@ -1,0 +1,115 @@
+// Command benchjson converts `go test -bench` output into a JSON perf
+// trajectory artifact: one record per benchmark result with its name, ns/op
+// and (when -benchmem was set) B/op and allocs/op, plus any custom
+// ReportMetric values. CI runs it over the bench smoke output and uploads
+// the result, so per-PR performance history is diffable without parsing
+// benchmark text.
+//
+// Usage:
+//
+//	go test -bench . -benchmem | benchjson > bench.json
+//	benchjson bench-registry.txt bench-study.txt > bench.json
+//
+// Lines that are not benchmark results (the goos/pkg preamble, PASS/ok
+// trailers, test log output) are ignored, so raw `go test` output can be fed
+// in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line. NsPerOp and AllocsPerOp are broken
+// out because they are the two metrics the repo tracks PR over PR; all
+// units, including those two, are preserved verbatim in Metrics.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// parseLine parses one `go test -bench` result line:
+//
+//	BenchmarkName-8   	     100	  11 ns/op	  3 B/op	  1 allocs/op
+//
+// i.e. a Benchmark-prefixed name, an iteration count, then value-unit pairs.
+// ok=false for anything else.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		unit := fields[i+1]
+		r.Metrics[unit] = v
+		switch unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	if len(r.Metrics) == 0 {
+		return Result{}, false
+	}
+	return r, true
+}
+
+func parse(rd io.Reader, out *[]Result) error {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			*out = append(*out, r)
+		}
+	}
+	return sc.Err()
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var results []Result
+	if len(os.Args) > 1 {
+		for _, path := range os.Args[1:] {
+			f, err := os.Open(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			err = parse(f, &results)
+			f.Close()
+			if err != nil {
+				log.Fatalf("%s: %v", path, err)
+			}
+		}
+	} else if err := parse(os.Stdin, &results); err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("no benchmark results found in input")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d results\n", len(results))
+}

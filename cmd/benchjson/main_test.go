@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: dropzero/internal/registry
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDailySweep/store=1000000/engine=indexed-8         	      20	    159841 ns/op	   54784 B/op	     302 allocs/op
+BenchmarkStudyWallClock 	       1	7500602744 ns/op	    114180 deletions/day(paper:66k-112k)
+--- PASS: TestSomething (0.01s)
+PASS
+ok  	dropzero/internal/registry	40.149s
+`
+	var results []Result
+	if err := parse(strings.NewReader(input), &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	sweep := results[0]
+	if sweep.Name != "BenchmarkDailySweep/store=1000000/engine=indexed-8" {
+		t.Errorf("name = %q", sweep.Name)
+	}
+	if sweep.Iterations != 20 || sweep.NsPerOp != 159841 || sweep.AllocsPerOp != 302 {
+		t.Errorf("sweep = %+v", sweep)
+	}
+	if sweep.Metrics["B/op"] != 54784 {
+		t.Errorf("B/op = %v", sweep.Metrics["B/op"])
+	}
+	study := results[1]
+	if study.NsPerOp != 7500602744 || study.Metrics["deletions/day(paper:66k-112k)"] != 114180 {
+		t.Errorf("study = %+v", study)
+	}
+	if study.AllocsPerOp != 0 {
+		t.Errorf("study allocs = %v, want 0 (not reported)", study.AllocsPerOp)
+	}
+}
+
+func TestParseLineRejectsNonBenchLines(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"ok  \tdropzero\t7.5s",
+		"goos: linux",
+		"Benchmark notanumber 5 ns/op",
+		"BenchmarkOnlyName",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted, want rejected", line)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package registry
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"dropzero/internal/model"
+	"dropzero/internal/simtime"
+)
+
+// engineTrace is everything observable about a multi-week registry run:
+// per-day transition counts, deletion queues, published pending-deletion
+// windows, ground-truth deletion events, and the final store contents.
+type engineTrace struct {
+	tickCounts []int
+	queues     [][]QueueEntry
+	pending    [][]model.Domain
+	deletions  [][]model.DeletionEvent
+	counts     []map[model.Status]int
+	final      []model.Domain
+}
+
+// runEngine drives one store through days of lifecycle ticks, Drops and
+// interleaved registrar churn, all derived from seed. With scan=true the
+// store answers every sweep via the retained full-scan reference engine;
+// with scan=false it uses the due-day indexes. Identical seeds must yield
+// identical traces either way — that equivalence is the whole point.
+func runEngine(t *testing.T, seed int64, days int, scan bool) engineTrace {
+	t.Helper()
+	start := simtime.Day{Year: 2018, Month: time.January, Dom: 8}
+	clock := simtime.NewSimClock(start.At(0, 30, 0))
+	s := NewStore(clock)
+	s.SetScanEngine(scan)
+	for r := 0; r < 10; r++ {
+		s.AddRegistrar(model.Registrar{IANAID: 1000 + r, Name: fmt.Sprintf("Reg %d", r)})
+	}
+
+	// Short pipeline so a domain can traverse active → autoRenew →
+	// redemption → pendingDelete → purged inside the test window.
+	cfg := DefaultLifecycleConfig()
+	cfg.RedemptionDays = 10
+	cfg.PendingDeleteDays = 3
+	cfg.DefaultGraceDays = 8
+	SpreadGraceDays(&cfg, s, 5, 15, rand.New(rand.NewSource(seed+1)))
+	lc := NewLifecycle(s, cfg)
+	runner := NewDropRunner(s, DefaultDropConfig())
+
+	// Seed a mixed population. Every random draw comes from rng, in a fixed
+	// order, so both engines build bit-identical worlds.
+	rng := rand.New(rand.NewSource(seed))
+	type holding struct {
+		name    string
+		sponsor int
+	}
+	var pool []holding
+	for i := 0; i < 300; i++ {
+		name := fmt.Sprintf("da%04d.com", i)
+		sponsor := 1000 + rng.Intn(10)
+		var err error
+		switch {
+		case i < 180: // active; many expire inside the window
+			expiry := start.AddDays(-10 + rng.Intn(days+20)).At(rng.Intn(24), rng.Intn(60), rng.Intn(60))
+			_, err = s.SeedAt(name, sponsor, expiry.AddDate(-1, 0, 0), expiry.AddDate(-1, 0, 0), expiry, model.StatusActive, simtime.Day{})
+		case i < 230: // autoRenew with the grace clock already running
+			expiry := start.AddDays(-1 - rng.Intn(20)).At(rng.Intn(24), rng.Intn(60), 0)
+			_, err = s.SeedAt(name, sponsor, expiry.AddDate(-1, 0, 0), expiry, expiry, model.StatusAutoRenew, simtime.Day{})
+		case i < 260: // redemption, Updated in the recent past
+			updated := start.AddDays(-1 - rng.Intn(12)).At(6, 30, rng.Intn(60))
+			_, err = s.SeedAt(name, sponsor, updated.AddDate(-2, 0, 0), updated, updated.AddDate(0, 0, -20), model.StatusRedemption, simtime.Day{})
+		default: // pendingDelete spread over the first week of Drops
+			updated := start.AddDays(-20).At(6, 30, rng.Intn(60))
+			_, err = s.SeedAt(name, sponsor, updated.AddDate(-2, 0, 0), updated, updated.AddDate(0, 0, -20), model.StatusPendingDelete, start.AddDays(rng.Intn(7)))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool = append(pool, holding{name, sponsor})
+	}
+
+	var tr engineTrace
+	for di := 0; di < days; di++ {
+		day := start.AddDays(di)
+
+		// Morning churn: registrations, renewals, touches, transfers. Some
+		// calls fail (wrong state, wrong sponsor) — identically on both
+		// engines, since the worlds are identical.
+		clock.Set(day.At(9, 0, 0))
+		for j := 0; j < 3; j++ {
+			name := fmt.Sprintf("new%03d-%d.com", di, j)
+			sponsor := 1000 + rng.Intn(10)
+			if _, err := s.CreateAt(name, sponsor, 1+rng.Intn(3), clock.Now()); err == nil {
+				pool = append(pool, holding{name, sponsor})
+			}
+		}
+		for j := 0; j < 4; j++ {
+			h := pool[rng.Intn(len(pool))]
+			switch rng.Intn(3) {
+			case 0:
+				s.Renew(h.name, h.sponsor, 1)
+			case 1:
+				s.TouchAt(h.name, h.sponsor, clock.Now())
+			case 2:
+				gaining := 1000 + rng.Intn(10)
+				if code, err := s.AuthInfo(h.name, h.sponsor); err == nil {
+					s.Transfer(h.name, gaining, code)
+				}
+			}
+		}
+
+		clock.Set(day.At(12, 0, 0))
+		tr.tickCounts = append(tr.tickCounts, lc.Tick(clock.Now()))
+
+		// The published pending-delete window and the day's queue, recorded
+		// before the Drop consumes it.
+		var window []model.Domain
+		for _, d := range s.PendingDeletions(day, 5) {
+			window = append(window, *d)
+		}
+		tr.pending = append(tr.pending, window)
+		tr.queues = append(tr.queues, runner.BuildQueue(day))
+
+		clock.Set(day.At(19, 0, 0))
+		events, err := runner.Run(day, rand.New(rand.NewSource(seed+int64(1000+di))))
+		if err != nil {
+			t.Fatalf("day %v drop: %v", day, err)
+		}
+		tr.deletions = append(tr.deletions, events)
+		tr.counts = append(tr.counts, s.StatusCounts())
+	}
+
+	s.Each(func(d *model.Domain) bool {
+		tr.final = append(tr.final, *d)
+		return true
+	})
+	slicesSortByName(tr.final)
+	return tr
+}
+
+func slicesSortByName(ds []model.Domain) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j].Name < ds[j-1].Name; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+// TestIndexedMatchesScanEngine is the differential test: over several seeds,
+// the due-day-indexed sweeps and the retained full-scan reference must
+// produce identical transition counts, deletion queues, published windows,
+// deletion event logs, status counts and final store contents, day by day.
+func TestIndexedMatchesScanEngine(t *testing.T) {
+	const days = 40
+	for _, seed := range []int64{1, 7, 20180108} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			idx := runEngine(t, seed, days, false)
+			ref := runEngine(t, seed, days, true)
+
+			if !reflect.DeepEqual(idx.tickCounts, ref.tickCounts) {
+				t.Errorf("tick counts diverge:\nindexed: %v\nscan:    %v", idx.tickCounts, ref.tickCounts)
+			}
+			for d := 0; d < days; d++ {
+				if !reflect.DeepEqual(idx.queues[d], ref.queues[d]) {
+					t.Errorf("day %d: deletion queues diverge (indexed %d entries, scan %d)", d, len(idx.queues[d]), len(ref.queues[d]))
+				}
+				if !reflect.DeepEqual(idx.pending[d], ref.pending[d]) {
+					t.Errorf("day %d: PendingDeletions windows diverge (indexed %d, scan %d)", d, len(idx.pending[d]), len(ref.pending[d]))
+				}
+				if !reflect.DeepEqual(idx.deletions[d], ref.deletions[d]) {
+					t.Errorf("day %d: deletion events diverge (indexed %d, scan %d)", d, len(idx.deletions[d]), len(ref.deletions[d]))
+				}
+				if !reflect.DeepEqual(idx.counts[d], ref.counts[d]) {
+					t.Errorf("day %d: status counts diverge:\nindexed: %v\nscan:    %v", d, idx.counts[d], ref.counts[d])
+				}
+			}
+			if !reflect.DeepEqual(idx.final, ref.final) {
+				t.Errorf("final store contents diverge (indexed %d domains, scan %d)", len(idx.final), len(ref.final))
+			}
+
+			// Sanity: the run must actually exercise the pipeline, or the
+			// comparison proves nothing.
+			ticks, dels := 0, 0
+			for d := 0; d < days; d++ {
+				ticks += idx.tickCounts[d]
+				dels += len(idx.deletions[d])
+			}
+			if ticks < 100 || dels < 50 {
+				t.Fatalf("run too quiet to be meaningful: %d transitions, %d deletions", ticks, dels)
+			}
+		})
+	}
+}

@@ -81,13 +81,21 @@ func (r *DropRunner) Config() DropConfig { return r.cfg }
 // scheduled for day, .com and .net combined, ordered by the registration's
 // last-updated timestamp with the domain ID as the tie breaker. This is the
 // predictable order the paper infers in §4.1.
+//
+// The queue is read straight out of day's pending-delete bucket — one
+// exactly-sized allocation and an O(k log k) sort, independent of how many
+// million other registrations the store holds.
 func (r *DropRunner) BuildQueue(day simtime.Day) []QueueEntry {
-	var q []QueueEntry
-	r.store.Each(func(d *model.Domain) bool {
-		if d.Status == model.StatusPendingDelete && d.DeleteDay == day {
-			q = append(q, QueueEntry{Name: d.Name, TLD: d.TLD, ID: d.ID, Updated: d.Updated})
-		}
-		return true
+	if r.store.useScan() {
+		return r.buildQueueScan(day)
+	}
+	n := r.store.pendingCountOn(day)
+	if n == 0 {
+		return nil
+	}
+	q := make([]QueueEntry, 0, n)
+	r.store.eachPendingOn(day, func(d *model.Domain) {
+		q = append(q, QueueEntry{Name: d.Name, TLD: d.TLD, ID: d.ID, Updated: d.Updated})
 	})
 	slices.SortFunc(q, func(a, b QueueEntry) int {
 		if c := a.Updated.Compare(b.Updated); c != 0 {

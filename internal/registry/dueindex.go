@@ -1,0 +1,112 @@
+package registry
+
+import (
+	"slices"
+
+	"dropzero/internal/model"
+	"dropzero/internal/simtime"
+)
+
+// duePolicy computes the UTC day a registration's next lifecycle transition
+// becomes due — the key its due-index bucket is filed under. The zero value
+// is the safe default used before a Lifecycle is attached: it anchors
+// autoRenew and redemption domains at the *start* of their grace and
+// redemption windows (grace and redemption lengths of zero), so buckets can
+// only be earlier than the true due day, never later. An early bucket merely
+// re-examines the domain on sweeps until it really is due; a late bucket
+// would delay transitions, which is why NewLifecycle and SpreadGraceDays
+// install the exact policy derived from the active LifecycleConfig.
+type duePolicy struct {
+	redemptionDays   int
+	graceDays        map[int]int
+	defaultGraceDays int
+}
+
+// dueDay returns the bucket day for d's current state: expiry day for
+// active, grace-end day for autoRenew, redemption-end day for redemption and
+// the scheduled DeleteDay for pendingDelete.
+func (p duePolicy) dueDay(d *model.Domain) simtime.Day {
+	switch d.Status {
+	case model.StatusActive:
+		return simtime.DayOf(d.Expiry)
+	case model.StatusAutoRenew:
+		g := p.defaultGraceDays
+		if v, ok := p.graceDays[d.RegistrarID]; ok {
+			g = v
+		}
+		return simtime.DayOf(d.Expiry.AddDate(0, 0, g))
+	case model.StatusRedemption:
+		return simtime.DayOf(d.Updated.AddDate(0, 0, p.redemptionDays))
+	default:
+		return d.DeleteDay
+	}
+}
+
+// dueIndex is one lifecycle state's time-bucketed secondary index: every
+// live registration in that state, bucketed by due day. Buckets key on the
+// registry object ID for O(1) removal; bucket-internal iteration order is Go
+// map order, so every consumer imposes its own deterministic sort. days
+// mirrors the non-empty bucket keys in ascending order, which is what makes
+// "walk everything due through day D" O(due work) instead of O(store).
+type dueIndex struct {
+	buckets map[simtime.Day]map[uint64]*model.Domain
+	days    []simtime.Day
+}
+
+func (ix *dueIndex) add(day simtime.Day, d *model.Domain) {
+	if ix.buckets == nil {
+		ix.buckets = make(map[simtime.Day]map[uint64]*model.Domain)
+	}
+	b, ok := ix.buckets[day]
+	if !ok {
+		b = make(map[uint64]*model.Domain)
+		ix.buckets[day] = b
+		if i, found := slices.BinarySearchFunc(ix.days, day, simtime.Day.Compare); !found {
+			ix.days = slices.Insert(ix.days, i, day)
+		}
+	}
+	b[d.ID] = d
+}
+
+func (ix *dueIndex) remove(day simtime.Day, id uint64) {
+	b, ok := ix.buckets[day]
+	if !ok {
+		return
+	}
+	delete(b, id)
+	if len(b) == 0 {
+		delete(ix.buckets, day)
+		if i, found := slices.BinarySearchFunc(ix.days, day, simtime.Day.Compare); found {
+			ix.days = slices.Delete(ix.days, i, i+1)
+		}
+	}
+}
+
+// count returns the size of day's bucket.
+func (ix *dueIndex) count(day simtime.Day) int { return len(ix.buckets[day]) }
+
+// through calls fn for every registration whose bucket day is on or before
+// limit. fn must not add or remove index entries.
+func (ix *dueIndex) through(limit simtime.Day, fn func(*model.Domain)) {
+	for _, day := range ix.days {
+		if day.Compare(limit) > 0 {
+			return
+		}
+		for _, d := range ix.buckets[day] {
+			fn(d)
+		}
+	}
+}
+
+// eachBucket visits every non-empty bucket with day in [from, to), in
+// ascending day order. fn must not add or remove index entries.
+func (ix *dueIndex) eachBucket(from, to simtime.Day, fn func(simtime.Day, map[uint64]*model.Domain)) {
+	i, _ := slices.BinarySearchFunc(ix.days, from, simtime.Day.Compare)
+	for ; i < len(ix.days); i++ {
+		day := ix.days[i]
+		if day.Compare(to) >= 0 {
+			return
+		}
+		fn(day, ix.buckets[day])
+	}
+}

@@ -1,8 +1,9 @@
 package registry
 
 import (
+	"cmp"
 	"math/rand"
-	"sort"
+	"slices"
 	"time"
 
 	"dropzero/internal/model"
@@ -78,66 +79,84 @@ type Lifecycle struct {
 	cfg   LifecycleConfig
 }
 
-// NewLifecycle returns a Lifecycle over store.
+// NewLifecycle returns a Lifecycle over store. It installs the store's
+// due-day policy derived from cfg, so the store's per-state indexes bucket
+// every domain on the exact day its next transition becomes due. One store
+// should have one active Lifecycle; cfg.GraceDays must not be mutated
+// afterwards except through SpreadGraceDays, which re-derives the policy (a
+// bucket later than the true due day would delay transitions).
 func NewLifecycle(store *Store, cfg LifecycleConfig) *Lifecycle {
 	if cfg.RedemptionDays == 0 && cfg.PendingDeleteDays == 0 && cfg.DefaultGraceDays == 0 {
 		cfg = DefaultLifecycleConfig()
 	}
+	store.setDuePolicy(duePolicy{
+		redemptionDays:   cfg.RedemptionDays,
+		graceDays:        cfg.GraceDays,
+		defaultGraceDays: cfg.DefaultGraceDays,
+	})
 	return &Lifecycle{store: store, cfg: cfg}
 }
 
 // Config returns the active configuration.
 func (l *Lifecycle) Config() LifecycleConfig { return l.cfg }
 
+// change is one planned lifecycle transition: everything the apply phase
+// needs, derived once during the sweep — no deferred closure re-deriving
+// state per candidate, and no Domain clone per examined domain.
+type change struct {
+	id      uint64
+	name    string
+	to      model.Status
+	updated time.Time   // zero = keep the current last-updated timestamp
+	day     simtime.Day // DeleteDay when to == StatusPendingDelete
+}
+
 // Tick processes all state transitions due at now. It returns the number of
 // transitions performed. Transitions are applied in a deterministic order
 // (sorted by domain ID) so equal inputs give equal outputs.
+//
+// Tick walks only the due-day index buckets at or before now's day — the
+// work is proportional to the domains actually due (plus same-day
+// candidates whose exact instant has not struck yet), not to the store.
 func (l *Lifecycle) Tick(now time.Time) int {
+	if l.store.useScan() {
+		return l.tickScan(now)
+	}
 	now = simtime.Trunc(now)
 	day := simtime.DayOf(now)
 
-	type change struct {
-		d  *model.Domain
-		fn func() error
-	}
 	var changes []change
-
-	l.store.Each(func(d *model.Domain) bool {
-		switch d.Status {
-		case model.StatusActive:
-			if !d.Expiry.After(now) {
-				changes = append(changes, change{d, func() error {
-					// Registry auto-renews at expiration; the registrar's
-					// grace clock starts at the old expiry.
-					return l.store.setState(d.Name, model.StatusAutoRenew, d.Expiry, simtime.Day{})
-				}})
-			}
-		case model.StatusAutoRenew:
-			graceEnd := d.Expiry.AddDate(0, 0, l.cfg.graceDays(d.RegistrarID))
-			if !graceEnd.After(now) {
-				batch := l.cfg.BatchInstant(day, d.RegistrarID)
-				changes = append(changes, change{d, func() error {
-					// Registrar deletes the domain: this is the "last
-					// updated" instant that will drive the deletion order.
-					return l.store.setState(d.Name, model.StatusRedemption, batch, simtime.Day{})
-				}})
-			}
-		case model.StatusRedemption:
-			redemptionEnd := d.Updated.AddDate(0, 0, l.cfg.RedemptionDays)
-			if !redemptionEnd.After(now) {
-				deleteDay := day.AddDays(l.cfg.PendingDeleteDays)
-				changes = append(changes, change{d, func() error {
-					return l.store.MarkPendingDelete(d.Name, time.Time{}, deleteDay)
-				}})
-			}
+	l.store.eachDueThrough(model.StatusActive, day, func(d *model.Domain) {
+		if !d.Expiry.After(now) {
+			// Registry auto-renews at expiration; the registrar's grace
+			// clock starts at the old expiry.
+			changes = append(changes, change{id: d.ID, name: d.Name, to: model.StatusAutoRenew, updated: d.Expiry})
 		}
-		return true
+	})
+	l.store.eachDueThrough(model.StatusAutoRenew, day, func(d *model.Domain) {
+		graceEnd := d.Expiry.AddDate(0, 0, l.cfg.graceDays(d.RegistrarID))
+		if !graceEnd.After(now) {
+			// Registrar deletes the domain: the batch instant is the "last
+			// updated" timestamp that will drive the deletion order.
+			changes = append(changes, change{id: d.ID, name: d.Name, to: model.StatusRedemption, updated: l.cfg.BatchInstant(day, d.RegistrarID)})
+		}
+	})
+	l.store.eachDueThrough(model.StatusRedemption, day, func(d *model.Domain) {
+		if !d.Updated.AddDate(0, 0, l.cfg.RedemptionDays).After(now) {
+			changes = append(changes, change{id: d.ID, name: d.Name, to: model.StatusPendingDelete, day: day.AddDays(l.cfg.PendingDeleteDays)})
+		}
 	})
 
-	sort.Slice(changes, func(i, j int) bool { return changes[i].d.ID < changes[j].d.ID })
+	slices.SortFunc(changes, func(a, b change) int { return cmp.Compare(a.id, b.id) })
 	n := 0
 	for _, c := range changes {
-		if err := c.fn(); err == nil {
+		var err error
+		if c.to == model.StatusPendingDelete {
+			err = l.store.MarkPendingDelete(c.name, time.Time{}, c.day)
+		} else {
+			err = l.store.setState(c.name, c.to, c.updated, simtime.Day{})
+		}
+		if err == nil {
 			n++
 		}
 	}
@@ -146,7 +165,9 @@ func (l *Lifecycle) Tick(now time.Time) int {
 
 // SpreadGraceDays populates GraceDays with registrar-specific values in
 // [minDays, maxDays], drawn deterministically from rng, for every registrar
-// currently known to the store.
+// currently known to the store. It re-derives the store's due-day policy so
+// already-indexed autoRenew domains move to their new grace-end buckets —
+// this is the one supported way to change GraceDays after NewLifecycle.
 func SpreadGraceDays(cfg *LifecycleConfig, store *Store, minDays, maxDays int, rng *rand.Rand) {
 	if cfg.GraceDays == nil {
 		cfg.GraceDays = make(map[int]int)
@@ -154,4 +175,9 @@ func SpreadGraceDays(cfg *LifecycleConfig, store *Store, minDays, maxDays int, r
 	for _, r := range store.Registrars() {
 		cfg.GraceDays[r.IANAID] = minDays + rng.Intn(maxDays-minDays+1)
 	}
+	store.setDuePolicy(duePolicy{
+		redemptionDays:   cfg.RedemptionDays,
+		graceDays:        cfg.GraceDays,
+		defaultGraceDays: cfg.DefaultGraceDays,
+	})
 }

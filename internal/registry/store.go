@@ -68,6 +68,83 @@ type Store struct {
 
 	// deletions is the ground-truth archive of Drop deletions, per day.
 	deletions map[simtime.Day][]model.DeletionEvent
+
+	// policy computes each registration's due day. The zero value anchors
+	// buckets at the earliest plausible day (always safe); NewLifecycle and
+	// SpreadGraceDays install the exact policy for the active config.
+	policy duePolicy
+	// due is the tentpole index: per lifecycle state, every live
+	// registration bucketed by the UTC day its next transition becomes due.
+	// Maintained incrementally by every mutator, it makes the daily sweeps
+	// (Lifecycle.Tick, DropRunner.BuildQueue, PendingDeletions) O(due work)
+	// instead of O(store).
+	due [model.StatusDeleted]dueIndex
+	// statusCount tallies live registrations per lifecycle state.
+	statusCount [model.StatusDeleted + 1]int
+	// scanEngine routes the daily sweeps through the retained full-scan
+	// reference implementations (scanref.go) instead of the due indexes.
+	// Differential tests and benchmark baselines only.
+	scanEngine bool
+}
+
+// dueAdd indexes d under its current state and due day and bumps the status
+// counter. The caller holds the write lock; every live domain is indexed
+// exactly once.
+func (s *Store) dueAdd(d *model.Domain) {
+	if int(d.Status) < len(s.statusCount) {
+		s.statusCount[d.Status]++
+	}
+	if int(d.Status) < len(s.due) {
+		s.due[d.Status].add(s.policy.dueDay(d), d)
+	}
+}
+
+// dueRemove un-indexes d. It must run *before* any field that feeds
+// duePolicy.dueDay (Status, Expiry, Updated, RegistrarID, DeleteDay) is
+// mutated, or the removal would look in the wrong bucket.
+func (s *Store) dueRemove(d *model.Domain) {
+	if int(d.Status) < len(s.statusCount) {
+		s.statusCount[d.Status]--
+	}
+	if int(d.Status) < len(s.due) {
+		s.due[d.Status].remove(s.policy.dueDay(d), d.ID)
+	}
+}
+
+// setDuePolicy installs the due-day policy and rebuilds every index bucket
+// under it — O(store), paid once when a Lifecycle is attached or its grace
+// spread changes.
+func (s *Store) setDuePolicy(p duePolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.due {
+		s.due[i] = dueIndex{}
+	}
+	s.policy = p
+	for _, d := range s.domains {
+		if int(d.Status) < len(s.due) {
+			s.due[d.Status].add(p.dueDay(d), d)
+		}
+	}
+}
+
+// SetScanEngine routes Lifecycle.Tick, DropRunner.BuildQueue and
+// PendingDeletions through the retained full-scan reference implementations
+// instead of the due-day indexes. The indexes are still maintained, so the
+// flag can be flipped at any time; both engines must produce byte-identical
+// results (the differential tests assert exactly that). It exists for those
+// tests and for benchmarking the pre-index baseline — production callers
+// never need it.
+func (s *Store) SetScanEngine(enabled bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.scanEngine = enabled
+}
+
+func (s *Store) useScan() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.scanEngine
 }
 
 // NewStore returns an empty Store reading time from clock.
@@ -195,6 +272,7 @@ func (s *Store) CreateAt(name string, registrarID int, termYears int, at time.Ti
 	s.domains[name] = d
 	s.byID[d.ID] = d
 	s.authInfo[name] = deriveAuthInfo(d.ID, name)
+	s.dueAdd(d)
 	return cloned(d), nil
 }
 
@@ -261,9 +339,11 @@ func (s *Store) Transfer(name string, gainingID int, authInfo string) error {
 		return fmt.Errorf("%w: %q", ErrBadAuthInfo, name)
 	}
 	losing := d.RegistrarID
+	s.dueRemove(d)
 	d.RegistrarID = gainingID
 	d.Updated = simtime.Trunc(s.clock.Now())
 	d.Status = model.StatusActive
+	s.dueAdd(d)
 	s.authInfo[name] = deriveAuthInfo(d.ID^0x5bf0, name)
 	obs := s.observer
 	s.mu.Unlock()
@@ -313,7 +393,9 @@ func (s *Store) TouchAt(name string, registrarID int, at time.Time) error {
 	if d.RegistrarID != registrarID {
 		return fmt.Errorf("%w: %q", ErrWrongRegistrar, name)
 	}
+	s.dueRemove(d)
 	d.Updated = simtime.Trunc(at)
+	s.dueAdd(d)
 	return nil
 }
 
@@ -329,9 +411,11 @@ func (s *Store) Renew(name string, registrarID int, years int) error {
 		return fmt.Errorf("%w: %q", ErrWrongRegistrar, name)
 	}
 	now := simtime.Trunc(s.clock.Now())
+	s.dueRemove(d)
 	d.Expiry = d.Expiry.AddDate(years, 0, 0)
 	d.Updated = now
 	d.Status = model.StatusActive
+	s.dueAdd(d)
 	return nil
 }
 
@@ -345,11 +429,13 @@ func (s *Store) setState(name string, st model.Status, updated time.Time, delete
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	from := d.Status
+	s.dueRemove(d)
 	d.Status = st
 	if !updated.IsZero() {
 		d.Updated = simtime.Trunc(updated)
 	}
 	d.DeleteDay = deleteDay
+	s.dueAdd(d)
 	obs := s.observer
 	registrarID := d.RegistrarID
 	s.mu.Unlock()
@@ -377,28 +463,29 @@ func (s *Store) MarkPendingDelete(name string, updated time.Time, day simtime.Da
 // scheduled deletion day falls within [from, from+days). Results are sorted
 // by (DeleteDay, Name) so published pending-delete lists are stable — the
 // paper observed that list order is *not* the deletion order (Figure 3, top).
+//
+// It walks only the due-day buckets inside the window: buckets arrive in
+// ascending day order and every domain in a bucket shares that DeleteDay, so
+// sorting each bucket's chunk by name yields the global (DeleteDay, Name)
+// order without a full-result sort.
 func (s *Store) PendingDeletions(from simtime.Day, days int) []*model.Domain {
+	if s.useScan() {
+		return s.pendingDeletionsScan(from, days)
+	}
 	end := from.AddDays(days)
 	s.mu.RLock()
-	out := make([]*model.Domain, 0, 1024)
-	for _, d := range s.domains {
-		if d.Status != model.StatusPendingDelete {
-			continue
+	defer s.mu.RUnlock()
+	ix := &s.due[model.StatusPendingDelete]
+	n := 0
+	ix.eachBucket(from, end, func(_ simtime.Day, b map[uint64]*model.Domain) { n += len(b) })
+	out := make([]*model.Domain, 0, n)
+	ix.eachBucket(from, end, func(_ simtime.Day, b map[uint64]*model.Domain) {
+		start := len(out)
+		for _, d := range b {
+			out = append(out, cloned(d))
 		}
-		if d.DeleteDay.Before(from) || !d.DeleteDay.Before(end) {
-			continue
-		}
-		out = append(out, cloned(d))
-	}
-	s.mu.RUnlock()
-	slices.SortFunc(out, func(a, b *model.Domain) int {
-		if a.DeleteDay != b.DeleteDay {
-			if a.DeleteDay.Before(b.DeleteDay) {
-				return -1
-			}
-			return 1
-		}
-		return strings.Compare(a.Name, b.Name)
+		chunk := out[start:]
+		slices.SortFunc(chunk, func(a, b *model.Domain) int { return strings.Compare(a.Name, b.Name) })
 	})
 	return out
 }
@@ -424,6 +511,7 @@ func (s *Store) purge(name string, at time.Time, rank int) (model.DeletionEvent,
 		Time:     simtime.Trunc(at),
 		Rank:     rank,
 	}
+	s.dueRemove(d)
 	delete(s.domains, name)
 	delete(s.byID, d.ID)
 	delete(s.authInfo, name)
@@ -454,26 +542,75 @@ func (s *Store) Count() int {
 	return len(s.domains)
 }
 
-// StatusCounts tallies live registrations per lifecycle state.
+// StatusCounts tallies live registrations per lifecycle state. The tallies
+// are maintained incrementally, so this is O(states), not O(store).
 func (s *Store) StatusCounts() map[model.Status]int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make(map[model.Status]int)
-	for _, d := range s.domains {
-		out[d.Status]++
+	for st, n := range s.statusCount {
+		if n > 0 {
+			out[model.Status(st)] = n
+		}
 	}
 	return out
 }
 
 // Each calls fn for every live registration (copies, unspecified order) and
 // stops early if fn returns false.
+//
+// Locking contract: the store's read lock is held for the whole sweep, so fn
+// must not call any Store method — not even read-only ones like Get. A
+// re-entrant RLock deadlocks as soon as a writer is queued behind the held
+// lock. The safe pattern is collect-then-act: record what to change while
+// iterating and apply it after Each returns (TestEachCollectThenAct pins
+// this down). The copies are fn's to keep and mutate freely.
 func (s *Store) Each(fn func(*model.Domain) bool) {
+	s.each(func(d *model.Domain) bool { return fn(cloned(d)) })
+}
+
+// each is the clone-free internal iteration path: fn receives the store's
+// live *model.Domain pointers with the read lock held. fn must treat them as
+// strictly read-only, must not retain a pointer past its call, and must not
+// call Store methods (same self-deadlock as Each). Hot sweeps use this (and
+// the due-index visitors below) to avoid one Domain clone per domain per
+// scan; everything that escapes the package keeps Each's cloning semantics.
+func (s *Store) each(fn func(*model.Domain) bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	for _, d := range s.domains {
-		if !fn(cloned(d)) {
+		if !fn(d) {
 			return
 		}
+	}
+}
+
+// eachDueThrough calls fn for every live registration in state st whose
+// due-day bucket is on or before limit. Same read-only, lock-held contract
+// as each; bucket order is map order, so callers sort deterministically.
+func (s *Store) eachDueThrough(st model.Status, limit simtime.Day, fn func(*model.Domain)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if int(st) < len(s.due) {
+		s.due[st].through(limit, fn)
+	}
+}
+
+// pendingCountOn returns the number of pendingDelete registrations scheduled
+// for deletion on day — the exact size of that day's Drop queue.
+func (s *Store) pendingCountOn(day simtime.Day) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.due[model.StatusPendingDelete].count(day)
+}
+
+// eachPendingOn calls fn for every pendingDelete registration scheduled for
+// deletion on day. Same read-only, lock-held contract as each.
+func (s *Store) eachPendingOn(day simtime.Day, fn func(*model.Domain)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, d := range s.due[model.StatusPendingDelete].buckets[day] {
+		fn(d)
 	}
 }
 
@@ -509,6 +646,7 @@ func (s *Store) SeedAt(name string, registrarID int, created, updated, expiry ti
 	s.nextID++
 	s.domains[name] = d
 	s.byID[d.ID] = d
+	s.dueAdd(d)
 	return cloned(d), nil
 }
 

@@ -57,6 +57,11 @@ type Config struct {
 	// setting: equal seeds give byte-identical datasets regardless of how
 	// many workers collected them.
 	Parallelism int
+	// ScanEngine routes the registry's daily sweeps through the retained
+	// full-scan reference implementations instead of the due-day indexes.
+	// Differential-testing knob only: it must never change a study's output,
+	// and the tests assert exactly that.
+	ScanEngine bool
 }
 
 // DefaultConfig returns the configuration used by the experiment harness: a

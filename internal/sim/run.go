@@ -66,6 +66,7 @@ func Run(cfg Config) (*Result, error) {
 	// Ecosystem.
 	dir := registrars.BuildDirectory(rng)
 	store := registry.NewStore(clock)
+	store.SetScanEngine(cfg.ScanEngine)
 	for _, r := range dir.Registrars() {
 		store.AddRegistrar(r)
 	}

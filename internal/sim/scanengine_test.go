@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dropzero/internal/measure"
+)
+
+// TestRunIdenticalAcrossSweepEngines is the study-level differential test for
+// the due-day-indexed registry sweeps: over several seeds, a full study run
+// with the indexed engine and the same study run with the retained full-scan
+// reference must produce byte-identical CSV datasets, identical deletion
+// event logs and identical pipeline stats. The engines may only differ in
+// wall-clock time, never in output.
+func TestRunIdenticalAcrossSweepEngines(t *testing.T) {
+	for _, seed := range []int64{1, 42, 20180108} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig()
+			cfg.Seed = seed
+			cfg.Days = 3
+			cfg.Scale = 0.01
+			cfg.FinalizeAfterDays = 57
+
+			run := func(scan bool) (*Result, []byte) {
+				c := cfg
+				c.ScanEngine = scan
+				res, err := Run(c)
+				if err != nil {
+					t.Fatalf("scan=%v: %v", scan, err)
+				}
+				var buf bytes.Buffer
+				if err := measure.WriteCSV(&buf, res.Observations); err != nil {
+					t.Fatal(err)
+				}
+				return res, buf.Bytes()
+			}
+			idxRes, idxCSV := run(false)
+			refRes, refCSV := run(true)
+
+			if len(idxRes.Observations) == 0 {
+				t.Fatal("indexed run produced no observations")
+			}
+			if !bytes.Equal(idxCSV, refCSV) {
+				t.Fatalf("CSV datasets differ: %d bytes vs %d bytes", len(idxCSV), len(refCSV))
+			}
+			if !reflect.DeepEqual(idxRes.Deletions, refRes.Deletions) {
+				t.Fatalf("deletion event logs differ: %d days vs %d days", len(idxRes.Deletions), len(refRes.Deletions))
+			}
+			if !reflect.DeepEqual(idxRes.PipelineStats, refRes.PipelineStats) {
+				t.Fatalf("pipeline stats differ:\nindexed: %+v\nscan:    %+v", idxRes.PipelineStats, refRes.PipelineStats)
+			}
+		})
+	}
+}

@@ -109,6 +109,21 @@ func (d Day) Before(other Day) bool {
 	return d.Start().Before(other.Start())
 }
 
+// Compare orders calendar days chronologically: negative when d precedes
+// other, zero when equal, positive when d follows. Both days must be
+// calendar-normalised (as DayOf and AddDays produce); unlike Before it never
+// materialises a time.Time, which matters on the registry's due-index sweep
+// paths where it runs per bucket per day.
+func (d Day) Compare(other Day) int {
+	if d.Year != other.Year {
+		return d.Year - other.Year
+	}
+	if d.Month != other.Month {
+		return int(d.Month) - int(other.Month)
+	}
+	return d.Dom - other.Dom
+}
+
 // String formats the day as YYYY-MM-DD.
 func (d Day) String() string {
 	return fmt.Sprintf("%04d-%02d-%02d", d.Year, int(d.Month), d.Dom)

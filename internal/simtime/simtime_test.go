@@ -128,6 +128,29 @@ func TestDayBefore(t *testing.T) {
 	}
 }
 
+func TestDayCompareAgreesWithBefore(t *testing.T) {
+	days := []Day{
+		{2017, time.December, 31},
+		{2018, time.January, 1},
+		{2018, time.January, 2},
+		{2018, time.February, 1},
+		{2019, time.January, 1},
+	}
+	for _, a := range days {
+		for _, b := range days {
+			c := a.Compare(b)
+			switch {
+			case a.Before(b) && c >= 0:
+				t.Errorf("Compare(%v, %v) = %d, want < 0", a, b, c)
+			case b.Before(a) && c <= 0:
+				t.Errorf("Compare(%v, %v) = %d, want > 0", a, b, c)
+			case a == b && c != 0:
+				t.Errorf("Compare(%v, %v) = %d, want 0", a, b, c)
+			}
+		}
+	}
+}
+
 func TestDayString(t *testing.T) {
 	if s := (Day{2018, time.February, 5}).String(); s != "2018-02-05" {
 		t.Fatalf("String = %q", s)
