@@ -19,8 +19,11 @@ package dropzero_test
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/rand"
+	"net"
 	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -31,6 +34,7 @@ import (
 	"dropzero/internal/dropscope"
 	"dropzero/internal/epp"
 	"dropzero/internal/inproc"
+	"dropzero/internal/loadgen"
 	"dropzero/internal/measure"
 	"dropzero/internal/model"
 	"dropzero/internal/rdap"
@@ -38,6 +42,7 @@ import (
 	"dropzero/internal/registry"
 	"dropzero/internal/sim"
 	"dropzero/internal/simtime"
+	"dropzero/internal/whois"
 )
 
 var (
@@ -700,4 +705,210 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 	}
 	b.Run("tcp/seq", func(b *testing.B) { run(b, tcpClient, 1) })
 	b.Run("tcp/par8", func(b *testing.B) { run(b, tcpClient, 8) })
+}
+
+// --- serving-path benchmarks ---------------------------------------------
+//
+// Cold variants bump the store generation before every request (touching an
+// auxiliary domain), forcing a full re-render; warm variants serve the
+// generation cache. Tracked per PR in BENCH_3.json.
+
+// nullResponseWriter is a minimal ResponseWriter for in-process serving
+// benchmarks: it reuses one header map and discards the body, so the
+// numbers measure the handler, not the recorder.
+type nullResponseWriter struct {
+	h      http.Header
+	status int
+	n      int
+}
+
+func (w *nullResponseWriter) Header() http.Header { return w.h }
+func (w *nullResponseWriter) WriteHeader(s int)   { w.status = s }
+func (w *nullResponseWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+// serveBenchWorld extends the pipeline world with an auxiliary registered
+// domain whose Touch bumps the store generation without changing any served
+// pending-delete list.
+func newServeBenchWorld(b *testing.B, n int) (*pipelineBenchWorld, func()) {
+	b.Helper()
+	world := newPipelineBenchWorld(b, n)
+	if _, err := world.store.CreateAt("bench-genbump.com", 1000, 1, world.day.At(9, 0, 0)); err != nil {
+		b.Fatal(err)
+	}
+	at := world.day.At(9, 30, 0)
+	bump := func() {
+		if err := world.store.TouchAt("bench-genbump.com", 1000, at); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return world, bump
+}
+
+// BenchmarkServePendingList measures the dropscope list endpoint: cold
+// (every request re-renders the 5-day window) versus warm (cached bytes),
+// in-process and over TCP, plus a saturation run through the load driver.
+// The warm path must be ≥5× the cold path with ~zero allocations per hit.
+func BenchmarkServePendingList(b *testing.B) {
+	const nDomains = 2000
+	world, bump := newServeBenchWorld(b, nDomains)
+	srv := dropscope.NewServer(world.store)
+	handler := srv.Handler()
+	req := httptest.NewRequest("GET", "/pendingdelete?date="+world.day.String(), nil)
+
+	b.Run("inproc/cold", func(b *testing.B) {
+		w := &nullResponseWriter{h: make(http.Header)}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bump()
+			handler.ServeHTTP(w, req)
+			if w.status != 0 && w.status != 200 {
+				b.Fatalf("status %d", w.status)
+			}
+		}
+	})
+	b.Run("inproc/warm", func(b *testing.B) {
+		w := &nullResponseWriter{h: make(http.Header)}
+		handler.ServeHTTP(w, req) // prime
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			handler.ServeHTTP(w, req)
+		}
+	})
+
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	url := "http://" + addr.String() + "/pendingdelete?date=" + world.day.String()
+	b.Run("tcp/warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Get(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+	})
+
+	b.Run("load/inproc8", func(b *testing.B) {
+		client := inproc.Client(handler)
+		res := loadgen.Run(8, b.N, func(i int) error {
+			resp, err := client.Get("http://scope.bench/pendingdelete?date=" + world.day.String())
+			if err != nil {
+				return err
+			}
+			_, err = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return err
+		})
+		if res.Errors != 0 {
+			b.Fatalf("load errors: %d", res.Errors)
+		}
+		b.ReportMetric(res.RPS(), "req/sec")
+	})
+}
+
+// BenchmarkServeRDAPDomain measures one RDAP domain lookup, cold vs warm,
+// in-process and over TCP.
+func BenchmarkServeRDAPDomain(b *testing.B) {
+	world, bump := newServeBenchWorld(b, 2000)
+	srv := rdap.NewServer(world.store, rdap.ServerConfig{})
+	handler := srv.Handler()
+	req := httptest.NewRequest("GET", "/domain/bench-pipe00000.com", nil)
+
+	b.Run("inproc/cold", func(b *testing.B) {
+		w := &nullResponseWriter{h: make(http.Header)}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bump()
+			handler.ServeHTTP(w, req)
+		}
+	})
+	b.Run("inproc/warm", func(b *testing.B) {
+		w := &nullResponseWriter{h: make(http.Header)}
+		handler.ServeHTTP(w, req) // prime
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			handler.ServeHTTP(w, req)
+		}
+	})
+
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	url := "http://" + addr.String() + "/domain/bench-pipe00000.com"
+	b.Run("tcp/warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Get(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+	})
+}
+
+// BenchmarkServeWHOIS measures one port-43 exchange, cold vs warm, over an
+// in-memory pipe (ServeConn) and over TCP (a dial per lookup — the protocol
+// is one-shot).
+func BenchmarkServeWHOIS(b *testing.B) {
+	world, bump := newServeBenchWorld(b, 2000)
+	srv := whois.NewServer(world.store)
+	query := func(b *testing.B) {
+		client, server := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			srv.ServeConn(server)
+			server.Close()
+		}()
+		fmt.Fprintf(client, "bench-pipe00000.com\r\n")
+		if _, err := io.Copy(io.Discard, client); err != nil {
+			b.Fatal(err)
+		}
+		client.Close()
+		<-done
+	}
+
+	b.Run("inproc/cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bump()
+			query(b)
+		}
+	})
+	b.Run("inproc/warm", func(b *testing.B) {
+		query(b) // prime
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			query(b)
+		}
+	})
+
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	client := &whois.Client{Addr: addr.String()}
+	b.Run("tcp/warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := client.Lookup("bench-pipe00000.com"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

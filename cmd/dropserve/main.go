@@ -22,6 +22,7 @@ import (
 
 	"dropzero/internal/dns"
 	"dropzero/internal/dropscope"
+	"dropzero/internal/gencache"
 	"dropzero/internal/epp"
 	"dropzero/internal/model"
 	"dropzero/internal/names"
@@ -118,8 +119,28 @@ func main() {
 			}
 		case <-sig:
 			log.Print("shutting down")
+			logSurface("RDAP", rdapSrv.Metrics().Requests, rdapSrv.Metrics().Cache, rdapSrv.ServeErr())
+			logSurface("WHOIS", whoisSrv.Metrics().Requests, whoisSrv.Metrics().Cache, whoisSrv.ServeErr())
+			sm := scopeSrv.Metrics()
+			logSurface("pending-delete list", sm.Requests, sm.Cache, scopeSrv.ServeErr())
+			if sm.WriteErrors > 0 {
+				log.Printf("pending-delete list: %d failed body writes", sm.WriteErrors)
+			}
+			if err := oracle.ServeErr(); err != nil {
+				log.Printf("oracle: serve error: %v", err)
+			}
 			return
 		}
+	}
+}
+
+// logSurface prints one surface's request count and cache effectiveness,
+// plus any background serve failure that would otherwise be lost.
+func logSurface(name string, requests uint64, cache gencache.Counters, serveErr error) {
+	log.Printf("%s: %d requests, cache %d/%d hits (%.1f%% hit ratio)",
+		name, requests, cache.Hits, cache.Hits+cache.Misses, 100*cache.HitRatio())
+	if serveErr != nil {
+		log.Printf("%s: serve error: %v", name, serveErr)
 	}
 }
 

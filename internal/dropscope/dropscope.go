@@ -3,10 +3,17 @@
 // deleted within the next five days. The measurement pipeline's daily
 // download of this list is the paper's source of deletion *dates* (the
 // deletion *times* are what the core model infers).
+//
+// The server pre-renders each publication day's CSV once per (day, store
+// generation) and serves the cached bytes with a strong ETag and
+// If-None-Match/304 handling. Because consecutive lists share four of their
+// five days (the lookahead window slides by one day), the cache works in
+// per-day segments: a new day's list only renders the one segment it does
+// not share with yesterday's.
 package dropscope
 
 import (
-	"bufio"
+	"bytes"
 	"context"
 	"encoding/csv"
 	"errors"
@@ -15,9 +22,13 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"dropzero/internal/gencache"
 	"dropzero/internal/registry"
 	"dropzero/internal/simtime"
 )
@@ -31,20 +42,55 @@ type Entry struct {
 	DeleteDay simtime.Day
 }
 
+// cachedList is one fully assembled publication list. The header values are
+// pre-built []string slices so the warm serving path performs no per-request
+// allocations beyond the ResponseWriter's own.
+type cachedList struct {
+	body    []byte
+	etag    string
+	etagVal []string // {etag}
+	clenVal []string // {strconv.Itoa(len(body))}
+}
+
+// csvContentType is the shared Content-Type header value for list responses.
+var csvContentType = []string{"text/csv"}
+
 // Server publishes pending-delete lists over HTTP.
 //
 //	GET /pendingdelete?date=2018-01-02
 //
 // returns a CSV body (name,deleteDate) of all domains scheduled for deletion
-// on the five days starting at date.
+// on the five days starting at date. Responses carry Content-Length and a
+// strong ETag keyed on (store generation, date); requests with a matching
+// If-None-Match get 304 Not Modified.
 type Server struct {
 	store *registry.Store
 	http  *http.Server
+	ln    net.Listener
+
+	serveErr  atomic.Value // error from the background http.Serve
+	requests  atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	writeErrs atomic.Uint64
+
+	// mu guards the generation-checked render cache. segs holds one
+	// rendered CSV segment per deletion day; lists holds the assembled
+	// five-day bodies by start day. Both are valid for generation cgen only
+	// and are flushed wholesale when the store moves on.
+	mu    sync.Mutex
+	cgen  uint64
+	segs  map[simtime.Day][]byte
+	lists map[simtime.Day]*cachedList
 }
 
 // NewServer returns a Server over store.
 func NewServer(store *registry.Store) *Server {
-	s := &Server{store: store}
+	s := &Server{
+		store: store,
+		segs:  make(map[simtime.Day][]byte),
+		lists: make(map[simtime.Day]*cachedList),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/pendingdelete", s.handleList)
 	s.http = &http.Server{Handler: mux}
@@ -54,44 +100,197 @@ func NewServer(store *registry.Store) *Server {
 // Handler exposes the HTTP handler for tests.
 func (s *Server) Handler() http.Handler { return s.http.Handler }
 
-// Listen binds addr and serves until Close.
+// Listen binds addr and serves until Close. A background serve failure is
+// recorded and exposed through ServeErr.
 func (s *Server) Listen(addr string) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dropscope: listen %s: %w", addr, err)
 	}
+	s.ln = ln
 	go func() {
 		if err := s.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			_ = err
+			s.serveErr.Store(fmt.Errorf("dropscope: serve: %w", err))
 		}
 	}()
 	return ln.Addr(), nil
 }
 
+// ServeErr returns the first error the background http.Serve goroutine exited
+// with, or nil. A clean Close never records one.
+func (s *Server) ServeErr() error {
+	if err, ok := s.serveErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
 // Close stops the server.
 func (s *Server) Close() error { return s.http.Close() }
 
+// Metrics is a snapshot of the server's serving activity.
+type Metrics struct {
+	// Requests counts list requests, including malformed ones.
+	Requests uint64
+	// Cache counts warm (fully assembled body reused) versus cold list
+	// serves; 304 responses count as hits.
+	Cache gencache.Counters
+	// WriteErrors counts response bodies that failed mid-write. Clients
+	// detect the truncation from Content-Length.
+	WriteErrors uint64
+}
+
+// Metrics returns the request and cache-effectiveness counters.
+func (s *Server) Metrics() Metrics {
+	return Metrics{
+		Requests:    s.requests.Load(),
+		Cache:       gencache.Counters{Hits: s.hits.Load(), Misses: s.misses.Load()},
+		WriteErrors: s.writeErrs.Load(),
+	}
+}
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	dateStr := r.URL.Query().Get("date")
+	// Fast path for the exact query the client emits (?date=YYYY-MM-DD):
+	// r.URL.Query() builds a url.Values map per call, which is the only
+	// allocation left on the warm serving path.
+	dateStr, fast := strings.CutPrefix(r.URL.RawQuery, "date=")
+	if !fast || strings.ContainsAny(dateStr, "&%+;") {
+		dateStr = r.URL.Query().Get("date")
+	}
 	start, err := ParseDay(dateStr)
 	if err != nil {
 		http.Error(w, fmt.Sprintf("bad date %q: %v", dateStr, err), http.StatusBadRequest)
 		return
 	}
-	w.Header().Set("Content-Type", "text/csv")
-	bw := bufio.NewWriter(w)
-	defer bw.Flush()
-	cw := csv.NewWriter(bw)
-	defer cw.Flush()
-	for _, d := range s.store.PendingDeletions(start, LookaheadDays) {
-		if err := cw.Write([]string{d.Name, d.DeleteDay.String()}); err != nil {
+
+	gen := s.store.Generation()
+	s.mu.Lock()
+	s.flushTo(gen)
+	cl, ok := s.lists[start]
+	s.mu.Unlock()
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+		cl, ok = s.buildList(gen, start)
+		if !ok {
+			// The store mutated while rendering. The body below is still a
+			// single consistent snapshot (one PendingDeletions call), so
+			// serve it — but uncached and without an ETag, because we cannot
+			// name the generation it belongs to.
+			body := renderWindow(s.store, start, LookaheadDays)
+			h := w.Header()
+			h["Content-Type"] = csvContentType
+			h["Content-Length"] = []string{strconv.Itoa(len(body))}
+			if _, err := w.Write(body); err != nil {
+				s.writeErrs.Add(1)
+			}
 			return
 		}
 	}
+
+	h := w.Header()
+	h["Etag"] = cl.etagVal
+	if r.Header.Get("If-None-Match") == cl.etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h["Content-Type"] = csvContentType
+	// Content-Length is set up front so a client can detect a truncated
+	// body: a failed mid-body write used to produce a silently short 200.
+	h["Content-Length"] = cl.clenVal
+	if _, err := w.Write(cl.body); err != nil {
+		s.writeErrs.Add(1)
+	}
+}
+
+// flushTo discards cached segments and lists when gen is newer than the
+// cached generation. The caller holds s.mu.
+func (s *Server) flushTo(gen uint64) {
+	if gen > s.cgen {
+		clear(s.segs)
+		clear(s.lists)
+		s.cgen = gen
+	}
+}
+
+// buildList renders and caches the list starting at start for generation
+// gen, reusing any per-day segments already rendered under gen. ok=false
+// means the store's generation moved while rendering and nothing was cached.
+func (s *Server) buildList(gen uint64, start simtime.Day) (*cachedList, bool) {
+	end := start.AddDays(LookaheadDays)
+	s.mu.Lock()
+	if s.cgen != gen {
+		s.mu.Unlock()
+		return nil, false
+	}
+	var missing []simtime.Day
+	for d := start; d.Before(end); d = d.Next() {
+		if _, ok := s.segs[d]; !ok {
+			missing = append(missing, d)
+		}
+	}
+	s.mu.Unlock()
+
+	// Missing segments are rendered outside s.mu (each render takes the
+	// store's read lock); a concurrent mutation is detected by re-reading
+	// the generation before installing, per the Store.Generation contract.
+	built := make(map[simtime.Day][]byte, len(missing))
+	for _, d := range missing {
+		built[d] = renderWindow(s.store, d, 1)
+	}
+	if s.store.Generation() != gen {
+		return nil, false // segments may straddle a mutation; do not cache
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cgen != gen {
+		return nil, false
+	}
+	for d, seg := range built {
+		s.segs[d] = seg
+	}
+	// Under an unchanged generation segments are only ever added, so the
+	// whole window is now present.
+	n := 0
+	for d := start; d.Before(end); d = d.Next() {
+		n += len(s.segs[d])
+	}
+	body := make([]byte, 0, n)
+	for d := start; d.Before(end); d = d.Next() {
+		body = append(body, s.segs[d]...)
+	}
+	etag := `"` + strconv.FormatUint(gen, 10) + "-" + start.String() + `"`
+	cl := &cachedList{
+		body:    body,
+		etag:    etag,
+		etagVal: []string{etag},
+		clenVal: []string{strconv.Itoa(len(body))},
+	}
+	s.lists[start] = cl
+	return cl, true
+}
+
+// renderWindow renders the CSV lines for all domains scheduled for deletion
+// in [start, start+days). One PendingDeletions call means one store read
+// lock: the result is a consistent snapshot.
+func renderWindow(store *registry.Store, start simtime.Day, days int) []byte {
+	var buf bytes.Buffer
+	cw := csv.NewWriter(&buf)
+	for _, d := range store.PendingDeletions(start, days) {
+		if err := cw.Write([]string{d.Name, d.DeleteDay.String()}); err != nil {
+			// csv.Writer cannot fail writing to a bytes.Buffer.
+			panic(err)
+		}
+	}
+	cw.Flush()
+	return buf.Bytes()
 }
 
 // ParseDay parses a YYYY-MM-DD day string.
@@ -103,10 +302,21 @@ func ParseDay(s string) (simtime.Day, error) {
 	return simtime.DayOf(t), nil
 }
 
-// Client downloads pending-delete lists.
+// Client downloads pending-delete lists. It remembers each day's ETag and
+// parsed entries, revalidates with If-None-Match, and reuses the parsed list
+// on 304 Not Modified — repeated fetches of an unchanged day cost neither a
+// body transfer nor a re-parse.
 type Client struct {
 	base *url.URL
 	http *http.Client
+
+	mu    sync.Mutex
+	cache map[simtime.Day]*clientCached
+}
+
+type clientCached struct {
+	etag    string
+	entries []Entry
 }
 
 // NewClient returns a Client for the service at baseURL.
@@ -118,7 +328,7 @@ func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 30 * time.Second}
 	}
-	return &Client{base: u, http: httpClient}, nil
+	return &Client{base: u, http: httpClient, cache: make(map[simtime.Day]*clientCached)}, nil
 }
 
 // Fetch downloads the list published for day.
@@ -130,15 +340,33 @@ func (c *Client) Fetch(ctx context.Context, day simtime.Day) ([]Entry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dropscope: build request: %w", err)
 	}
+	c.mu.Lock()
+	prior := c.cache[day]
+	c.mu.Unlock()
+	if prior != nil {
+		req.Header.Set("If-None-Match", prior.etag)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("dropscope: GET %s: %w", u.String(), err)
 	}
 	defer resp.Body.Close()
+	if prior != nil && resp.StatusCode == http.StatusNotModified {
+		return append([]Entry(nil), prior.entries...), nil
+	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("dropscope: HTTP %d for %s", resp.StatusCode, u.String())
 	}
-	return ParseList(resp.Body)
+	entries, err := ParseList(resp.Body)
+	if err != nil {
+		return entries, err
+	}
+	if etag := resp.Header.Get("ETag"); etag != "" {
+		c.mu.Lock()
+		c.cache[day] = &clientCached{etag: etag, entries: append([]Entry(nil), entries...)}
+		c.mu.Unlock()
+	}
+	return entries, nil
 }
 
 // ParseList decodes a CSV pending-delete list.

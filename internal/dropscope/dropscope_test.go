@@ -1,9 +1,16 @@
 package dropscope
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -154,5 +161,336 @@ func TestServerOverTCP(t *testing.T) {
 	entries, err := client.Fetch(context.Background(), day)
 	if err != nil || len(entries) != 1 {
 		t.Fatalf("TCP fetch: %+v %v", entries, err)
+	}
+}
+
+// get performs one GET against the server's handler, returning the recorder.
+func get(t *testing.T, srv *Server, day simtime.Day, etag string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", "/pendingdelete?date="+day.String(), nil)
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	w := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(w, req)
+	return w
+}
+
+// TestServeCachedEqualsFreshAcrossDrops is the tentpole's differential
+// invariant: every cached response is byte-identical to a freshly rendered
+// one (a brand-new Server with an empty cache), across a multi-day run with
+// Drop mutations in between.
+func TestServeCachedEqualsFreshAcrossDrops(t *testing.T) {
+	store, _, day := newEnv(t)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		seedPending(t, store, fmt.Sprintf("diff%02d.com", i), day.AddDays(i%7))
+	}
+	cached := NewServer(store)
+	runner := registry.NewDropRunner(store, registry.DropConfig{StartHour: 19, BaseRatePerSec: 50})
+	for d := day; d.Before(day.AddDays(5)); d = d.Next() {
+		// Two cached fetches (cold, then warm) against one fresh render.
+		first := get(t, cached, d, "")
+		second := get(t, cached, d, "")
+		fresh := get(t, NewServer(store), d, "")
+		if first.Code != 200 || second.Code != 200 || fresh.Code != 200 {
+			t.Fatalf("day %v: status %d/%d/%d", d, first.Code, second.Code, fresh.Code)
+		}
+		if !bytes.Equal(first.Body.Bytes(), fresh.Body.Bytes()) {
+			t.Fatalf("day %v: cold cached body != fresh body", d)
+		}
+		if !bytes.Equal(second.Body.Bytes(), fresh.Body.Bytes()) {
+			t.Fatalf("day %v: warm cached body != fresh body", d)
+		}
+		if cl := second.Header().Get("Content-Length"); cl != strconv.Itoa(second.Body.Len()) {
+			t.Fatalf("day %v: Content-Length %q != body %d", d, cl, second.Body.Len())
+		}
+		// Mutate: run the day's Drop, then re-check the next window reflects it.
+		if _, err := runner.Run(d, rng); err != nil {
+			t.Fatal(err)
+		}
+		after := get(t, cached, d, "")
+		freshAfter := get(t, NewServer(store), d, "")
+		if !bytes.Equal(after.Body.Bytes(), freshAfter.Body.Bytes()) {
+			t.Fatalf("day %v: post-Drop cached body != fresh body", d)
+		}
+		if bytes.Equal(after.Body.Bytes(), first.Body.Bytes()) {
+			t.Fatalf("day %v: Drop did not change the served list", d)
+		}
+	}
+}
+
+// TestETagNotModified pins the conditional-request flow: a stable strong
+// ETag while the store is unchanged, 304 on If-None-Match, and a fresh 200
+// (never a stale 304) after any mutation.
+func TestETagNotModified(t *testing.T) {
+	store, _, day := newEnv(t)
+	seedPending(t, store, "etag.com", day)
+	srv := NewServer(store)
+
+	first := get(t, srv, day, "")
+	etag := first.Header().Get("ETag")
+	if etag == "" || first.Code != 200 {
+		t.Fatalf("first fetch: status %d, ETag %q", first.Code, etag)
+	}
+	if again := get(t, srv, day, ""); again.Header().Get("ETag") != etag {
+		t.Fatalf("ETag unstable on unchanged store: %q then %q", etag, again.Header().Get("ETag"))
+	}
+	cond := get(t, srv, day, etag)
+	if cond.Code != http.StatusNotModified || cond.Body.Len() != 0 {
+		t.Fatalf("conditional fetch: status %d, body %d bytes", cond.Code, cond.Body.Len())
+	}
+	if cond.Header().Get("ETag") != etag {
+		t.Fatalf("304 missing ETag")
+	}
+
+	// Any store mutation must change the ETag and defeat the 304.
+	seedPending(t, store, "etag2.com", day)
+	after := get(t, srv, day, etag)
+	if after.Code != 200 {
+		t.Fatalf("post-mutation conditional fetch: status %d, want 200 (stale 304?)", after.Code)
+	}
+	if after.Header().Get("ETag") == etag {
+		t.Fatal("ETag unchanged across mutation")
+	}
+	if !strings.Contains(after.Body.String(), "etag2.com") {
+		t.Fatal("post-mutation body missing new domain")
+	}
+}
+
+// errAfterWriter fails every Write after the first n bytes, standing in for
+// a client that hangs up mid-body.
+type errAfterWriter struct {
+	h       http.Header
+	status  int
+	written int
+	limit   int
+}
+
+func (w *errAfterWriter) Header() http.Header { return w.h }
+func (w *errAfterWriter) WriteHeader(s int)   { w.status = s }
+func (w *errAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.limit {
+		n := w.limit - w.written
+		w.written = w.limit
+		return n, fmt.Errorf("connection reset")
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// TestTruncatedWriteDetectable is the regression test for the silently
+// truncated 200: the response must declare its full Content-Length before
+// the body is written (so a client can detect the short read), and the
+// server must count the failed write instead of swallowing it.
+func TestTruncatedWriteDetectable(t *testing.T) {
+	store, _, day := newEnv(t)
+	for i := 0; i < 50; i++ {
+		seedPending(t, store, fmt.Sprintf("trunc%02d.com", i), day)
+	}
+	srv := NewServer(store)
+	full := get(t, srv, day, "")
+	want := full.Body.Len()
+	if cl := full.Header().Get("Content-Length"); cl != strconv.Itoa(want) {
+		t.Fatalf("Content-Length = %q, body = %d bytes", cl, want)
+	}
+
+	w := &errAfterWriter{h: make(http.Header), limit: want / 2}
+	req := httptest.NewRequest("GET", "/pendingdelete?date="+day.String(), nil)
+	srv.Handler().ServeHTTP(w, req)
+	if cl := w.h.Get("Content-Length"); cl != strconv.Itoa(want) {
+		t.Fatalf("truncated response Content-Length = %q, want %d", cl, want)
+	}
+	if w.written >= want {
+		t.Fatal("writer did not truncate")
+	}
+	if m := srv.Metrics(); m.WriteErrors != 1 {
+		t.Fatalf("WriteErrors = %d, want 1", m.WriteErrors)
+	}
+}
+
+// statusCountingTransport wraps a RoundTripper and tallies response codes.
+type statusCountingTransport struct {
+	rt    http.RoundTripper
+	mu    sync.Mutex
+	codes map[int]int
+}
+
+func (s *statusCountingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := s.rt.RoundTrip(req)
+	if err == nil {
+		s.mu.Lock()
+		s.codes[resp.StatusCode]++
+		s.mu.Unlock()
+	}
+	return resp, err
+}
+
+// TestClientReusesParsedListOn304 checks the client side of the conditional
+// flow: the second fetch of an unchanged day revalidates with If-None-Match,
+// gets a 304 and returns the previously parsed entries.
+func TestClientReusesParsedListOn304(t *testing.T) {
+	store, _, day := newEnv(t)
+	seedPending(t, store, "c1.com", day)
+	seedPending(t, store, "c2.com", day)
+	srv := NewServer(store)
+	counting := &statusCountingTransport{rt: inproc.Transport{Handler: srv.Handler()}, codes: make(map[int]int)}
+	client, err := NewClient("http://scope.test", &http.Client{Transport: counting})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := client.Fetch(context.Background(), day)
+	if err != nil || len(first) != 2 {
+		t.Fatalf("first fetch: %v %v", first, err)
+	}
+	second, err := client.Fetch(context.Background(), day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(first, second) {
+		t.Fatalf("304 fetch differs: %v vs %v", first, second)
+	}
+	if counting.codes[http.StatusNotModified] != 1 || counting.codes[http.StatusOK] != 1 {
+		t.Fatalf("status codes = %v, want one 200 and one 304", counting.codes)
+	}
+	// After a mutation the revalidation must miss and deliver the new list.
+	seedPending(t, store, "c3.com", day)
+	third, err := client.Fetch(context.Background(), day)
+	if err != nil || len(third) != 3 {
+		t.Fatalf("post-mutation fetch: %v %v", third, err)
+	}
+	if counting.codes[http.StatusOK] != 2 {
+		t.Fatalf("status codes = %v, want a second 200", counting.codes)
+	}
+}
+
+// TestSegmentReuseAcrossWindows checks the sliding-window economics the
+// cache is built around: consecutive start days share four of their five
+// per-day segments, so serving the next day's list renders only one new
+// segment rather than five.
+func TestSegmentReuseAcrossWindows(t *testing.T) {
+	store, _, day := newEnv(t)
+	for i := 0; i < 10; i++ {
+		seedPending(t, store, fmt.Sprintf("seg%02d.com", i), day.AddDays(i%8))
+	}
+	srv := NewServer(store)
+	get(t, srv, day, "")
+	srv.mu.Lock()
+	after1 := len(srv.segs)
+	srv.mu.Unlock()
+	if after1 != LookaheadDays {
+		t.Fatalf("segments after first window = %d, want %d", after1, LookaheadDays)
+	}
+	get(t, srv, day.Next(), "")
+	srv.mu.Lock()
+	after2 := len(srv.segs)
+	srv.mu.Unlock()
+	if after2 != LookaheadDays+1 {
+		t.Fatalf("segments after second window = %d, want %d (one new segment)", after2, LookaheadDays+1)
+	}
+}
+
+// TestConcurrentGETsDuringDrop hammers the list endpoint while a Drop purges
+// the store. Run with -race; every response must be internally consistent
+// (Content-Length matches the body) and parseable.
+func TestConcurrentGETsDuringDrop(t *testing.T) {
+	store, _, day := newEnv(t)
+	for i := 0; i < 300; i++ {
+		seedPending(t, store, fmt.Sprintf("race%03d.com", i), day.AddDays(i%3))
+	}
+	srv := NewServer(store)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := get(t, srv, day, "")
+				if rec.Code != 200 {
+					t.Errorf("status %d", rec.Code)
+					return
+				}
+				if cl := rec.Header().Get("Content-Length"); cl != strconv.Itoa(rec.Body.Len()) {
+					t.Errorf("Content-Length %q != body %d", cl, rec.Body.Len())
+					return
+				}
+				if _, err := ParseList(bytes.NewReader(rec.Body.Bytes())); err != nil {
+					t.Errorf("unparseable body: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	runner := registry.NewDropRunner(store, registry.DropConfig{StartHour: 19, BaseRatePerSec: 200})
+	rng := rand.New(rand.NewSource(3))
+	for d := day; d.Before(day.AddDays(3)); d = d.Next() {
+		if _, err := runner.Run(d, rng); err != nil {
+			t.Error(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// After the Drops, the cache must converge back to fresh-equal bytes.
+	want := get(t, NewServer(store), day, "")
+	got := get(t, srv, day, "")
+	if !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+		t.Fatal("cached body diverged from fresh render after Drops")
+	}
+}
+
+// TestServeErrSurfaced checks that a background serve failure is recorded
+// and exposed, and that a clean Close records nothing.
+func TestServeErrSurfaced(t *testing.T) {
+	store, _, _ := newEnv(t)
+	srv := NewServer(store)
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	// Yank the listener out from under http.Serve: the accept loop fails
+	// with something other than ErrServerClosed.
+	srv.ln.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.ServeErr() == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.ServeErr() == nil {
+		t.Fatal("ServeErr not recorded after listener failure")
+	}
+	srv.Close()
+
+	clean := NewServer(store)
+	if _, err := clean.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.Close(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := clean.ServeErr(); err != nil {
+		t.Fatalf("clean Close recorded ServeErr: %v", err)
+	}
+}
+
+// TestMetricsCounters sanity-checks the request/hit accounting dropserve
+// logs on shutdown.
+func TestMetricsCounters(t *testing.T) {
+	store, _, day := newEnv(t)
+	seedPending(t, store, "m.com", day)
+	srv := NewServer(store)
+	get(t, srv, day, "")
+	get(t, srv, day, "")
+	get(t, srv, day, "")
+	m := srv.Metrics()
+	if m.Requests != 3 || m.Cache.Misses != 1 || m.Cache.Hits != 2 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if r := m.Cache.HitRatio(); r < 0.6 || r > 0.7 {
+		t.Fatalf("hit ratio = %v", r)
 	}
 }

@@ -1,0 +1,126 @@
+package gencache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New[string, []byte](4)
+	if _, ok := c.Get(1, "a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(1, "a", []byte("body-a"))
+	v, ok := c.Get(1, "a")
+	if !ok || string(v) != "body-a" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if r := st.HitRatio(); r != 0.5 {
+		t.Fatalf("hit ratio = %v", r)
+	}
+}
+
+func TestGenerationFlush(t *testing.T) {
+	c := New[string, []byte](4)
+	c.Put(1, "a", []byte("old"))
+	c.Put(1, "b", []byte("old"))
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// A newer generation flushes everything, on Get or Put alike.
+	if _, ok := c.Get(2, "a"); ok {
+		t.Fatal("stale entry served under newer generation")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len after flush = %d", c.Len())
+	}
+	c.Put(2, "a", []byte("new"))
+	if v, ok := c.Get(2, "a"); !ok || string(v) != "new" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+}
+
+func TestStalePutDropped(t *testing.T) {
+	c := New[string, []byte](4)
+	c.Put(5, "a", []byte("gen5"))
+	// A renderer that started before the mutation must not install its
+	// stale bytes after the cache has moved on.
+	c.Put(3, "a", []byte("gen3"))
+	if v, ok := c.Get(5, "a"); !ok || string(v) != "gen5" {
+		t.Fatalf("Get = %q, %v (stale Put clobbered cache)", v, ok)
+	}
+	// And a Get for an older generation must miss, not serve newer bytes.
+	if _, ok := c.Get(3, "a"); ok {
+		t.Fatal("older-generation Get served newer bytes")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int, int](3)
+	for i := 0; i < 3; i++ {
+		c.Put(1, i, i*10)
+	}
+	// Touch 0 so 1 becomes the least recently used.
+	if _, ok := c.Get(1, 0); !ok {
+		t.Fatal("miss on 0")
+	}
+	c.Put(1, 99, 990)
+	if _, ok := c.Get(1, 1); ok {
+		t.Fatal("LRU entry 1 survived eviction")
+	}
+	for _, k := range []int{0, 2, 99} {
+		if _, ok := c.Get(1, k); !ok {
+			t.Fatalf("entry %d evicted, want kept", k)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestPutUpdatesExisting(t *testing.T) {
+	c := New[string, string](2)
+	c.Put(1, "a", "v1")
+	c.Put(1, "a", "v2")
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if v, _ := c.Get(1, "a"); v != "v2" {
+		t.Fatalf("Get = %q", v)
+	}
+}
+
+func TestCapacityFloor(t *testing.T) {
+	c := New[int, int](0)
+	c.Put(1, 1, 1)
+	c.Put(1, 2, 2)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[string, int](64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				gen := uint64(i / 100) // generations advance as workers run
+				key := fmt.Sprintf("k%d", i%32)
+				if v, ok := c.Get(gen, key); ok && v != i%32 {
+					t.Errorf("got %d for %s", v, key)
+					return
+				}
+				c.Put(gen, key, i%32)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,64 @@
+// Package loadgen is a minimal closed-loop load driver for the serving
+// benchmarks: N workers issue requests back-to-back until a fixed request
+// budget is spent, and the run reports sustained throughput. It deliberately
+// has no pacing or open-loop arrival model — the serving benchmarks want the
+// saturation number, the highest rate the surface sustains when every worker
+// always has a request in flight.
+package loadgen
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Result summarises one load run.
+type Result struct {
+	Requests uint64        // requests attempted (== the budget given to Run)
+	Errors   uint64        // requests whose fn returned an error
+	Elapsed  time.Duration // wall clock from first to last request
+}
+
+// RPS returns the sustained request rate of the run.
+func (r Result) RPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// Run issues total requests through fn from workers concurrent goroutines.
+// fn receives the request's global index (0..total-1) so callers can vary
+// the target per request. workers and total are clamped to at least 1.
+func Run(workers, total int, fn func(i int) error) Result {
+	if workers < 1 {
+		workers = 1
+	}
+	if total < 1 {
+		total = 1
+	}
+	var next, errs atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= uint64(total) {
+					return
+				}
+				if err := fn(int(i)); err != nil {
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return Result{
+		Requests: uint64(total),
+		Errors:   errs.Load(),
+		Elapsed:  time.Since(start),
+	}
+}

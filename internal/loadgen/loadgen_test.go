@@ -1,0 +1,52 @@
+package loadgen
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	res := Run(8, 1000, func(i int) error {
+		mu.Lock()
+		seen[i]++
+		mu.Unlock()
+		return nil
+	})
+	if res.Requests != 1000 || res.Errors != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("distinct indexes = %d", len(seen))
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("index %d issued %d times", i, n)
+		}
+	}
+	if res.RPS() <= 0 {
+		t.Fatalf("RPS = %v", res.RPS())
+	}
+}
+
+func TestRunCountsErrors(t *testing.T) {
+	res := Run(4, 100, func(i int) error {
+		if i%10 == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if res.Errors != 10 {
+		t.Fatalf("errors = %d, want 10", res.Errors)
+	}
+}
+
+func TestRunClampsArguments(t *testing.T) {
+	calls := 0
+	res := Run(0, 0, func(i int) error { calls++; return nil })
+	if res.Requests != 1 || calls != 1 {
+		t.Fatalf("requests = %d, calls = %d", res.Requests, calls)
+	}
+}

@@ -1,9 +1,16 @@
 package rdap
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
+	"math/rand"
 	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -165,5 +172,288 @@ func TestMalformedName(t *testing.T) {
 	_, err := client.Domain(context.Background(), "")
 	if err == nil {
 		t.Fatal("empty name accepted")
+	}
+}
+
+func rdapGet(t *testing.T, srv *Server, name, etag string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", "/domain/"+name, nil)
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	w := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(w, req)
+	return w
+}
+
+// reference renders a domain the pre-cache way — one json.Encoder pass over
+// the full struct — serving as the byte-level oracle for the spliced and
+// cached encodings.
+func reference(t *testing.T, srv *Server, name string) []byte {
+	t.Helper()
+	d, err := srv.store.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(srv.toResponse(d)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCachedEqualsFreshAcrossDrops is the differential invariant for RDAP:
+// cold and warm cached bodies must be byte-identical to the reference
+// encoding, across days of Drop mutations and re-registrations.
+func TestCachedEqualsFreshAcrossDrops(t *testing.T) {
+	clock := simtime.NewSimClock(time.Date(2018, 1, 10, 9, 0, 0, 0, time.UTC))
+	store := registry.NewStore(clock)
+	store.AddRegistrar(model.Registrar{
+		IANAID: 1000, Name: "Alpha Registrar",
+		Contact: model.Contact{Org: "Alpha <Org>", Email: "ops@alpha.example", Street: "1 Way", City: "Reston", Country: "US", Phone: "+1.5550001111"},
+	})
+	store.AddRegistrar(model.Registrar{IANAID: 1001, Name: "Beta Registrar"})
+	day := simtime.Day{Year: 2018, Month: time.January, Dom: 10}
+	names := make([]string, 30)
+	for i := range names {
+		names[i] = fmt.Sprintf("rd%02d.com", i)
+		updated := day.AddDays(-35).At(6, 0, 0)
+		if _, err := store.SeedAt(names[i], 1000+i%2, updated.AddDate(-1, 0, 0), updated,
+			updated.AddDate(0, 0, -30), model.StatusPendingDelete, day.AddDays(i%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := NewServer(store, ServerConfig{})
+	runner := registry.NewDropRunner(store, registry.DropConfig{StartHour: 19, BaseRatePerSec: 50})
+	rng := rand.New(rand.NewSource(11))
+	for d := day; d.Before(day.AddDays(4)); d = d.Next() {
+		for _, name := range names {
+			if _, err := store.Get(name); err != nil {
+				continue // already dropped
+			}
+			cold := rdapGet(t, srv, name, "")
+			warm := rdapGet(t, srv, name, "")
+			want := reference(t, srv, name)
+			if cold.Code != 200 || warm.Code != 200 {
+				t.Fatalf("%s: status %d/%d", name, cold.Code, warm.Code)
+			}
+			if !bytes.Equal(cold.Body.Bytes(), want) {
+				t.Fatalf("%s: cold cached body differs from reference\n got %s\nwant %s", name, cold.Body.Bytes(), want)
+			}
+			if !bytes.Equal(warm.Body.Bytes(), want) {
+				t.Fatalf("%s: warm cached body differs from reference", name)
+			}
+			if cl := warm.Header().Get("Content-Length"); cl != strconv.Itoa(len(want)) {
+				t.Fatalf("%s: Content-Length %q, body %d", name, cl, len(want))
+			}
+		}
+		if _, err := runner.Run(d, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestNoStaleAfterDropAndRecreate pins the lifecycle-transition staleness
+// case from the issue: after a Drop purges a name and the market re-creates
+// it, the server must serve the new registration — neither the old cached
+// body nor a stale 304 for the old validator.
+func TestNoStaleAfterDropAndRecreate(t *testing.T) {
+	clock := simtime.NewSimClock(time.Date(2018, 1, 10, 9, 0, 0, 0, time.UTC))
+	store := registry.NewStore(clock)
+	store.AddRegistrar(model.Registrar{IANAID: 1000, Name: "Old Sponsor"})
+	store.AddRegistrar(model.Registrar{IANAID: 1001, Name: "Drop Catcher"})
+	day := simtime.Day{Year: 2018, Month: time.January, Dom: 10}
+	updated := day.AddDays(-35).At(6, 0, 0)
+	if _, err := store.SeedAt("contested.com", 1000, updated.AddDate(-3, 0, 0), updated,
+		updated.AddDate(0, 0, -30), model.StatusPendingDelete, day); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store, ServerConfig{})
+
+	before := rdapGet(t, srv, "contested.com", "")
+	oldETag := before.Header().Get("ETag")
+	if before.Code != 200 || oldETag == "" {
+		t.Fatalf("pre-drop fetch: status %d, ETag %q", before.Code, oldETag)
+	}
+
+	runner := registry.NewDropRunner(store, registry.DropConfig{StartHour: 19, BaseRatePerSec: 10})
+	if _, err := runner.Run(day, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	if gone := rdapGet(t, srv, "contested.com", oldETag); gone.Code != http.StatusNotFound {
+		t.Fatalf("post-drop fetch: status %d, want 404 (stale cache?)", gone.Code)
+	}
+
+	// The zero-second re-registration: a different sponsor re-creates it.
+	if _, err := store.CreateAt("contested.com", 1001, 1, day.At(19, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	after := rdapGet(t, srv, "contested.com", oldETag)
+	if after.Code != 200 {
+		t.Fatalf("post-recreate conditional fetch: status %d, want 200 (stale 304?)", after.Code)
+	}
+	if after.Header().Get("ETag") == oldETag {
+		t.Fatal("ETag unchanged across drop and re-registration")
+	}
+	if bytes.Equal(after.Body.Bytes(), before.Body.Bytes()) {
+		t.Fatal("re-registration served the old cached body")
+	}
+	var resp DomainResponse
+	if err := json.Unmarshal(after.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Entities) != 1 || resp.Entities[0].Handle != "1001" {
+		t.Fatalf("entities after re-registration: %+v", resp.Entities)
+	}
+	if resp.Status[0] != "active" {
+		t.Fatalf("status after re-registration: %v", resp.Status)
+	}
+}
+
+// TestConditionalDomainFetch pins the 304 flow on the RDAP surface.
+func TestConditionalDomainFetch(t *testing.T) {
+	store, _ := newEnv(t, ServerConfig{})
+	if _, err := store.Create("cond.com", 1000, 2); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store, ServerConfig{})
+	first := rdapGet(t, srv, "cond.com", "")
+	etag := first.Header().Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on 200")
+	}
+	cond := rdapGet(t, srv, "cond.com", etag)
+	if cond.Code != http.StatusNotModified || cond.Body.Len() != 0 {
+		t.Fatalf("conditional: status %d, %d body bytes", cond.Code, cond.Body.Len())
+	}
+	if err := store.Touch("cond.com", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if after := rdapGet(t, srv, "cond.com", etag); after.Code != 200 {
+		t.Fatalf("post-touch conditional: status %d, want 200", after.Code)
+	}
+	m := srv.Metrics()
+	if m.Requests != 3 || m.Cache.Hits != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+// TestNotFoundUncached ensures 404s never carry validators and never stick.
+func TestNotFoundUncached(t *testing.T) {
+	store, _ := newEnv(t, ServerConfig{})
+	srv := NewServer(store, ServerConfig{})
+	miss := rdapGet(t, srv, "ghost.com", "")
+	if miss.Code != http.StatusNotFound {
+		t.Fatalf("status %d", miss.Code)
+	}
+	if miss.Header().Get("ETag") != "" {
+		t.Fatal("404 carried an ETag")
+	}
+	if _, err := store.Create("ghost.com", 1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if hit := rdapGet(t, srv, "ghost.com", ""); hit.Code != 200 {
+		t.Fatalf("post-create status %d (negative response cached?)", hit.Code)
+	}
+}
+
+// TestConcurrentDomainGETsDuringDrop hammers domain lookups while a Drop
+// purges; run with -race. Responses must be the current state's reference
+// bytes or a 404 — never a mix.
+func TestConcurrentDomainGETsDuringDrop(t *testing.T) {
+	clock := simtime.NewSimClock(time.Date(2018, 1, 10, 9, 0, 0, 0, time.UTC))
+	store := registry.NewStore(clock)
+	store.AddRegistrar(model.Registrar{IANAID: 1000, Name: "R"})
+	day := simtime.Day{Year: 2018, Month: time.January, Dom: 10}
+	updated := day.AddDays(-35).At(6, 0, 0)
+	names := make([]string, 200)
+	for i := range names {
+		names[i] = fmt.Sprintf("cc%03d.com", i)
+		if _, err := store.SeedAt(names[i], 1000, updated.AddDate(-1, 0, 0), updated,
+			updated.AddDate(0, 0, -30), model.StatusPendingDelete, day.AddDays(i%2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := NewServer(store, ServerConfig{})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := names[(i*7+w)%len(names)]
+				rec := rdapGet(t, srv, name, "")
+				switch rec.Code {
+				case 200:
+					var resp DomainResponse
+					if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+						t.Errorf("%s: bad body: %v", name, err)
+						return
+					}
+					if resp.LDHName != name {
+						t.Errorf("got %q for %q", resp.LDHName, name)
+						return
+					}
+				case 404:
+				default:
+					t.Errorf("%s: status %d", name, rec.Code)
+					return
+				}
+			}
+		}(w)
+	}
+	runner := registry.NewDropRunner(store, registry.DropConfig{StartHour: 19, BaseRatePerSec: 100})
+	rng := rand.New(rand.NewSource(5))
+	for d := day; d.Before(day.AddDays(2)); d = d.Next() {
+		if _, err := runner.Run(d, rng); err != nil {
+			t.Error(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	for _, name := range names {
+		if _, err := store.Get(name); err != nil {
+			continue
+		}
+		got := rdapGet(t, srv, name, "")
+		if !bytes.Equal(got.Body.Bytes(), reference(t, srv, name)) {
+			t.Fatalf("%s: cached body diverged from reference after Drops", name)
+		}
+	}
+}
+
+// TestRDAPServeErrSurfaced checks background serve failures are recorded.
+func TestRDAPServeErrSurfaced(t *testing.T) {
+	store, _ := newEnv(t, ServerConfig{})
+	srv := NewServer(store, ServerConfig{})
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	srv.ln.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.ServeErr() == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.ServeErr() == nil {
+		t.Fatal("ServeErr not recorded after listener failure")
+	}
+	srv.Close()
+
+	clean := NewServer(store, ServerConfig{})
+	if _, err := clean.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.Close(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := clean.ServeErr(); err != nil {
+		t.Fatalf("clean Close recorded ServeErr: %v", err)
 	}
 }

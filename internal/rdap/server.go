@@ -1,6 +1,7 @@
 package rdap
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,10 +9,18 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
+	"dropzero/internal/gencache"
 	"dropzero/internal/model"
 	"dropzero/internal/registry"
 )
+
+// DefaultCacheSize bounds the response cache when ServerConfig.CacheSize is
+// zero. Sized for the hot set of a bulk measurement sweep, not the whole
+// zone: the cache flushes wholesale on every store mutation anyway.
+const DefaultCacheSize = 32768
 
 // ServerConfig parameterises an RDAP server.
 type ServerConfig struct {
@@ -19,19 +28,62 @@ type ServerConfig struct {
 	// returns for any domain they sponsor. Used to reproduce the Papaki-like
 	// failures that force clients onto the WHOIS fallback.
 	FailRegistrars map[int]int
+	// CacheSize caps the encoded-response cache; 0 means DefaultCacheSize.
+	CacheSize int
 }
 
-// Server serves registry data as RFC 7483-shaped JSON over HTTP.
+// cachedResponse is a fully encoded 200 body plus the precomputed header
+// values the warm path assigns without allocating.
+type cachedResponse struct {
+	body    []byte
+	etag    string
+	etagVal []string // {etag}, shared across responses
+	clenVal []string // {len(body)}
+}
+
+var rdapContentType = []string{"application/rdap+json"}
+
+// Server serves registry data as RFC 7483-shaped JSON over HTTP. Domain
+// responses are cached per store generation (see registry.Store.Generation):
+// any mutation flushes the cache, so cached bytes are always identical to a
+// fresh render — a property the tests pin differentially.
 type Server struct {
 	store *registry.Store
 	cfg   ServerConfig
 	http  *http.Server
 	ln    net.Listener
+
+	serveErr atomic.Value // error from the background Serve goroutine
+	requests atomic.Uint64
+
+	cache *gencache.Cache[string, *cachedResponse]
+	bufs  sync.Pool
+
+	// entities memoizes the marshalled registrar entity fragment per
+	// accreditation record. Keyed by the record value, not the IANA ID, so
+	// re-accrediting an ID with different contact data can never serve the
+	// old fragment. Registrar sets are small (thousands), so unbounded.
+	entMu    sync.RWMutex
+	entities map[model.Registrar]json.RawMessage
 }
 
-// NewServer returns a Server over store.
+// NewServer returns a Server over store with every currently accredited
+// registrar's entity fragment precomputed.
 func NewServer(store *registry.Store, cfg ServerConfig) *Server {
-	s := &Server{store: store, cfg: cfg}
+	size := cfg.CacheSize
+	if size <= 0 {
+		size = DefaultCacheSize
+	}
+	s := &Server{
+		store:    store,
+		cfg:      cfg,
+		cache:    gencache.New[string, *cachedResponse](size),
+		entities: make(map[model.Registrar]json.RawMessage),
+	}
+	s.bufs.New = func() any { return new(bytes.Buffer) }
+	for _, reg := range store.Registrars() {
+		s.entities[reg] = marshalEntity(registrarEntity(reg.IANAID, reg, true))
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/domain/", s.handleDomain)
 	mux.HandleFunc("/help", s.handleHelp)
@@ -52,10 +104,30 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	s.ln = ln
 	go func() {
 		if err := s.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			_ = err // listener closed during shutdown
+			s.serveErr.Store(fmt.Errorf("rdap: serve: %w", err))
 		}
 	}()
 	return ln.Addr(), nil
+}
+
+// ServeErr reports a failure of the background accept loop started by
+// Listen, nil while serving normally or after a clean Close.
+func (s *Server) ServeErr() error {
+	if err, ok := s.serveErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Metrics is a snapshot of the server's request accounting.
+type Metrics struct {
+	Requests uint64
+	Cache    gencache.Counters
+}
+
+// Metrics returns request and cache counters accumulated since construction.
+func (s *Server) Metrics() Metrics {
+	return Metrics{Requests: s.requests.Load(), Cache: s.cache.Stats()}
 }
 
 // Close stops the server.
@@ -78,6 +150,7 @@ func (s *Server) handleHelp(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDomain(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
 	if r.Method != http.MethodGet {
 		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{ErrorCode: 405, Title: "method not allowed"})
 		return
@@ -87,8 +160,17 @@ func (s *Server) handleDomain(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{ErrorCode: 400, Title: "malformed domain name"})
 		return
 	}
+
+	gen := s.store.Generation()
+	if cr, ok := s.cache.Get(gen, name); ok {
+		s.serveCached(w, r, cr)
+		return
+	}
 	d, err := s.store.Get(name)
 	if err != nil {
+		// 404s are never cached and carry no ETag: a name can be re-created
+		// at any moment and a conditional revalidation of "absent" would
+		// risk a stale 304 after the re-registration.
 		writeJSON(w, http.StatusNotFound, ErrorResponse{
 			ErrorCode:   404,
 			Title:       "object not found",
@@ -100,10 +182,132 @@ func (s *Server) handleDomain(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, code, ErrorResponse{ErrorCode: code, Title: "internal error"})
 		return
 	}
-	writeJSON(w, http.StatusOK, s.toResponse(d))
+
+	buf := s.bufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	s.render(buf, d)
+	if s.store.Generation() == gen {
+		cr := newCachedResponse(gen, bytes.Clone(buf.Bytes()))
+		s.bufs.Put(buf)
+		s.cache.Put(gen, name, cr)
+		s.serveCached(w, r, cr)
+		return
+	}
+	// A mutation landed mid-render: the body is a valid snapshot but its
+	// exact generation is unknown, so serve it without an ETag and do not
+	// cache it — labelling it could let a later revalidation 304 falsely.
+	h := w.Header()
+	h["Content-Type"] = rdapContentType
+	h.Set("Content-Length", strconv.Itoa(buf.Len()))
+	_, _ = w.Write(buf.Bytes())
+	s.bufs.Put(buf)
 }
 
+func newCachedResponse(gen uint64, body []byte) *cachedResponse {
+	etag := `"` + strconv.FormatUint(gen, 10) + `"`
+	return &cachedResponse{
+		body:    body,
+		etag:    etag,
+		etagVal: []string{etag},
+		clenVal: []string{strconv.Itoa(len(body))},
+	}
+}
+
+// serveCached writes a precomputed 200 (or a 304 when the client's validator
+// still matches). Header values are preassembled slices so the warm path
+// performs no per-request allocation beyond the header map inserts.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, cr *cachedResponse) {
+	h := w.Header()
+	h["Etag"] = cr.etagVal
+	if r.Header.Get("If-None-Match") == cr.etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h["Content-Type"] = rdapContentType
+	h["Content-Length"] = cr.clenVal
+	_, _ = w.Write(cr.body)
+}
+
+// render encodes the domain response into buf, byte-identical to
+// json.NewEncoder(buf).Encode(s.toResponse(d)) but splicing the memoized
+// registrar entity fragment instead of re-marshalling it. Splicing is safe
+// because encoding/json re-compacts RawMessage with the same HTML escaping
+// Marshal applies, and escaping is idempotent.
+func (s *Server) render(buf *bytes.Buffer, d *model.Domain) {
+	wire := struct {
+		ObjectClassName string            `json:"objectClassName"`
+		Handle          string            `json:"handle"`
+		LDHName         string            `json:"ldhName"`
+		Status          []string          `json:"status"`
+		Events          []Event           `json:"events"`
+		Entities        []json.RawMessage `json:"entities"`
+	}{
+		ObjectClassName: "domain",
+		Handle:          fmt.Sprintf("%d_DOMAIN_%s-VRSN", d.ID, strings.ToUpper(string(d.TLD))),
+		LDHName:         d.Name,
+		Status:          []string{d.Status.String()},
+		Events: []Event{
+			{Action: EventRegistration, Date: d.Created},
+			{Action: EventLastChanged, Date: d.Updated},
+			{Action: EventExpiration, Date: d.Expiry},
+		},
+		Entities: []json.RawMessage{s.entityFragment(d.RegistrarID)},
+	}
+	_ = json.NewEncoder(buf).Encode(&wire)
+}
+
+// entityFragment returns the marshalled entity block for a sponsoring
+// registrar, memoized per accreditation record.
+func (s *Server) entityFragment(registrarID int) json.RawMessage {
+	reg, found := s.store.Registrar(registrarID)
+	if found {
+		s.entMu.RLock()
+		frag, ok := s.entities[reg]
+		s.entMu.RUnlock()
+		if ok {
+			return frag
+		}
+	}
+	frag := marshalEntity(registrarEntity(registrarID, reg, found))
+	if found {
+		s.entMu.Lock()
+		s.entities[reg] = frag
+		s.entMu.Unlock()
+	}
+	return frag
+}
+
+func marshalEntity(ent Entity) json.RawMessage {
+	b, err := json.Marshal(ent)
+	if err != nil {
+		panic(fmt.Sprintf("rdap: marshal entity: %v", err)) // no unmarshalable fields
+	}
+	return b
+}
+
+func registrarEntity(registrarID int, reg model.Registrar, found bool) Entity {
+	ent := Entity{
+		ObjectClassName: "entity",
+		Handle:          strconv.Itoa(registrarID),
+		Roles:           []string{"registrar"},
+		PublicIDs:       []PublicID{{Type: "IANA Registrar ID", Identifier: strconv.Itoa(registrarID)}},
+	}
+	if found {
+		ent.VCard = map[string]string{
+			"fn":    reg.Name,
+			"org":   reg.Contact.Org,
+			"email": reg.Contact.Email,
+			"adr":   reg.Contact.Street + ", " + reg.Contact.City + ", " + reg.Contact.Country,
+			"tel":   reg.Contact.Phone,
+		}
+	}
+	return ent
+}
+
+// toResponse is the reference (uncached) encoding of a domain, kept as the
+// oracle for the differential cache tests.
 func (s *Server) toResponse(d *model.Domain) *DomainResponse {
+	reg, found := s.store.Registrar(d.RegistrarID)
 	resp := &DomainResponse{
 		ObjectClassName: "domain",
 		Handle:          fmt.Sprintf("%d_DOMAIN_%s-VRSN", d.ID, strings.ToUpper(string(d.TLD))),
@@ -115,22 +319,7 @@ func (s *Server) toResponse(d *model.Domain) *DomainResponse {
 			{Action: EventExpiration, Date: d.Expiry},
 		},
 	}
-	ent := Entity{
-		ObjectClassName: "entity",
-		Handle:          strconv.Itoa(d.RegistrarID),
-		Roles:           []string{"registrar"},
-		PublicIDs:       []PublicID{{Type: "IANA Registrar ID", Identifier: strconv.Itoa(d.RegistrarID)}},
-	}
-	if reg, ok := s.store.Registrar(d.RegistrarID); ok {
-		ent.VCard = map[string]string{
-			"fn":    reg.Name,
-			"org":   reg.Contact.Org,
-			"email": reg.Contact.Email,
-			"adr":   reg.Contact.Street + ", " + reg.Contact.City + ", " + reg.Contact.Country,
-			"tel":   reg.Contact.Phone,
-		}
-	}
-	resp.Entities = []Entity{ent}
+	resp.Entities = []Entity{registrarEntity(d.RegistrarID, reg, found)}
 	return resp
 }
 

@@ -17,6 +17,7 @@ import (
 	"slices"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dropzero/internal/model"
@@ -55,6 +56,15 @@ type Observer interface {
 // Store is the registry database. All methods are safe for concurrent use.
 type Store struct {
 	clock simtime.Clock
+
+	// gen counts committed mutations of publicly observable state. Every
+	// successful mutator bumps it exactly once, inside its write-lock
+	// critical section; failed operations leave it untouched. Response
+	// caches in the serving layers (RDAP, WHOIS, dropscope) key rendered
+	// bytes by this counter: a cached body is valid exactly while
+	// Generation() still returns the value it was rendered under. Readable
+	// lock-free via Generation().
+	gen atomic.Uint64
 
 	mu         sync.RWMutex
 	domains    map[string]*model.Domain // active registrations by name
@@ -147,6 +157,22 @@ func (s *Store) useScan() bool {
 	return s.scanEngine
 }
 
+// Generation returns the store's mutation counter without taking any lock.
+// It increases by (at least) one for every committed mutation of observable
+// state — domain creation, transfer, touch, renewal, lifecycle transition,
+// purge, registrar accreditation — and never decreases or repeats.
+//
+// Cache discipline: read the generation, render the response, then read the
+// generation again; install the body into a cache only when the two reads
+// match (the render then reflects exactly that generation's state, because
+// every bump happens inside the mutator's write-lock critical section, which
+// cannot overlap the render's read lock). Serve a cached body only while
+// Generation() still equals the generation it was installed under.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
+
+// bumpGen records a committed mutation. Callers hold the write lock.
+func (s *Store) bumpGen() { s.gen.Add(1) }
+
 // NewStore returns an empty Store reading time from clock.
 func NewStore(clock simtime.Clock) *Store {
 	return &Store{
@@ -174,6 +200,7 @@ func (s *Store) AddRegistrar(r model.Registrar) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.registrars[r.IANAID] = r
+	s.bumpGen()
 }
 
 // Registrar looks up an accreditation by IANA ID.
@@ -273,6 +300,7 @@ func (s *Store) CreateAt(name string, registrarID int, termYears int, at time.Ti
 	s.byID[d.ID] = d
 	s.authInfo[name] = deriveAuthInfo(d.ID, name)
 	s.dueAdd(d)
+	s.bumpGen()
 	return cloned(d), nil
 }
 
@@ -345,6 +373,7 @@ func (s *Store) Transfer(name string, gainingID int, authInfo string) error {
 	d.Status = model.StatusActive
 	s.dueAdd(d)
 	s.authInfo[name] = deriveAuthInfo(d.ID^0x5bf0, name)
+	s.bumpGen()
 	obs := s.observer
 	s.mu.Unlock()
 	if obs != nil {
@@ -396,6 +425,7 @@ func (s *Store) TouchAt(name string, registrarID int, at time.Time) error {
 	s.dueRemove(d)
 	d.Updated = simtime.Trunc(at)
 	s.dueAdd(d)
+	s.bumpGen()
 	return nil
 }
 
@@ -416,6 +446,7 @@ func (s *Store) Renew(name string, registrarID int, years int) error {
 	d.Updated = now
 	d.Status = model.StatusActive
 	s.dueAdd(d)
+	s.bumpGen()
 	return nil
 }
 
@@ -436,6 +467,7 @@ func (s *Store) setState(name string, st model.Status, updated time.Time, delete
 	}
 	d.DeleteDay = deleteDay
 	s.dueAdd(d)
+	s.bumpGen()
 	obs := s.observer
 	registrarID := d.RegistrarID
 	s.mu.Unlock()
@@ -517,6 +549,7 @@ func (s *Store) purge(name string, at time.Time, rank int) (model.DeletionEvent,
 	delete(s.authInfo, name)
 	day := simtime.DayOf(at)
 	s.deletions[day] = append(s.deletions[day], ev)
+	s.bumpGen()
 	obs := s.observer
 	registrarID := d.RegistrarID
 	s.mu.Unlock()
@@ -647,6 +680,7 @@ func (s *Store) SeedAt(name string, registrarID int, created, updated, expiry ti
 	s.domains[name] = d
 	s.byID[d.ID] = d
 	s.dueAdd(d)
+	s.bumpGen()
 	return cloned(d), nil
 }
 

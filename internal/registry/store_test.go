@@ -496,3 +496,146 @@ func TestStatusCounts(t *testing.T) {
 		t.Fatalf("counts = %v", counts)
 	}
 }
+
+// TestGenerationBumpsOnEveryMutator pins the serving-layer cache contract:
+// every successful mutation of observable state bumps Generation() (so
+// generation-keyed response caches flush), reads never bump it, and failed
+// operations leave it untouched (so caches are not needlessly invalidated).
+func TestGenerationBumpsOnEveryMutator(t *testing.T) {
+	s, clock := testStore(t)
+	day := simtime.DayOf(clock.Now())
+
+	// bumped asserts fn increases the generation by exactly n.
+	bumped := func(what string, n uint64, fn func()) {
+		t.Helper()
+		before := s.Generation()
+		fn()
+		if got := s.Generation() - before; got != n {
+			t.Fatalf("%s: generation moved by %d, want %d", what, got, n)
+		}
+	}
+
+	bumped("AddRegistrar", 1, func() { s.AddRegistrar(model.Registrar{IANAID: 1002}) })
+	bumped("Create", 1, func() {
+		if _, err := s.Create("gen.com", 1000, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	bumped("SeedAt", 1, func() {
+		now := clock.Now()
+		if _, err := s.SeedAt("genseed.com", 1000, now.AddDate(-1, 0, 0), now, now.AddDate(1, 0, 0), model.StatusActive, simtime.Day{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	bumped("Touch", 1, func() {
+		if err := s.Touch("gen.com", 1000); err != nil {
+			t.Fatal(err)
+		}
+	})
+	bumped("Renew", 1, func() {
+		if err := s.Renew("gen.com", 1000, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	auth, err := s.AuthInfo("gen.com", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bumped("Transfer", 1, func() {
+		if err := s.Transfer("gen.com", 1001, auth); err != nil {
+			t.Fatal(err)
+		}
+	})
+	bumped("MarkRedemption", 1, func() {
+		if err := s.MarkRedemption("gen.com", clock.Now()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	bumped("MarkPendingDelete", 1, func() {
+		if err := s.MarkPendingDelete("gen.com", clock.Now(), day); err != nil {
+			t.Fatal(err)
+		}
+	})
+	bumped("purge", 1, func() {
+		if _, err := s.purge("gen.com", clock.Now(), 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Reads must not bump.
+	bumped("reads", 0, func() {
+		s.Get("genseed.com")
+		s.GetByID(1)
+		s.Available("other.com")
+		s.Registrar(1000)
+		s.Registrars()
+		s.PendingDeletions(day, 5)
+		s.Deletions(day)
+		s.Count()
+		s.StatusCounts()
+		s.Each(func(*model.Domain) bool { return true })
+		s.Generation()
+	})
+
+	// Failed mutations must not bump.
+	bumped("failed mutations", 0, func() {
+		s.Create("genseed.com", 1000, 1)      // ErrExists
+		s.Create("bad name!", 1000, 1)        // ErrBadName
+		s.Create("orphan.com", 9999, 1)       // ErrUnknownRegistrar
+		s.Touch("missing.com", 1000)          // ErrNotFound
+		s.Touch("genseed.com", 1001)          // ErrWrongRegistrar
+		s.Renew("missing.com", 1000, 1)       // ErrNotFound
+		s.Transfer("missing.com", 1001, "x")  // ErrNotFound
+		s.Transfer("genseed.com", 1001, "x")  // ErrBadAuthInfo
+		s.MarkRedemption("missing.com", clock.Now())
+		s.purge("genseed.com", clock.Now(), 0) // ErrNotPendingDelete
+	})
+}
+
+// TestGenerationMonotonicUnderConcurrency drives mutators and Generation
+// reads concurrently: the counter must be strictly monotonic from any single
+// reader's point of view and end at exactly one bump per committed mutation.
+func TestGenerationMonotonicUnderConcurrency(t *testing.T) {
+	s, _ := testStore(t)
+	start := s.Generation()
+	const n = 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		last := s.Generation()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			g := s.Generation()
+			if g < last {
+				t.Error("generation went backwards")
+				return
+			}
+			last = g
+		}
+	}()
+	var mw sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		mw.Add(1)
+		go func(w int) {
+			defer mw.Done()
+			for i := 0; i < n; i++ {
+				if _, err := s.Create(fmt.Sprintf("gen-%d-%d.com", w, i), 1000, 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	mw.Wait()
+	close(stop)
+	wg.Wait()
+	if got := s.Generation() - start; got != 4*n {
+		t.Fatalf("generation advanced by %d, want %d", got, 4*n)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -56,9 +57,12 @@ func (m LabelModel) Label(delay time.Duration, rng *rand.Rand) bool {
 
 // Oracle stores labels and serves lookups. Safe for concurrent use.
 type Oracle struct {
+	serveErr atomic.Value // error from the background Serve goroutine
+
 	mu     sync.RWMutex
 	labels map[string]bool
 	http   *http.Server
+	ln     net.Listener
 }
 
 // NewOracle returns an empty Oracle.
@@ -97,12 +101,22 @@ func (o *Oracle) Listen(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, fmt.Errorf("safebrowsing: listen %s: %w", addr, err)
 	}
+	o.ln = ln
 	go func() {
 		if err := o.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			_ = err
+			o.serveErr.Store(fmt.Errorf("safebrowsing: serve: %w", err))
 		}
 	}()
 	return ln.Addr(), nil
+}
+
+// ServeErr reports a failure of the background serve loop started by
+// Listen, nil while serving normally or after a clean Close.
+func (o *Oracle) ServeErr() error {
+	if err, ok := o.serveErr.Load().(error); ok {
+		return err
+	}
+	return nil
 }
 
 // Close stops the HTTP server.

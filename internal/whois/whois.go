@@ -12,12 +12,13 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"dropzero/internal/gencache"
 	"dropzero/internal/model"
 	"dropzero/internal/registry"
 )
@@ -121,27 +122,32 @@ func (r *Record) Domain() (*model.Domain, error) {
 	}, nil
 }
 
-// Format renders a domain as a WHOIS response body.
+// recordTrailer ends every positive WHOIS response.
+const recordTrailer = "\r\n>>> Last update of whois database <<<\r\n"
+
+// Format renders a domain as a WHOIS response body. The emission order is
+// the alphabetical order of the field labels — historically produced by
+// sorting a map's keys per call, now written out directly. Changing a field
+// label here requires re-deriving the order; the equivalence test pins the
+// exact bytes against the old map-and-sort implementation.
 func Format(d *model.Domain) string {
-	fields := map[string]string{
-		FieldDomainName:  strings.ToUpper(d.Name),
-		FieldDomainID:    fmt.Sprintf("%d_DOMAIN", d.ID),
-		FieldRegistrarID: strconv.Itoa(d.RegistrarID),
-		FieldUpdated:     d.Updated.UTC().Format(timeLayout),
-		FieldCreated:     d.Created.UTC().Format(timeLayout),
-		FieldExpiry:      d.Expiry.UTC().Format(timeLayout),
-		FieldStatus:      d.Status.String(),
-	}
-	keys := make([]string, 0, len(fields))
-	for k := range fields {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
 	var b strings.Builder
-	for _, k := range keys {
-		fmt.Fprintf(&b, "   %s: %s\r\n", k, fields[k])
+	b.Grow(256)
+	writeField := func(k, v string) {
+		b.WriteString("   ")
+		b.WriteString(k)
+		b.WriteString(": ")
+		b.WriteString(v)
+		b.WriteString("\r\n")
 	}
-	b.WriteString("\r\n>>> Last update of whois database <<<\r\n")
+	writeField(FieldCreated, d.Created.UTC().Format(timeLayout))
+	writeField(FieldDomainName, strings.ToUpper(d.Name))
+	writeField(FieldStatus, d.Status.String())
+	writeField(FieldRegistrarID, strconv.Itoa(d.RegistrarID))
+	writeField(FieldDomainID, strconv.FormatUint(d.ID, 10)+"_DOMAIN")
+	writeField(FieldExpiry, d.Expiry.UTC().Format(timeLayout))
+	writeField(FieldUpdated, d.Updated.UTC().Format(timeLayout))
+	b.WriteString(recordTrailer)
 	return b.String()
 }
 
@@ -170,9 +176,19 @@ func Parse(body string) (*Record, error) {
 	return rec, nil
 }
 
-// Server answers WHOIS queries from a registry store.
+// cacheSize bounds the formatted-response cache; it flushes wholesale on
+// every store mutation, so it only ever holds one generation's hot set.
+const cacheSize = 32768
+
+// Server answers WHOIS queries from a registry store. Positive responses
+// are cached per store generation (see registry.Store.Generation), so a
+// repeat lookup of an unchanged domain serves preformatted bytes.
 type Server struct {
 	store *registry.Store
+
+	serveErr atomic.Value // error from the background accept loop
+	requests atomic.Uint64
+	cache    *gencache.Cache[string, string]
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -183,7 +199,31 @@ type Server struct {
 
 // NewServer returns a WHOIS server over store.
 func NewServer(store *registry.Store) *Server {
-	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		store: store,
+		cache: gencache.New[string, string](cacheSize),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// ServeErr reports a failure of the background accept loop started by
+// Listen, nil while serving normally or after a clean Close.
+func (s *Server) ServeErr() error {
+	if err, ok := s.serveErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Metrics is a snapshot of the server's request accounting.
+type Metrics struct {
+	Requests uint64
+	Cache    gencache.Counters
+}
+
+// Metrics returns request and cache counters accumulated since construction.
+func (s *Server) Metrics() Metrics {
+	return Metrics{Requests: s.requests.Load(), Cache: s.cache.Stats()}
 }
 
 // Listen binds addr and serves until Close.
@@ -201,6 +241,12 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 		for {
 			conn, err := ln.Accept()
 			if err != nil {
+				s.mu.Lock()
+				closed := s.closed
+				s.mu.Unlock()
+				if !closed {
+					s.serveErr.Store(fmt.Errorf("whois: accept: %w", err))
+				}
 				return
 			}
 			s.mu.Lock()
@@ -246,17 +292,39 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	s.ServeConn(conn)
+}
+
+// ServeConn answers one WHOIS exchange on conn without closing it or
+// managing deadlines. Exported so benchmarks and in-process callers can
+// drive the full protocol over a net.Pipe, bypassing TCP.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.requests.Add(1)
 	line, err := bufio.NewReader(io.LimitReader(conn, 512)).ReadString('\n')
 	if err != nil && line == "" {
 		return
 	}
 	name := strings.ToLower(strings.TrimSpace(line))
+	io.WriteString(conn, s.response(name))
+}
+
+// response returns the full reply body for one queried name, serving the
+// generation-checked cache on repeat lookups. Negative replies are never
+// cached: a name can be re-registered the next instant.
+func (s *Server) response(name string) string {
+	gen := s.store.Generation()
+	if body, ok := s.cache.Get(gen, name); ok {
+		return body
+	}
 	d, err := s.store.Get(name)
 	if err != nil {
-		fmt.Fprintf(conn, "%s domain %q.\r\n", noMatchPrefix, strings.ToUpper(name))
-		return
+		return fmt.Sprintf("%s domain %q.\r\n", noMatchPrefix, strings.ToUpper(name))
 	}
-	io.WriteString(conn, Format(d))
+	body := Format(d)
+	if s.store.Generation() == gen {
+		s.cache.Put(gen, name, body)
+	}
+	return body
 }
 
 // Client performs WHOIS lookups against one server address. It is safe for

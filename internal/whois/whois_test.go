@@ -3,7 +3,12 @@ package whois
 import (
 	"context"
 	"errors"
+	"fmt"
+	"io"
+	"math/rand"
 	"net"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -255,5 +260,208 @@ func TestClientConcurrentLookups(t *testing.T) {
 	close(errs)
 	if err := <-errs; err != nil {
 		t.Fatal(err)
+	}
+}
+
+// formatReference is the original map-and-sort implementation of Format,
+// kept verbatim as the byte-level oracle for the fixed-order rewrite.
+func formatReference(d *model.Domain) string {
+	fields := map[string]string{
+		FieldDomainName:  strings.ToUpper(d.Name),
+		FieldDomainID:    fmt.Sprintf("%d_DOMAIN", d.ID),
+		FieldRegistrarID: strconv.Itoa(d.RegistrarID),
+		FieldUpdated:     d.Updated.UTC().Format(timeLayout),
+		FieldCreated:     d.Created.UTC().Format(timeLayout),
+		FieldExpiry:      d.Expiry.UTC().Format(timeLayout),
+		FieldStatus:      d.Status.String(),
+	}
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "   %s: %s\r\n", k, fields[k])
+	}
+	b.WriteString("\r\n>>> Last update of whois database <<<\r\n")
+	return b.String()
+}
+
+func TestFormatMatchesMapSortReference(t *testing.T) {
+	domains := []*model.Domain{
+		sampleDomain(),
+		{ID: 1, Name: "a.net", TLD: model.NET, RegistrarID: 9,
+			Created: time.Date(2000, 1, 2, 3, 4, 5, 0, time.UTC),
+			Updated: time.Date(2001, 2, 3, 4, 5, 6, 0, time.UTC),
+			Expiry:  time.Date(2002, 3, 4, 5, 6, 7, 0, time.UTC),
+			Status:  model.StatusActive},
+		{ID: 18446744073709551615, Name: "max-id.com", TLD: model.COM, RegistrarID: 1727,
+			Created: time.Unix(0, 0).UTC(), Updated: time.Unix(0, 0).UTC(),
+			Expiry: time.Unix(0, 0).UTC(), Status: model.StatusRedemption},
+	}
+	for _, d := range domains {
+		if got, want := Format(d), formatReference(d); got != want {
+			t.Fatalf("Format(%s) diverged from map-sort reference:\n got %q\nwant %q", d.Name, got, want)
+		}
+	}
+}
+
+// pipeEnv builds a store + server and returns a query function running the
+// full protocol over an in-memory pipe via ServeConn.
+func pipeEnv(t *testing.T) (*registry.Store, *Server, func(name string) string) {
+	t.Helper()
+	clock := simtime.NewSimClock(time.Date(2018, 1, 10, 9, 0, 0, 0, time.UTC))
+	store := registry.NewStore(clock)
+	store.AddRegistrar(model.Registrar{IANAID: 1000, Name: "R"})
+	srv := NewServer(store)
+	query := func(name string) string {
+		client, server := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			srv.ServeConn(server)
+			server.Close()
+		}()
+		fmt.Fprintf(client, "%s\r\n", name)
+		body, err := io.ReadAll(client)
+		client.Close()
+		<-done
+		if err != nil {
+			t.Fatalf("read reply for %s: %v", name, err)
+		}
+		return string(body)
+	}
+	return store, srv, query
+}
+
+// TestServeConnCachedEqualsFresh is the WHOIS differential invariant:
+// cached replies are byte-identical to Format of the live record, across
+// mutations, and negative replies never stick.
+func TestServeConnCachedEqualsFresh(t *testing.T) {
+	store, srv, query := pipeEnv(t)
+	day := simtime.Day{Year: 2018, Month: time.January, Dom: 10}
+	updated := day.AddDays(-35).At(6, 0, 0)
+	if _, err := store.SeedAt("w1.com", 1000, updated.AddDate(-1, 0, 0), updated,
+		updated.AddDate(0, 0, -30), model.StatusPendingDelete, day); err != nil {
+		t.Fatal(err)
+	}
+	d, err := store.Get("w1.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Format(d)
+	if got := query("w1.com"); got != want { // cold
+		t.Fatalf("cold reply:\n got %q\nwant %q", got, want)
+	}
+	if got := query("w1.com"); got != want { // warm (cached)
+		t.Fatalf("warm reply:\n got %q\nwant %q", got, want)
+	}
+	if m := srv.Metrics(); m.Requests != 2 || m.Cache.Hits != 1 || m.Cache.Misses != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+
+	// Drop the name: the cached positive reply must not survive the purge.
+	runner := registry.NewDropRunner(store, registry.DropConfig{StartHour: 19, BaseRatePerSec: 10})
+	if _, err := runner.Run(day, rand.New(rand.NewSource(2))); err != nil {
+		t.Fatal(err)
+	}
+	if got := query("w1.com"); !strings.HasPrefix(got, noMatchPrefix) {
+		t.Fatalf("post-drop reply = %q, want no-match (stale cache?)", got)
+	}
+
+	// Re-register: the negative reply must not stick either, and the new
+	// record's bytes must be fresh.
+	if _, err := store.CreateAt("w1.com", 1000, 1, day.At(19, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := store.Get("w1.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := query("w1.com")
+	if got != Format(d2) {
+		t.Fatalf("post-recreate reply:\n got %q\nwant %q", got, Format(d2))
+	}
+	if got == want {
+		t.Fatal("re-registration served the pre-drop record")
+	}
+}
+
+// TestServeConnConcurrentDuringDrop hammers lookups over pipes while a Drop
+// purges; run with -race.
+func TestServeConnConcurrentDuringDrop(t *testing.T) {
+	store, srv, _ := pipeEnv(t)
+	day := simtime.Day{Year: 2018, Month: time.January, Dom: 10}
+	updated := day.AddDays(-35).At(6, 0, 0)
+	names := make([]string, 120)
+	for i := range names {
+		names[i] = fmt.Sprintf("wc%03d.com", i)
+		if _, err := store.SeedAt(names[i], 1000, updated.AddDate(-1, 0, 0), updated,
+			updated.AddDate(0, 0, -30), model.StatusPendingDelete, day); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := names[(i*13+w)%len(names)]
+				body := srv.response(name)
+				if !strings.HasPrefix(body, noMatchPrefix) {
+					if _, err := Parse(body); err != nil {
+						t.Errorf("%s: bad reply: %v", name, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	runner := registry.NewDropRunner(store, registry.DropConfig{StartHour: 19, BaseRatePerSec: 100})
+	if _, err := runner.Run(day, rand.New(rand.NewSource(4))); err != nil {
+		t.Error(err)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestWhoisServeErrSurfaced checks accept-loop failures are recorded and a
+// clean Close records nothing.
+func TestWhoisServeErrSurfaced(t *testing.T) {
+	store, _, _ := pipeEnv(t)
+	srv := NewServer(store)
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	// Yank the listener without setting closed: the accept loop fails.
+	srv.mu.Lock()
+	ln := srv.ln
+	srv.mu.Unlock()
+	ln.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.ServeErr() == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.ServeErr() == nil {
+		t.Fatal("ServeErr not recorded after listener failure")
+	}
+
+	clean := NewServer(store)
+	if _, err := clean.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.ServeErr(); err != nil {
+		t.Fatalf("clean Close recorded ServeErr: %v", err)
 	}
 }
