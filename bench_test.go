@@ -614,10 +614,14 @@ type pipelineBenchWorld struct {
 }
 
 func newPipelineBenchWorld(b *testing.B, n int) *pipelineBenchWorld {
+	return newPipelineBenchWorldShards(b, n, 0)
+}
+
+func newPipelineBenchWorldShards(b *testing.B, n, shards int) *pipelineBenchWorld {
 	b.Helper()
 	day := simtime.Day{Year: 2018, Month: time.March, Dom: 5}
 	clock := simtime.NewSimClock(day.At(9, 0, 0))
-	store := registry.NewStore(clock)
+	store := registry.NewStoreWithShards(clock, shards)
 	store.AddRegistrar(model.Registrar{IANAID: 1000, Name: "Sponsor"})
 	lc := registry.DefaultLifecycleConfig()
 	for i := 0; i < n; i++ {
@@ -860,6 +864,66 @@ func BenchmarkServeRDAPDomain(b *testing.B) {
 			resp.Body.Close()
 		}
 	})
+}
+
+// BenchmarkServeRDAPUnderMutation measures RDAP lookups while a registrar
+// keeps mutating the store — the serving picture during the Drop, when every
+// response renders cold because deletions bump the generation continuously.
+// With one shard every cold render serialises against the writer; with eight,
+// lookups on other shards proceed while the writer holds its own shard's
+// lock. Reported with tail percentiles from the load driver; the spread needs
+// real cores (CI runs this for BENCH_4.json).
+func BenchmarkServeRDAPUnderMutation(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			world := newPipelineBenchWorldShards(b, 2000, shards)
+			if _, err := world.store.CreateAt("bench-genbump.com", 1000, 1, world.day.At(9, 0, 0)); err != nil {
+				b.Fatal(err)
+			}
+			srv := rdap.NewServer(world.store, rdap.ServerConfig{})
+			client := inproc.Client(srv.Handler())
+
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				at := world.day.At(9, 30, 0)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						if err := world.store.TouchAt("bench-genbump.com", 1000, at); err != nil {
+							b.Errorf("touch: %v", err)
+							return
+						}
+					}
+				}
+			}()
+
+			b.ResetTimer()
+			res := loadgen.Run(8, b.N, func(i int) error {
+				resp, err := client.Get(fmt.Sprintf("http://rdap.bench/domain/bench-pipe%05d.com", i%world.n))
+				if err != nil {
+					return err
+				}
+				_, err = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				return err
+			})
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+			if res.Errors != 0 {
+				b.Fatalf("load errors: %d", res.Errors)
+			}
+			b.ReportMetric(res.RPS(), "req/sec")
+			b.ReportMetric(float64(res.P50().Nanoseconds()), "p50-ns")
+			b.ReportMetric(float64(res.P95().Nanoseconds()), "p95-ns")
+			b.ReportMetric(float64(res.P99().Nanoseconds()), "p99-ns")
+		})
+	}
 }
 
 // BenchmarkServeWHOIS measures one port-43 exchange, cold vs warm, over an

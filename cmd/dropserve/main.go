@@ -10,11 +10,14 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux served by -debug
 	"os"
 	"os/signal"
 	"syscall"
@@ -22,8 +25,8 @@ import (
 
 	"dropzero/internal/dns"
 	"dropzero/internal/dropscope"
-	"dropzero/internal/gencache"
 	"dropzero/internal/epp"
+	"dropzero/internal/gencache"
 	"dropzero/internal/model"
 	"dropzero/internal/names"
 	"dropzero/internal/rdap"
@@ -46,14 +49,16 @@ func main() {
 	oracleAddr := flag.String("oracle", "127.0.0.1:7704", "maliciousness oracle listen address")
 	dnsAddr := flag.String("dns", "127.0.0.1:7705", "authoritative DNS listen address (UDP)")
 	zoneAddr := flag.String("zones", "127.0.0.1:7706", "zone-file access listen address")
+	debugAddr := flag.String("debug", "", "debug listen address serving net/http/pprof and expvar (empty = disabled)")
 	population := flag.Int("population", 2000, "number of seeded domains")
 	seed := flag.Int64("seed", 1, "population seed")
+	shards := flag.Int("shards", 0, "registry store shard count (0 = auto from GOMAXPROCS, 1 = legacy single lock; behaviour is identical at any setting)")
 	flag.Parse()
 
 	clock := simtime.RealClock{}
 	rng := rand.New(rand.NewSource(*seed))
 	dir := registrars.BuildDirectory(rng)
-	store := registry.NewStore(clock)
+	store := registry.NewStoreWithShards(clock, *shards)
 	for _, r := range dir.Registrars() {
 		store.AddRegistrar(r)
 	}
@@ -95,7 +100,22 @@ func main() {
 	listen("zone files", *zoneAddr, zoneSrv.Listen)
 	defer zoneSrv.Close()
 
-	fmt.Printf("registry live: %d domains, %d accreditations\n", store.Count(), len(dir.Registrars()))
+	if *debugAddr != "" {
+		publishDebugVars(store, rdapSrv, whoisSrv, scopeSrv)
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("debug: %v", err)
+		}
+		fmt.Printf("%-20s http://%s/debug/pprof and /debug/vars\n", "debug:", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, nil); err != nil {
+				log.Printf("debug: serve error: %v", err)
+			}
+		}()
+	}
+
+	fmt.Printf("registry live: %d domains, %d accreditations (%d store shards)\n",
+		store.Count(), len(dir.Registrars()), store.ShardCount())
 	counts := store.StatusCounts()
 	fmt.Printf("by status: active=%d autoRenew=%d redemption=%d pendingDelete=%d\n",
 		counts[model.StatusActive], counts[model.StatusAutoRenew],
@@ -132,6 +152,34 @@ func main() {
 			return
 		}
 	}
+}
+
+// publishDebugVars exposes the registry and per-surface serving counters
+// under a single expvar map, so `curl /debug/vars` shows shard count, live
+// domain population, request totals and cache hit ratios alongside the
+// standard memstats — handy when reading a pprof contention profile.
+func publishDebugVars(store *registry.Store, rdapSrv *rdap.Server, whoisSrv *whois.Server, scopeSrv *dropscope.Server) {
+	surface := func(requests uint64, cache gencache.Counters) map[string]any {
+		return map[string]any{
+			"requests":    requests,
+			"cache_hits":  cache.Hits,
+			"cache_miss":  cache.Misses,
+			"cache_ratio": cache.HitRatio(),
+		}
+	}
+	expvar.Publish("dropserve", expvar.Func(func() any {
+		rm, wm, sm := rdapSrv.Metrics(), whoisSrv.Metrics(), scopeSrv.Metrics()
+		return map[string]any{
+			"store": map[string]any{
+				"shards":     store.ShardCount(),
+				"domains":    store.Count(),
+				"generation": store.Generation(),
+			},
+			"rdap":  surface(rm.Requests, rm.Cache),
+			"whois": surface(wm.Requests, wm.Cache),
+			"scope": surface(sm.Requests, sm.Cache),
+		}
+	}))
 }
 
 // logSurface prints one surface's request count and cache effectiveness,

@@ -28,6 +28,7 @@ func main() {
 	scale := flag.Float64("scale", cfg.Scale, "fraction of the paper's daily deletion volume (1.0 = 66k-112k/day)")
 	seed := flag.Int64("seed", cfg.Seed, "simulation seed (equal seeds give equal datasets)")
 	parallelism := flag.Int("parallelism", 0, "measurement lookup workers (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
+	shards := flag.Int("shards", 0, "registry store shard count (0 = auto from GOMAXPROCS, 1 = legacy single lock; output is identical at any setting)")
 	out := flag.String("out", "dataset.csv", "output path for the observation dataset")
 	regsOut := flag.String("registrars", "registrars.csv", "output path for the registrar directory")
 	flag.Parse()
@@ -36,6 +37,7 @@ func main() {
 	cfg.Scale = *scale
 	cfg.Seed = *seed
 	cfg.Parallelism = *parallelism
+	cfg.Shards = *shards
 
 	log.Printf("simulating %d deletion days at scale %.3f (seed %d)...", cfg.Days, cfg.Scale, cfg.Seed)
 	res, err := sim.Run(cfg)

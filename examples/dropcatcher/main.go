@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -35,13 +36,15 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	shards := flag.Int("shards", 0, "registry store shard count (0 = auto from GOMAXPROCS, 1 = legacy single lock; the catch plays out identically at any setting)")
+	flag.Parse()
 	rng := rand.New(rand.NewSource(7))
 
 	// --- Registry side -------------------------------------------------
 	day := simtime.Day{Year: 2018, Month: time.January, Dom: 18}
 	clock := simtime.NewSimClock(day.At(9, 0, 0))
 	dir := registrars.BuildDirectory(rng)
-	store := registry.NewStore(clock)
+	store := registry.NewStoreWithShards(clock, *shards)
 	for _, r := range dir.Registrars() {
 		store.AddRegistrar(r)
 	}

@@ -7,6 +7,7 @@
 package loadgen
 
 import (
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +18,9 @@ type Result struct {
 	Requests uint64        // requests attempted (== the budget given to Run)
 	Errors   uint64        // requests whose fn returned an error
 	Elapsed  time.Duration // wall clock from first to last request
+	// latencies holds every request's duration, sorted ascending. Populated
+	// only by Run; a zero Result reports zero percentiles.
+	latencies []time.Duration
 }
 
 // RPS returns the sustained request rate of the run.
@@ -27,9 +31,38 @@ func (r Result) RPS() float64 {
 	return float64(r.Requests) / r.Elapsed.Seconds()
 }
 
+// Percentile returns the p-th percentile request latency (nearest-rank over
+// the recorded durations), for p in (0, 100]. Out-of-range p or an empty run
+// reports zero.
+func (r Result) Percentile(p float64) time.Duration {
+	if len(r.latencies) == 0 || p <= 0 || p > 100 {
+		return 0
+	}
+	rank := int(p/100*float64(len(r.latencies))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(r.latencies) {
+		rank = len(r.latencies) - 1
+	}
+	return r.latencies[rank]
+}
+
+// P50 is the median request latency.
+func (r Result) P50() time.Duration { return r.Percentile(50) }
+
+// P95 is the 95th-percentile request latency.
+func (r Result) P95() time.Duration { return r.Percentile(95) }
+
+// P99 is the 99th-percentile request latency — the tail number that decides
+// whether a drop-catcher's create lands inside the deletion second.
+func (r Result) P99() time.Duration { return r.Percentile(99) }
+
 // Run issues total requests through fn from workers concurrent goroutines.
 // fn receives the request's global index (0..total-1) so callers can vary
 // the target per request. workers and total are clamped to at least 1.
+// Every request's latency is recorded (per worker, merged after the run), so
+// Result reports percentiles as well as throughput.
 func Run(workers, total int, fn func(i int) error) Result {
 	if workers < 1 {
 		workers = 1
@@ -39,26 +72,39 @@ func Run(workers, total int, fn func(i int) error) Result {
 	}
 	var next, errs atomic.Uint64
 	var wg sync.WaitGroup
+	perWorker := make([][]time.Duration, workers)
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			lat := make([]time.Duration, 0, total/workers+1)
 			for {
 				i := next.Add(1) - 1
 				if i >= uint64(total) {
+					perWorker[w] = lat
 					return
 				}
-				if err := fn(int(i)); err != nil {
+				t0 := time.Now()
+				err := fn(int(i))
+				lat = append(lat, time.Since(t0))
+				if err != nil {
 					errs.Add(1)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	elapsed := time.Since(start)
+	all := make([]time.Duration, 0, total)
+	for _, lat := range perWorker {
+		all = append(all, lat...)
+	}
+	slices.Sort(all)
 	return Result{
-		Requests: uint64(total),
-		Errors:   errs.Load(),
-		Elapsed:  time.Since(start),
+		Requests:  uint64(total),
+		Errors:    errs.Load(),
+		Elapsed:   elapsed,
+		latencies: all,
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestRunCoversEveryIndexOnce(t *testing.T) {
@@ -28,6 +29,37 @@ func TestRunCoversEveryIndexOnce(t *testing.T) {
 	}
 	if res.RPS() <= 0 {
 		t.Fatalf("RPS = %v", res.RPS())
+	}
+	if res.P50() <= 0 || res.P50() > res.P95() || res.P95() > res.P99() {
+		t.Fatalf("percentiles not positive and monotone: p50=%v p95=%v p99=%v", res.P50(), res.P95(), res.P99())
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	lat := make([]time.Duration, 100)
+	for i := range lat {
+		lat[i] = time.Duration(i+1) * time.Millisecond
+	}
+	r := Result{latencies: lat}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 50 * time.Millisecond},
+		{95, 95 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+		{1, 1 * time.Millisecond},
+		{0, 0},
+		{101, 0},
+	}
+	for _, c := range cases {
+		if got := r.Percentile(c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := (Result{}).P99(); got != 0 {
+		t.Errorf("empty Result P99 = %v, want 0", got)
 	}
 }
 

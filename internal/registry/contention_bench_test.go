@@ -1,0 +1,97 @@
+package registry
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dropzero/internal/loadgen"
+	"dropzero/internal/model"
+	"dropzero/internal/simtime"
+)
+
+// newContentionStore builds a store with a live registered population, so
+// the contended operations run against realistically loaded shard maps, not
+// empty ones.
+func newContentionStore(b *testing.B, shards int) (*Store, simtime.Day) {
+	b.Helper()
+	day := simtime.Day{Year: 2018, Month: time.March, Dom: 1}
+	clock := simtime.NewSimClock(day.At(19, 0, 0))
+	s := NewStoreWithShards(clock, shards)
+	for r := 0; r < 8; r++ {
+		s.AddRegistrar(model.Registrar{IANAID: 1000 + r, Name: fmt.Sprintf("Bench %d", r)})
+	}
+	created := day.AddDays(-400).At(3, 0, 0)
+	for i := 0; i < 10_000; i++ {
+		if _, err := s.SeedAt(fmt.Sprintf("bench-live%05d.com", i), 1000+i%8,
+			created, created, created.AddDate(2, 0, 0), model.StatusActive, simtime.Day{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s, day
+}
+
+// BenchmarkEPPCreateContention is the Drop-second hot path under full
+// contention: every processor hammers the store with the check+create
+// sequence a drop-catch registrar issues when names start deleting. With one
+// shard every create serialises on a single mutex; with eight, creates on
+// different names proceed in parallel and throughput should scale with cores
+// (the spread is invisible at GOMAXPROCS=1 — run on a multicore host, as CI
+// does for BENCH_4.json).
+func BenchmarkEPPCreateContention(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, day := newContentionStore(b, shards)
+			at := day.At(19, 0, 1)
+			var worker atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := worker.Add(1)
+				i := 0
+				for pb.Next() {
+					name := fmt.Sprintf("drop%d-%d.com", w, i)
+					if avail, _ := s.Available(name); !avail {
+						b.Errorf("%s unexpectedly taken", name)
+					}
+					if _, err := s.CreateAt(name, 1000+int(w%8), 1, at); err != nil {
+						b.Errorf("create %s: %v", name, err)
+					}
+					if avail, _ := s.Available(name); avail {
+						b.Errorf("%s still available after create", name)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkCreateCheckLatency drives the same check+create hot path through
+// the closed-loop load driver, so the comparison across shard counts reports
+// tail latency (p50/p95/p99) alongside throughput — the percentiles are what
+// decide whether a racing create lands inside the deletion second.
+func BenchmarkCreateCheckLatency(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, day := newContentionStore(b, shards)
+			at := day.At(19, 0, 1)
+			b.ResetTimer()
+			res := loadgen.Run(8, b.N, func(i int) error {
+				name := fmt.Sprintf("lg%08d.com", i)
+				s.Available(name)
+				_, err := s.CreateAt(name, 1000+i%8, 1, at)
+				return err
+			})
+			b.StopTimer()
+			if res.Errors != 0 {
+				b.Fatalf("%d create errors", res.Errors)
+			}
+			b.ReportMetric(res.RPS(), "req/sec")
+			b.ReportMetric(float64(res.P50().Nanoseconds()), "p50-ns")
+			b.ReportMetric(float64(res.P95().Nanoseconds()), "p95-ns")
+			b.ReportMetric(float64(res.P99().Nanoseconds()), "p99-ns")
+		})
+	}
+}

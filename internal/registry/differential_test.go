@@ -26,13 +26,15 @@ type engineTrace struct {
 // runEngine drives one store through days of lifecycle ticks, Drops and
 // interleaved registrar churn, all derived from seed. With scan=true the
 // store answers every sweep via the retained full-scan reference engine;
-// with scan=false it uses the due-day indexes. Identical seeds must yield
-// identical traces either way — that equivalence is the whole point.
-func runEngine(t *testing.T, seed int64, days int, scan bool) engineTrace {
+// with scan=false it uses the due-day indexes. shards picks the store's
+// shard count (0 = the GOMAXPROCS default). Identical seeds must yield
+// identical traces at every engine and every shard count — that equivalence
+// is the whole point.
+func runEngine(t *testing.T, seed int64, days int, scan bool, shards int) engineTrace {
 	t.Helper()
 	start := simtime.Day{Year: 2018, Month: time.January, Dom: 8}
 	clock := simtime.NewSimClock(start.At(0, 30, 0))
-	s := NewStore(clock)
+	s := NewStoreWithShards(clock, shards)
 	s.SetScanEngine(scan)
 	for r := 0; r < 10; r++ {
 		s.AddRegistrar(model.Registrar{IANAID: 1000 + r, Name: fmt.Sprintf("Reg %d", r)})
@@ -62,13 +64,13 @@ func runEngine(t *testing.T, seed int64, days int, scan bool) engineTrace {
 		var err error
 		switch {
 		case i < 180: // active; many expire inside the window
-			expiry := start.AddDays(-10 + rng.Intn(days+20)).At(rng.Intn(24), rng.Intn(60), rng.Intn(60))
+			expiry := start.AddDays(-10+rng.Intn(days+20)).At(rng.Intn(24), rng.Intn(60), rng.Intn(60))
 			_, err = s.SeedAt(name, sponsor, expiry.AddDate(-1, 0, 0), expiry.AddDate(-1, 0, 0), expiry, model.StatusActive, simtime.Day{})
 		case i < 230: // autoRenew with the grace clock already running
-			expiry := start.AddDays(-1 - rng.Intn(20)).At(rng.Intn(24), rng.Intn(60), 0)
+			expiry := start.AddDays(-1-rng.Intn(20)).At(rng.Intn(24), rng.Intn(60), 0)
 			_, err = s.SeedAt(name, sponsor, expiry.AddDate(-1, 0, 0), expiry, expiry, model.StatusAutoRenew, simtime.Day{})
 		case i < 260: // redemption, Updated in the recent past
-			updated := start.AddDays(-1 - rng.Intn(12)).At(6, 30, rng.Intn(60))
+			updated := start.AddDays(-1-rng.Intn(12)).At(6, 30, rng.Intn(60))
 			_, err = s.SeedAt(name, sponsor, updated.AddDate(-2, 0, 0), updated, updated.AddDate(0, 0, -20), model.StatusRedemption, simtime.Day{})
 		default: // pendingDelete spread over the first week of Drops
 			updated := start.AddDays(-20).At(6, 30, rng.Intn(60))
@@ -147,6 +149,47 @@ func slicesSortByName(ds []model.Domain) {
 	}
 }
 
+// compareTraces asserts two engine traces are identical in every observable:
+// transition counts, deletion queues, published windows, deletion event
+// logs, status counts and final store contents, day by day.
+func compareTraces(t *testing.T, days int, aName, bName string, a, b engineTrace) {
+	t.Helper()
+	if !reflect.DeepEqual(a.tickCounts, b.tickCounts) {
+		t.Errorf("tick counts diverge:\n%s: %v\n%s: %v", aName, a.tickCounts, bName, b.tickCounts)
+	}
+	for d := 0; d < days; d++ {
+		if !reflect.DeepEqual(a.queues[d], b.queues[d]) {
+			t.Errorf("day %d: deletion queues diverge (%s %d entries, %s %d)", d, aName, len(a.queues[d]), bName, len(b.queues[d]))
+		}
+		if !reflect.DeepEqual(a.pending[d], b.pending[d]) {
+			t.Errorf("day %d: PendingDeletions windows diverge (%s %d, %s %d)", d, aName, len(a.pending[d]), bName, len(b.pending[d]))
+		}
+		if !reflect.DeepEqual(a.deletions[d], b.deletions[d]) {
+			t.Errorf("day %d: deletion events diverge (%s %d, %s %d)", d, aName, len(a.deletions[d]), bName, len(b.deletions[d]))
+		}
+		if !reflect.DeepEqual(a.counts[d], b.counts[d]) {
+			t.Errorf("day %d: status counts diverge:\n%s: %v\n%s: %v", d, aName, a.counts[d], bName, b.counts[d])
+		}
+	}
+	if !reflect.DeepEqual(a.final, b.final) {
+		t.Errorf("final store contents diverge (%s %d domains, %s %d)", aName, len(a.final), bName, len(b.final))
+	}
+}
+
+// requireLively fails the test when a trace is too quiet to make the
+// differential comparison meaningful.
+func requireLively(t *testing.T, days int, tr engineTrace) {
+	t.Helper()
+	ticks, dels := 0, 0
+	for d := 0; d < days; d++ {
+		ticks += tr.tickCounts[d]
+		dels += len(tr.deletions[d])
+	}
+	if ticks < 100 || dels < 50 {
+		t.Fatalf("run too quiet to be meaningful: %d transitions, %d deletions", ticks, dels)
+	}
+}
+
 // TestIndexedMatchesScanEngine is the differential test: over several seeds,
 // the due-day-indexed sweeps and the retained full-scan reference must
 // produce identical transition counts, deletion queues, published windows,
@@ -157,40 +200,31 @@ func TestIndexedMatchesScanEngine(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			t.Parallel()
-			idx := runEngine(t, seed, days, false)
-			ref := runEngine(t, seed, days, true)
+			idx := runEngine(t, seed, days, false, 0)
+			ref := runEngine(t, seed, days, true, 0)
+			compareTraces(t, days, "indexed", "scan", idx, ref)
+			requireLively(t, days, idx)
+		})
+	}
+}
 
-			if !reflect.DeepEqual(idx.tickCounts, ref.tickCounts) {
-				t.Errorf("tick counts diverge:\nindexed: %v\nscan:    %v", idx.tickCounts, ref.tickCounts)
+// TestShardedMatchesSingleShard is the shard-count differential test: the
+// same multi-week drive against a 1-shard (classic single-lock), 4-shard and
+// 16-shard store must leave identical traces — deletion queues, published
+// windows, events, counts and final contents all byte-identical. Shard
+// routing must be invisible everywhere outside lock contention.
+func TestShardedMatchesSingleShard(t *testing.T) {
+	const days = 40
+	for _, seed := range []int64{1, 7, 20180108} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			single := runEngine(t, seed, days, false, 1)
+			for _, shards := range []int{4, 16} {
+				got := runEngine(t, seed, days, false, shards)
+				compareTraces(t, days, "1-shard", fmt.Sprintf("%d-shard", shards), single, got)
 			}
-			for d := 0; d < days; d++ {
-				if !reflect.DeepEqual(idx.queues[d], ref.queues[d]) {
-					t.Errorf("day %d: deletion queues diverge (indexed %d entries, scan %d)", d, len(idx.queues[d]), len(ref.queues[d]))
-				}
-				if !reflect.DeepEqual(idx.pending[d], ref.pending[d]) {
-					t.Errorf("day %d: PendingDeletions windows diverge (indexed %d, scan %d)", d, len(idx.pending[d]), len(ref.pending[d]))
-				}
-				if !reflect.DeepEqual(idx.deletions[d], ref.deletions[d]) {
-					t.Errorf("day %d: deletion events diverge (indexed %d, scan %d)", d, len(idx.deletions[d]), len(ref.deletions[d]))
-				}
-				if !reflect.DeepEqual(idx.counts[d], ref.counts[d]) {
-					t.Errorf("day %d: status counts diverge:\nindexed: %v\nscan:    %v", d, idx.counts[d], ref.counts[d])
-				}
-			}
-			if !reflect.DeepEqual(idx.final, ref.final) {
-				t.Errorf("final store contents diverge (indexed %d domains, scan %d)", len(idx.final), len(ref.final))
-			}
-
-			// Sanity: the run must actually exercise the pipeline, or the
-			// comparison proves nothing.
-			ticks, dels := 0, 0
-			for d := 0; d < days; d++ {
-				ticks += idx.tickCounts[d]
-				dels += len(idx.deletions[d])
-			}
-			if ticks < 100 || dels < 50 {
-				t.Fatalf("run too quiet to be meaningful: %d transitions, %d deletions", ticks, dels)
-			}
+			requireLively(t, days, single)
 		})
 	}
 }

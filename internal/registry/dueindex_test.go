@@ -10,15 +10,16 @@ import (
 )
 
 // bucketDayOf returns the due-index bucket day currently holding the domain,
-// or ok=false when the domain is in no bucket of its status index.
+// or ok=false when the domain is in no bucket of its shard's status index.
 func bucketDayOf(s *Store, name string) (simtime.Day, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	d, ok := s.domains[name]
-	if !ok || int(d.Status) >= len(s.due) {
+	sh := s.shardOf(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	d, ok := sh.domains[name]
+	if !ok || int(d.Status) >= len(sh.due) {
 		return simtime.Day{}, false
 	}
-	for day, b := range s.due[d.Status].buckets {
+	for day, b := range sh.due[d.Status].buckets {
 		if _, ok := b[d.ID]; ok {
 			return day, true
 		}
@@ -26,15 +27,19 @@ func bucketDayOf(s *Store, name string) (simtime.Day, bool) {
 	return simtime.Day{}, false
 }
 
-// indexSize counts every indexed domain across all states, for leak checks.
+// indexSize counts every indexed domain across all shards and states, for
+// leak checks.
 func indexSize(s *Store) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
-	for i := range s.due {
-		for _, b := range s.due[i].buckets {
-			n += len(b)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for j := range sh.due {
+			for _, b := range sh.due[j].buckets {
+				n += len(b)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
@@ -249,7 +254,7 @@ func sweepWorld(tb testing.TB, storeSize, pendingPerDay int) (*Store, *Lifecycle
 		} else {
 			// Active with a future expiry: never due during the benchmark,
 			// which is exactly the population a daily sweep must not touch.
-			expiry := today.AddDays(30 + i%300).At(8, 0, i%60)
+			expiry := today.AddDays(30+i%300).At(8, 0, i%60)
 			_, err = s.SeedAt(name, sponsor, expiry.AddDate(-1, 0, 0), expiry.AddDate(-1, 0, 0),
 				expiry, model.StatusActive, simtime.Day{})
 		}

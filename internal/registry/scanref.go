@@ -96,18 +96,17 @@ func (r *DropRunner) buildQueueScan(day simtime.Day) []QueueEntry {
 // filter everything, then sort the survivors.
 func (s *Store) pendingDeletionsScan(from simtime.Day, days int) []*model.Domain {
 	end := from.AddDays(days)
-	s.mu.RLock()
 	out := make([]*model.Domain, 0, 1024)
-	for _, d := range s.domains {
+	s.each(func(d *model.Domain) bool {
 		if d.Status != model.StatusPendingDelete {
-			continue
+			return true
 		}
 		if d.DeleteDay.Before(from) || !d.DeleteDay.Before(end) {
-			continue
+			return true
 		}
 		out = append(out, cloned(d))
-	}
-	s.mu.RUnlock()
+		return true
+	})
 	slices.SortFunc(out, func(a, b *model.Domain) int {
 		if a.DeleteDay != b.DeleteDay {
 			if a.DeleteDay.Before(b.DeleteDay) {

@@ -14,6 +14,7 @@ import (
 	"cmp"
 	"errors"
 	"fmt"
+	"runtime"
 	"slices"
 	"strings"
 	"sync"
@@ -53,88 +54,171 @@ type Observer interface {
 	DomainTransferred(name string, losingID, gainingID int)
 }
 
-// Store is the registry database. All methods are safe for concurrent use.
-type Store struct {
-	clock simtime.Clock
-
-	// gen counts committed mutations of publicly observable state. Every
-	// successful mutator bumps it exactly once, inside its write-lock
-	// critical section; failed operations leave it untouched. Response
-	// caches in the serving layers (RDAP, WHOIS, dropscope) key rendered
-	// bytes by this counter: a cached body is valid exactly while
-	// Generation() still returns the value it was rendered under. Readable
-	// lock-free via Generation().
-	gen atomic.Uint64
-
-	mu         sync.RWMutex
-	domains    map[string]*model.Domain // active registrations by name
-	byID       map[uint64]*model.Domain
-	registrars map[int]model.Registrar
-	nextID     uint64
-	observer   Observer
+// shard is one lock domain of the store. Every registration lives in exactly
+// one shard, chosen by hashing its name, and everything a single-domain
+// operation needs — the name and ID maps, the transfer codes, the due-day
+// indexes and status tallies, and the due-day policy — is resident in that
+// shard, guarded by that shard's lock. The EPP hot path (Check/Info/Create
+// during the Drop second) therefore serialises only against operations on
+// names that hash to the same shard, not against the whole registry.
+type shard struct {
+	mu      sync.RWMutex
+	domains map[string]*model.Domain // active registrations by name
+	byID    map[uint64]*model.Domain // this shard's registrations by object ID
 	// authInfo holds each registration's transfer authorisation code. Never
 	// exposed through RDAP/WHOIS; only the sponsor may read it.
 	authInfo map[string]string
 
-	// deletions is the ground-truth archive of Drop deletions, per day.
-	deletions map[simtime.Day][]model.DeletionEvent
-
-	// policy computes each registration's due day. The zero value anchors
-	// buckets at the earliest plausible day (always safe); NewLifecycle and
-	// SpreadGraceDays install the exact policy for the active config.
+	// policy computes each registration's due day. Every shard holds the
+	// same value (installed shard-by-shard via setDuePolicy); keeping a copy
+	// per shard lets dueAdd/dueRemove read it under the shard lock alone.
 	policy duePolicy
-	// due is the tentpole index: per lifecycle state, every live
-	// registration bucketed by the UTC day its next transition becomes due.
-	// Maintained incrementally by every mutator, it makes the daily sweeps
-	// (Lifecycle.Tick, DropRunner.BuildQueue, PendingDeletions) O(due work)
-	// instead of O(store).
+	// due is the time-bucketed secondary index: per lifecycle state, this
+	// shard's live registrations bucketed by the UTC day their next
+	// transition becomes due. Maintained incrementally by every mutator; the
+	// daily sweeps merge the per-shard buckets in canonical order.
 	due [model.StatusDeleted]dueIndex
-	// statusCount tallies live registrations per lifecycle state.
+	// statusCount tallies this shard's live registrations per state.
 	statusCount [model.StatusDeleted + 1]int
-	// scanEngine routes the daily sweeps through the retained full-scan
-	// reference implementations (scanref.go) instead of the due indexes.
-	// Differential tests and benchmark baselines only.
-	scanEngine bool
 }
 
 // dueAdd indexes d under its current state and due day and bumps the status
-// counter. The caller holds the write lock; every live domain is indexed
-// exactly once.
-func (s *Store) dueAdd(d *model.Domain) {
-	if int(d.Status) < len(s.statusCount) {
-		s.statusCount[d.Status]++
+// counter. The caller holds the shard's write lock; every live domain is
+// indexed exactly once, in the shard its name hashes to.
+func (sh *shard) dueAdd(d *model.Domain) {
+	if int(d.Status) < len(sh.statusCount) {
+		sh.statusCount[d.Status]++
 	}
-	if int(d.Status) < len(s.due) {
-		s.due[d.Status].add(s.policy.dueDay(d), d)
+	if int(d.Status) < len(sh.due) {
+		sh.due[d.Status].add(sh.policy.dueDay(d), d)
 	}
 }
 
 // dueRemove un-indexes d. It must run *before* any field that feeds
 // duePolicy.dueDay (Status, Expiry, Updated, RegistrarID, DeleteDay) is
 // mutated, or the removal would look in the wrong bucket.
-func (s *Store) dueRemove(d *model.Domain) {
-	if int(d.Status) < len(s.statusCount) {
-		s.statusCount[d.Status]--
+func (sh *shard) dueRemove(d *model.Domain) {
+	if int(d.Status) < len(sh.statusCount) {
+		sh.statusCount[d.Status]--
 	}
-	if int(d.Status) < len(s.due) {
-		s.due[d.Status].remove(s.policy.dueDay(d), d.ID)
+	if int(d.Status) < len(sh.due) {
+		sh.due[d.Status].remove(sh.policy.dueDay(d), d.ID)
 	}
 }
 
+// Store is the registry database. All methods are safe for concurrent use.
+//
+// Internally the store is sharded by domain-name hash: single-domain
+// operations (the EPP Create/Check/Info hot path, RDAP/WHOIS lookups) take
+// exactly one shard lock, while cross-shard sweeps (PendingDeletions, the
+// due-index visitors, Each, Count, StatusCounts) visit the shards one at a
+// time and merge in the canonical orders the consumers sort into. The shard
+// count is fixed at construction (NewStoreWithShards); NewStore derives it
+// from GOMAXPROCS. One shard reproduces the classic single-lock store.
+//
+// Lock-ordering rule: at most one shard lock is ever held at a time, and the
+// registrar and deletion-archive locks may be taken while holding a shard
+// lock but never the reverse. Multi-shard readers release shard i before
+// locking shard i+1, so there is no lock-order cycle anywhere in the store.
+type Store struct {
+	clock simtime.Clock
+
+	// gen counts committed mutations of publicly observable state. Every
+	// successful mutator bumps it exactly once, inside its shard's write-lock
+	// critical section; failed operations leave it untouched. Response caches
+	// in the serving layers (RDAP, WHOIS, dropscope) key rendered bytes by
+	// this counter: a cached body is valid exactly while Generation() still
+	// returns the value it was rendered under. The counter stays a single
+	// global atomic — not per-shard — so gencache keys and HTTP ETags are
+	// oblivious to the shard layout. Readable lock-free via Generation().
+	gen atomic.Uint64
+
+	// nextID is the global object-ID allocator: the last ID handed out.
+	// Mutators allocate with Add(1) *after* their existence checks pass, so
+	// failed creates never consume an ID and single-threaded drives hand out
+	// exactly the same IDs at any shard count.
+	nextID atomic.Uint64
+
+	// scanEngine routes the daily sweeps through the retained full-scan
+	// reference implementations (scanref.go) instead of the due indexes.
+	// Differential tests and benchmark baselines only.
+	scanEngine atomic.Bool
+
+	// observer is the installed event consumer (pointer-to-interface so nil
+	// can be stored atomically). Mutators load it inside their critical
+	// section and deliver after unlocking.
+	observer atomic.Pointer[Observer]
+
+	// shards has power-of-two length; mask routes a name hash to its shard.
+	shards []shard
+	mask   uint64
+
+	regMu      sync.RWMutex
+	registrars map[int]model.Registrar
+
+	// deletions is the ground-truth archive of Drop deletions, per day.
+	// Guarded by its own mutex: purge appends while holding the purged
+	// name's shard lock (shard → delMu, never the reverse).
+	delMu     sync.Mutex
+	deletions map[simtime.Day][]model.DeletionEvent
+}
+
+// MaxShards caps the shard count; beyond this the per-shard maps are so
+// sparsely populated that cross-shard sweeps pay pure overhead.
+const MaxShards = 256
+
+// normalizeShardCount maps the constructor knob to the actual shard count:
+// values ≤ 0 derive the count from GOMAXPROCS (the lock parallelism the
+// hardware can actually use), anything else is rounded up to the next power
+// of two so the hash can route with a mask, and the result is clamped to
+// [1, MaxShards].
+func normalizeShardCount(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := 1
+	for p < n && p < MaxShards {
+		p <<= 1
+	}
+	return p
+}
+
+// shardOf routes a domain name to its shard (FNV-1a over the name, masked).
+// The hash is fixed for the life of the store: a registration never changes
+// shards, whatever lifecycle state it is in.
+func (s *Store) shardOf(name string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return &s.shards[h&s.mask]
+}
+
+// ShardCount reports how many shards the store was built with.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
 // setDuePolicy installs the due-day policy and rebuilds every index bucket
 // under it — O(store), paid once when a Lifecycle is attached or its grace
-// spread changes.
+// spread changes. Shards are rebuilt one at a time under their own locks.
 func (s *Store) setDuePolicy(p duePolicy) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i := range s.due {
-		s.due[i] = dueIndex{}
-	}
-	s.policy = p
-	for _, d := range s.domains {
-		if int(d.Status) < len(s.due) {
-			s.due[d.Status].add(p.dueDay(d), d)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for j := range sh.due {
+			sh.due[j] = dueIndex{}
 		}
+		sh.policy = p
+		for _, d := range sh.domains {
+			if int(d.Status) < len(sh.due) {
+				sh.due[d.Status].add(p.dueDay(d), d)
+			}
+		}
+		sh.mu.Unlock()
 	}
 }
 
@@ -145,17 +229,9 @@ func (s *Store) setDuePolicy(p duePolicy) {
 // results (the differential tests assert exactly that). It exists for those
 // tests and for benchmarking the pre-index baseline — production callers
 // never need it.
-func (s *Store) SetScanEngine(enabled bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.scanEngine = enabled
-}
+func (s *Store) SetScanEngine(enabled bool) { s.scanEngine.Store(enabled) }
 
-func (s *Store) useScan() bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.scanEngine
-}
+func (s *Store) useScan() bool { return s.scanEngine.Load() }
 
 // Generation returns the store's mutation counter without taking any lock.
 // It increases by (at least) one for every committed mutation of observable
@@ -164,57 +240,96 @@ func (s *Store) useScan() bool {
 //
 // Cache discipline: read the generation, render the response, then read the
 // generation again; install the body into a cache only when the two reads
-// match (the render then reflects exactly that generation's state, because
-// every bump happens inside the mutator's write-lock critical section, which
-// cannot overlap the render's read lock). Serve a cached body only while
-// Generation() still equals the generation it was installed under.
+// match. The discipline survives sharding because every bump happens inside
+// the mutating shard's write-lock critical section: a mutation that commits
+// before the first generation read has released no lock the render could
+// have slipped past (the render's read lock on that shard waits it out), and
+// one that commits afterwards makes the second read differ, so the body is
+// dropped instead of installed. Serve a cached body only while Generation()
+// still equals the generation it was installed under.
 func (s *Store) Generation() uint64 { return s.gen.Load() }
 
-// bumpGen records a committed mutation. Callers hold the write lock.
+// bumpGen records a committed mutation. Callers hold the write lock of the
+// shard (or registrar table) whose state the mutation changed.
 func (s *Store) bumpGen() { s.gen.Add(1) }
 
-// NewStore returns an empty Store reading time from clock.
-func NewStore(clock simtime.Clock) *Store {
-	return &Store{
+// NewStore returns an empty Store reading time from clock, with the shard
+// count derived from GOMAXPROCS.
+func NewStore(clock simtime.Clock) *Store { return NewStoreWithShards(clock, 0) }
+
+// NewStoreWithShards returns an empty Store with an explicit shard count:
+// 0 derives the count from GOMAXPROCS, 1 reproduces the classic single-lock
+// store, other values are rounded up to the next power of two (clamped to
+// MaxShards). The shard count never changes a store's observable behaviour —
+// only how much lock parallelism concurrent callers get — and the
+// differential tests pin outputs byte-identical across shard counts.
+func NewStoreWithShards(clock simtime.Clock, shards int) *Store {
+	n := normalizeShardCount(shards)
+	s := &Store{
 		clock:      clock,
-		domains:    make(map[string]*model.Domain),
-		byID:       make(map[uint64]*model.Domain),
+		shards:     make([]shard, n),
+		mask:       uint64(n - 1),
 		registrars: make(map[int]model.Registrar),
-		nextID:     1,
-		authInfo:   make(map[string]string),
 		deletions:  make(map[simtime.Day][]model.DeletionEvent),
 	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.domains = make(map[string]*model.Domain)
+		sh.byID = make(map[uint64]*model.Domain)
+		sh.authInfo = make(map[string]string)
+	}
+	return s
 }
 
 // SetObserver installs the event consumer; pass nil to remove it. Events
 // are delivered synchronously, after the store's own state change commits.
 func (s *Store) SetObserver(o Observer) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.observer = o
+	if o == nil {
+		s.observer.Store(nil)
+		return
+	}
+	s.observer.Store(&o)
+}
+
+// loadObserver returns the installed observer, or nil.
+func (s *Store) loadObserver() Observer {
+	if p := s.observer.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // AddRegistrar registers an accreditation. Creating or updating domains under
 // an unknown IANA ID fails.
 func (s *Store) AddRegistrar(r model.Registrar) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
 	s.registrars[r.IANAID] = r
 	s.bumpGen()
 }
 
 // Registrar looks up an accreditation by IANA ID.
 func (s *Store) Registrar(ianaID int) (model.Registrar, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
 	r, ok := s.registrars[ianaID]
 	return r, ok
 }
 
+// hasRegistrar reports whether ianaID is accredited. Accreditations are
+// add-only, so a true answer read before taking a shard lock cannot go
+// stale inside the critical section.
+func (s *Store) hasRegistrar(ianaID int) bool {
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
+	_, ok := s.registrars[ianaID]
+	return ok
+}
+
 // Registrars returns all accreditations, sorted by IANA ID.
 func (s *Store) Registrars() []model.Registrar {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
 	out := make([]model.Registrar, 0, len(s.registrars))
 	for _, r := range s.registrars {
 		out = append(out, r)
@@ -251,9 +366,10 @@ func (s *Store) Available(name string) (bool, error) {
 	if _, _, err := splitName(name); err != nil {
 		return false, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, taken := s.domains[name]
+	sh := s.shardOf(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, taken := sh.domains[name]
 	return !taken, nil
 }
 
@@ -276,17 +392,20 @@ func (s *Store) CreateAt(name string, registrarID int, termYears int, at time.Ti
 	if termYears < 1 || termYears > 10 {
 		return nil, fmt.Errorf("%w: term %d years", ErrBadName, termYears)
 	}
-	at = simtime.Trunc(at)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.registrars[registrarID]; !ok {
+	// Accreditation check before the shard lock (keeps single-domain
+	// operations on one lock); add-only registrars make this TOCTOU-safe.
+	if !s.hasRegistrar(registrarID) {
 		return nil, fmt.Errorf("%w: IANA ID %d", ErrUnknownRegistrar, registrarID)
 	}
-	if _, taken := s.domains[name]; taken {
+	at = simtime.Trunc(at)
+	sh := s.shardOf(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, taken := sh.domains[name]; taken {
 		return nil, fmt.Errorf("%w: %q", ErrExists, name)
 	}
 	d := &model.Domain{
-		ID:          s.nextID,
+		ID:          s.nextID.Add(1),
 		Name:        name,
 		TLD:         tld,
 		RegistrarID: registrarID,
@@ -295,11 +414,10 @@ func (s *Store) CreateAt(name string, registrarID int, termYears int, at time.Ti
 		Expiry:      at.AddDate(termYears, 0, 0),
 		Status:      model.StatusActive,
 	}
-	s.nextID++
-	s.domains[name] = d
-	s.byID[d.ID] = d
-	s.authInfo[name] = deriveAuthInfo(d.ID, name)
-	s.dueAdd(d)
+	sh.domains[name] = d
+	sh.byID[d.ID] = d
+	sh.authInfo[name] = deriveAuthInfo(d.ID, name)
+	sh.dueAdd(d)
 	s.bumpGen()
 	return cloned(d), nil
 }
@@ -326,16 +444,17 @@ func deriveAuthInfo(id uint64, name string) string {
 // AuthInfo returns the registration's transfer code; only the sponsoring
 // registrar may read it.
 func (s *Store) AuthInfo(name string, registrarID int) (string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	d, ok := s.domains[name]
+	sh := s.shardOf(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	d, ok := sh.domains[name]
 	if !ok {
 		return "", fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	if d.RegistrarID != registrarID {
 		return "", fmt.Errorf("%w: %q", ErrWrongRegistrar, name)
 	}
-	return s.authInfo[name], nil
+	return sh.authInfo[name], nil
 }
 
 // Transfer moves an active registration to the gaining registrar when the
@@ -344,38 +463,42 @@ func (s *Store) AuthInfo(name string, registrarID int) (string, error) {
 // reason update times spread across registrations). The losing sponsor is
 // notified through the observer.
 func (s *Store) Transfer(name string, gainingID int, authInfo string) error {
-	s.mu.Lock()
-	d, ok := s.domains[name]
+	// Pre-read the accreditation so the critical section touches only the
+	// shard; the error precedence below matches the single-lock store.
+	gainingKnown := s.hasRegistrar(gainingID)
+	sh := s.shardOf(name)
+	sh.mu.Lock()
+	d, ok := sh.domains[name]
 	if !ok {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	if _, ok := s.registrars[gainingID]; !ok {
-		s.mu.Unlock()
+	if !gainingKnown {
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: IANA ID %d", ErrUnknownRegistrar, gainingID)
 	}
 	if d.Status != model.StatusActive && d.Status != model.StatusAutoRenew {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q in %v", ErrStatusProhibits, name, d.Status)
 	}
 	if d.RegistrarID == gainingID {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q already sponsored by %d", ErrWrongRegistrar, name, gainingID)
 	}
-	if s.authInfo[name] != authInfo || authInfo == "" {
-		s.mu.Unlock()
+	if sh.authInfo[name] != authInfo || authInfo == "" {
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrBadAuthInfo, name)
 	}
 	losing := d.RegistrarID
-	s.dueRemove(d)
+	sh.dueRemove(d)
 	d.RegistrarID = gainingID
 	d.Updated = simtime.Trunc(s.clock.Now())
 	d.Status = model.StatusActive
-	s.dueAdd(d)
-	s.authInfo[name] = deriveAuthInfo(d.ID^0x5bf0, name)
+	sh.dueAdd(d)
+	sh.authInfo[name] = deriveAuthInfo(d.ID^0x5bf0, name)
 	s.bumpGen()
-	obs := s.observer
-	s.mu.Unlock()
+	obs := s.loadObserver()
+	sh.mu.Unlock()
 	if obs != nil {
 		obs.DomainTransferred(name, losing, gainingID)
 	}
@@ -384,9 +507,10 @@ func (s *Store) Transfer(name string, gainingID int, authInfo string) error {
 
 // Get returns a copy of the current registration of name.
 func (s *Store) Get(name string) (*model.Domain, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	d, ok := s.domains[name]
+	sh := s.shardOf(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	d, ok := sh.domains[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
@@ -394,15 +518,21 @@ func (s *Store) Get(name string) (*model.Domain, error) {
 }
 
 // GetByID returns a copy of the registration with the given registry object
-// ID, if it still exists.
+// ID, if it still exists. IDs do not carry shard routing, so this probes the
+// shards in turn — fine for its occasional callers, not a hot path.
 func (s *Store) GetByID(id uint64) (*model.Domain, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	d, ok := s.byID[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		d, ok := sh.byID[id]
+		if ok {
+			c := cloned(d)
+			sh.mu.RUnlock()
+			return c, nil
+		}
+		sh.mu.RUnlock()
 	}
-	return cloned(d), nil
+	return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
 }
 
 // Touch records a registrar-initiated update to the domain, setting the
@@ -413,27 +543,29 @@ func (s *Store) Touch(name string, registrarID int) error {
 
 // TouchAt is Touch at an explicit instant (truncated to seconds).
 func (s *Store) TouchAt(name string, registrarID int, at time.Time) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d, ok := s.domains[name]
+	sh := s.shardOf(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	d, ok := sh.domains[name]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	if d.RegistrarID != registrarID {
 		return fmt.Errorf("%w: %q", ErrWrongRegistrar, name)
 	}
-	s.dueRemove(d)
+	sh.dueRemove(d)
 	d.Updated = simtime.Trunc(at)
-	s.dueAdd(d)
+	sh.dueAdd(d)
 	s.bumpGen()
 	return nil
 }
 
 // Renew extends the registration by years and records the update.
 func (s *Store) Renew(name string, registrarID int, years int) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d, ok := s.domains[name]
+	sh := s.shardOf(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	d, ok := sh.domains[name]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
@@ -441,11 +573,11 @@ func (s *Store) Renew(name string, registrarID int, years int) error {
 		return fmt.Errorf("%w: %q", ErrWrongRegistrar, name)
 	}
 	now := simtime.Trunc(s.clock.Now())
-	s.dueRemove(d)
+	sh.dueRemove(d)
 	d.Expiry = d.Expiry.AddDate(years, 0, 0)
 	d.Updated = now
 	d.Status = model.StatusActive
-	s.dueAdd(d)
+	sh.dueAdd(d)
 	s.bumpGen()
 	return nil
 }
@@ -453,24 +585,25 @@ func (s *Store) Renew(name string, registrarID int, years int) error {
 // setState transitions a domain's lifecycle state; used by the lifecycle
 // engine and the population seeder (via the exported helpers below).
 func (s *Store) setState(name string, st model.Status, updated time.Time, deleteDay simtime.Day) error {
-	s.mu.Lock()
-	d, ok := s.domains[name]
+	sh := s.shardOf(name)
+	sh.mu.Lock()
+	d, ok := sh.domains[name]
 	if !ok {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	from := d.Status
-	s.dueRemove(d)
+	sh.dueRemove(d)
 	d.Status = st
 	if !updated.IsZero() {
 		d.Updated = simtime.Trunc(updated)
 	}
 	d.DeleteDay = deleteDay
-	s.dueAdd(d)
+	sh.dueAdd(d)
 	s.bumpGen()
-	obs := s.observer
+	obs := s.loadObserver()
 	registrarID := d.RegistrarID
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if obs != nil && from != st {
 		obs.DomainTransitioned(name, registrarID, from, st)
 	}
@@ -496,28 +629,38 @@ func (s *Store) MarkPendingDelete(name string, updated time.Time, day simtime.Da
 // by (DeleteDay, Name) so published pending-delete lists are stable — the
 // paper observed that list order is *not* the deletion order (Figure 3, top).
 //
-// It walks only the due-day buckets inside the window: buckets arrive in
-// ascending day order and every domain in a bucket shares that DeleteDay, so
-// sorting each bucket's chunk by name yields the global (DeleteDay, Name)
-// order without a full-result sort.
+// It walks only the due-day buckets inside the window, shard by shard, then
+// imposes the canonical (DeleteDay, Name) order on the merged result — names
+// are unique, so the sort is total and the output is byte-identical at every
+// shard count.
 func (s *Store) PendingDeletions(from simtime.Day, days int) []*model.Domain {
 	if s.useScan() {
 		return s.pendingDeletionsScan(from, days)
 	}
 	end := from.AddDays(days)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ix := &s.due[model.StatusPendingDelete]
 	n := 0
-	ix.eachBucket(from, end, func(_ simtime.Day, b map[uint64]*model.Domain) { n += len(b) })
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		sh.due[model.StatusPendingDelete].eachBucket(from, end, func(_ simtime.Day, b map[uint64]*model.Domain) { n += len(b) })
+		sh.mu.RUnlock()
+	}
 	out := make([]*model.Domain, 0, n)
-	ix.eachBucket(from, end, func(_ simtime.Day, b map[uint64]*model.Domain) {
-		start := len(out)
-		for _, d := range b {
-			out = append(out, cloned(d))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		sh.due[model.StatusPendingDelete].eachBucket(from, end, func(_ simtime.Day, b map[uint64]*model.Domain) {
+			for _, d := range b {
+				out = append(out, cloned(d))
+			}
+		})
+		sh.mu.RUnlock()
+	}
+	slices.SortFunc(out, func(a, b *model.Domain) int {
+		if c := a.DeleteDay.Compare(b.DeleteDay); c != 0 {
+			return c
 		}
-		chunk := out[start:]
-		slices.SortFunc(chunk, func(a, b *model.Domain) int { return strings.Compare(a.Name, b.Name) })
+		return strings.Compare(a.Name, b.Name)
 	})
 	return out
 }
@@ -525,15 +668,16 @@ func (s *Store) PendingDeletions(from simtime.Day, days int) []*model.Domain {
 // purge removes the domain as part of a Drop, recording the ground-truth
 // deletion event. The caller (DropRunner) holds the deletion order.
 func (s *Store) purge(name string, at time.Time, rank int) (model.DeletionEvent, error) {
-	s.mu.Lock()
-	d, ok := s.domains[name]
+	sh := s.shardOf(name)
+	sh.mu.Lock()
+	d, ok := sh.domains[name]
 	if !ok {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return model.DeletionEvent{}, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	if d.Status != model.StatusPendingDelete {
 		status := d.Status
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return model.DeletionEvent{}, fmt.Errorf("%w: %q in %v", ErrNotPendingDelete, name, status)
 	}
 	ev := model.DeletionEvent{
@@ -543,16 +687,18 @@ func (s *Store) purge(name string, at time.Time, rank int) (model.DeletionEvent,
 		Time:     simtime.Trunc(at),
 		Rank:     rank,
 	}
-	s.dueRemove(d)
-	delete(s.domains, name)
-	delete(s.byID, d.ID)
-	delete(s.authInfo, name)
+	sh.dueRemove(d)
+	delete(sh.domains, name)
+	delete(sh.byID, d.ID)
+	delete(sh.authInfo, name)
 	day := simtime.DayOf(at)
+	s.delMu.Lock()
 	s.deletions[day] = append(s.deletions[day], ev)
+	s.delMu.Unlock()
 	s.bumpGen()
-	obs := s.observer
+	obs := s.loadObserver()
 	registrarID := d.RegistrarID
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if obs != nil {
 		obs.DomainPurged(ev, registrarID)
 	}
@@ -563,25 +709,38 @@ func (s *Store) purge(name string, at time.Time, rank int) (model.DeletionEvent,
 // deletion order. The measurement pipeline must not use these; they exist
 // for the inference-accuracy ablation.
 func (s *Store) Deletions(day simtime.Day) []model.DeletionEvent {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.delMu.Lock()
+	defer s.delMu.Unlock()
 	return append([]model.DeletionEvent(nil), s.deletions[day]...)
 }
 
 // Count returns the number of live (non-purged) registrations.
 func (s *Store) Count() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.domains)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.domains)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // StatusCounts tallies live registrations per lifecycle state. The tallies
-// are maintained incrementally, so this is O(states), not O(store).
+// are maintained incrementally per shard, so this is O(shards · states),
+// not O(store).
 func (s *Store) StatusCounts() map[model.Status]int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	var total [model.StatusDeleted + 1]int
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for st, n := range sh.statusCount {
+			total[st] += n
+		}
+		sh.mu.RUnlock()
+	}
 	out := make(map[model.Status]int)
-	for st, n := range s.statusCount {
+	for st, n := range total {
 		if n > 0 {
 			out[model.Status(st)] = n
 		}
@@ -592,58 +751,81 @@ func (s *Store) StatusCounts() map[model.Status]int {
 // Each calls fn for every live registration (copies, unspecified order) and
 // stops early if fn returns false.
 //
-// Locking contract: the store's read lock is held for the whole sweep, so fn
-// must not call any Store method — not even read-only ones like Get. A
+// Locking contract: a shard read lock is held while that shard is swept, so
+// fn must not call any Store method — not even read-only ones like Get. A
 // re-entrant RLock deadlocks as soon as a writer is queued behind the held
 // lock. The safe pattern is collect-then-act: record what to change while
 // iterating and apply it after Each returns (TestEachCollectThenAct pins
 // this down). The copies are fn's to keep and mutate freely.
+//
+// Consistency: shards are visited one at a time, so concurrent mutators may
+// commit between shard visits; the sweep is a consistent snapshot per shard,
+// not of the whole store. Single-threaded drives (every simulation path) see
+// exactly the single-lock behaviour.
 func (s *Store) Each(fn func(*model.Domain) bool) {
 	s.each(func(d *model.Domain) bool { return fn(cloned(d)) })
 }
 
 // each is the clone-free internal iteration path: fn receives the store's
-// live *model.Domain pointers with the read lock held. fn must treat them as
-// strictly read-only, must not retain a pointer past its call, and must not
-// call Store methods (same self-deadlock as Each). Hot sweeps use this (and
-// the due-index visitors below) to avoid one Domain clone per domain per
-// scan; everything that escapes the package keeps Each's cloning semantics.
+// live *model.Domain pointers with the owning shard's read lock held. fn
+// must treat them as strictly read-only, must not retain a pointer past its
+// call, and must not call Store methods (same self-deadlock as Each). Hot
+// sweeps use this (and the due-index visitors below) to avoid one Domain
+// clone per domain per scan; everything that escapes the package keeps
+// Each's cloning semantics.
 func (s *Store) each(fn func(*model.Domain) bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, d := range s.domains {
-		if !fn(d) {
-			return
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, d := range sh.domains {
+			if !fn(d) {
+				sh.mu.RUnlock()
+				return
+			}
 		}
+		sh.mu.RUnlock()
 	}
 }
 
 // eachDueThrough calls fn for every live registration in state st whose
 // due-day bucket is on or before limit. Same read-only, lock-held contract
-// as each; bucket order is map order, so callers sort deterministically.
+// as each; shard visit order and bucket-internal map order are unspecified,
+// so callers sort deterministically.
 func (s *Store) eachDueThrough(st model.Status, limit simtime.Day, fn func(*model.Domain)) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if int(st) < len(s.due) {
-		s.due[st].through(limit, fn)
+	if int(st) >= int(model.StatusDeleted) {
+		return
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		sh.due[st].through(limit, fn)
+		sh.mu.RUnlock()
 	}
 }
 
 // pendingCountOn returns the number of pendingDelete registrations scheduled
 // for deletion on day — the exact size of that day's Drop queue.
 func (s *Store) pendingCountOn(day simtime.Day) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.due[model.StatusPendingDelete].count(day)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += sh.due[model.StatusPendingDelete].count(day)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // eachPendingOn calls fn for every pendingDelete registration scheduled for
 // deletion on day. Same read-only, lock-held contract as each.
 func (s *Store) eachPendingOn(day simtime.Day, fn func(*model.Domain)) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, d := range s.due[model.StatusPendingDelete].buckets[day] {
-		fn(d)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, d := range sh.due[model.StatusPendingDelete].buckets[day] {
+			fn(d)
+		}
+		sh.mu.RUnlock()
 	}
 }
 
@@ -657,16 +839,17 @@ func (s *Store) SeedAt(name string, registrarID int, created, updated, expiry ti
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.registrars[registrarID]; !ok {
+	if !s.hasRegistrar(registrarID) {
 		return nil, fmt.Errorf("%w: IANA ID %d", ErrUnknownRegistrar, registrarID)
 	}
-	if _, taken := s.domains[name]; taken {
+	sh := s.shardOf(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, taken := sh.domains[name]; taken {
 		return nil, fmt.Errorf("%w: %q", ErrExists, name)
 	}
 	d := &model.Domain{
-		ID:          s.nextID,
+		ID:          s.nextID.Add(1),
 		Name:        name,
 		TLD:         tld,
 		RegistrarID: registrarID,
@@ -676,10 +859,9 @@ func (s *Store) SeedAt(name string, registrarID int, created, updated, expiry ti
 		Status:      st,
 		DeleteDay:   deleteDay,
 	}
-	s.nextID++
-	s.domains[name] = d
-	s.byID[d.ID] = d
-	s.dueAdd(d)
+	sh.domains[name] = d
+	sh.byID[d.ID] = d
+	sh.dueAdd(d)
 	s.bumpGen()
 	return cloned(d), nil
 }

@@ -579,14 +579,14 @@ func TestGenerationBumpsOnEveryMutator(t *testing.T) {
 
 	// Failed mutations must not bump.
 	bumped("failed mutations", 0, func() {
-		s.Create("genseed.com", 1000, 1)      // ErrExists
-		s.Create("bad name!", 1000, 1)        // ErrBadName
-		s.Create("orphan.com", 9999, 1)       // ErrUnknownRegistrar
-		s.Touch("missing.com", 1000)          // ErrNotFound
-		s.Touch("genseed.com", 1001)          // ErrWrongRegistrar
-		s.Renew("missing.com", 1000, 1)       // ErrNotFound
-		s.Transfer("missing.com", 1001, "x")  // ErrNotFound
-		s.Transfer("genseed.com", 1001, "x")  // ErrBadAuthInfo
+		s.Create("genseed.com", 1000, 1)     // ErrExists
+		s.Create("bad name!", 1000, 1)       // ErrBadName
+		s.Create("orphan.com", 9999, 1)      // ErrUnknownRegistrar
+		s.Touch("missing.com", 1000)         // ErrNotFound
+		s.Touch("genseed.com", 1001)         // ErrWrongRegistrar
+		s.Renew("missing.com", 1000, 1)      // ErrNotFound
+		s.Transfer("missing.com", 1001, "x") // ErrNotFound
+		s.Transfer("genseed.com", 1001, "x") // ErrBadAuthInfo
 		s.MarkRedemption("missing.com", clock.Now())
 		s.purge("genseed.com", clock.Now(), 0) // ErrNotPendingDelete
 	})

@@ -62,6 +62,12 @@ type Config struct {
 	// Differential-testing knob only: it must never change a study's output,
 	// and the tests assert exactly that.
 	ScanEngine bool
+	// Shards is the registry store's shard count (0 = GOMAXPROCS-derived,
+	// 1 = the legacy single-lock store, other values round up to a power of
+	// two). Sharding only changes how much lock parallelism concurrent
+	// registrars get; a study's output is byte-identical at every setting,
+	// and the differential tests assert exactly that.
+	Shards int
 }
 
 // DefaultConfig returns the configuration used by the experiment harness: a

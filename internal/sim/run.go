@@ -65,7 +65,7 @@ func Run(cfg Config) (*Result, error) {
 
 	// Ecosystem.
 	dir := registrars.BuildDirectory(rng)
-	store := registry.NewStore(clock)
+	store := registry.NewStoreWithShards(clock, cfg.Shards)
 	store.SetScanEngine(cfg.ScanEngine)
 	for _, r := range dir.Registrars() {
 		store.AddRegistrar(r)

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dropzero/internal/measure"
+)
+
+// TestRunIdenticalAcrossShardCounts is the study-level differential test for
+// registry store sharding: over several seeds, a full study run against the
+// legacy single-lock store (Shards=1) and the same study against 4- and
+// 16-shard stores must produce byte-identical CSV datasets, identical
+// deletion event logs and identical pipeline stats. Sharding may only change
+// lock contention, never output.
+func TestRunIdenticalAcrossShardCounts(t *testing.T) {
+	for _, seed := range []int64{1, 42, 20180108} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig()
+			cfg.Seed = seed
+			cfg.Days = 3
+			cfg.Scale = 0.01
+			cfg.FinalizeAfterDays = 57
+
+			run := func(shards int) (*Result, []byte) {
+				c := cfg
+				c.Shards = shards
+				res, err := Run(c)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				var buf bytes.Buffer
+				if err := measure.WriteCSV(&buf, res.Observations); err != nil {
+					t.Fatal(err)
+				}
+				return res, buf.Bytes()
+			}
+			singleRes, singleCSV := run(1)
+			if len(singleRes.Observations) == 0 {
+				t.Fatal("single-shard run produced no observations")
+			}
+			for _, shards := range []int{4, 16} {
+				res, csv := run(shards)
+				if !bytes.Equal(singleCSV, csv) {
+					t.Fatalf("shards=%d: CSV datasets differ: %d bytes vs %d bytes", shards, len(singleCSV), len(csv))
+				}
+				if !reflect.DeepEqual(singleRes.Deletions, res.Deletions) {
+					t.Fatalf("shards=%d: deletion event logs differ: %d days vs %d days", shards, len(singleRes.Deletions), len(res.Deletions))
+				}
+				if !reflect.DeepEqual(singleRes.PipelineStats, res.PipelineStats) {
+					t.Fatalf("shards=%d: pipeline stats differ:\nshards=1: %+v\nshards=%d: %+v", shards, singleRes.PipelineStats, shards, res.PipelineStats)
+				}
+			}
+		})
+	}
+}
