@@ -27,6 +27,7 @@ import (
 	"dropzero/internal/dropscope"
 	"dropzero/internal/epp"
 	"dropzero/internal/gencache"
+	"dropzero/internal/journal"
 	"dropzero/internal/model"
 	"dropzero/internal/names"
 	"dropzero/internal/rdap"
@@ -53,16 +54,43 @@ func main() {
 	population := flag.Int("population", 2000, "number of seeded domains")
 	seed := flag.Int64("seed", 1, "population seed")
 	shards := flag.Int("shards", 0, "registry store shard count (0 = auto from GOMAXPROCS, 1 = legacy single lock; behaviour is identical at any setting)")
+	dataDir := flag.String("datadir", "dropserve-data", "durability directory (WAL + snapshots); registry state is recovered from it on start (empty = memory only)")
+	durability := flag.String("durability", "async", "journal mode: off, async (group-commit fsync in the background) or sync (fsync before every EPP ack)")
+	snapshotEvery := flag.Duration("snapshot-every", 5*time.Minute, "interval between background registry snapshots")
 	flag.Parse()
+
+	mode, err := journal.ParseMode(*durability)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	clock := simtime.RealClock{}
 	rng := rand.New(rand.NewSource(*seed))
 	dir := registrars.BuildDirectory(rng)
 	store := registry.NewStoreWithShards(clock, *shards)
+
+	// Durability: recover whatever the data directory holds before seeding,
+	// then attach the journal so every mutation from here on is logged.
+	var jnl *journal.Journal
+	var recovered journal.Recovery
+	if *dataDir != "" && mode != journal.ModeOff {
+		jnl, recovered, err = journal.Open(store, journal.Options{Dir: *dataDir, Mode: mode})
+		if err != nil {
+			log.Fatalf("journal: %v", err)
+		}
+		store.SetJournal(jnl)
+		if !recovered.Fresh() {
+			fmt.Printf("recovered %d domains from %s (snapshot seq %d, %d WAL records replayed)\n",
+				store.Count(), *dataDir, recovered.SnapshotSeq, recovered.ReplayedRecords)
+		}
+	}
+
 	for _, r := range dir.Registrars() {
 		store.AddRegistrar(r)
 	}
-	seedPopulation(store, dir, rng, *population, clock.Now())
+	if recovered.Fresh() {
+		seedPopulation(store, dir, rng, *population, clock.Now())
+	}
 
 	poll := epp.NewPollQueue(clock, 0)
 	store.SetObserver(poll)
@@ -101,7 +129,7 @@ func main() {
 	defer zoneSrv.Close()
 
 	if *debugAddr != "" {
-		publishDebugVars(store, rdapSrv, whoisSrv, scopeSrv)
+		publishDebugVars(store, rdapSrv, whoisSrv, scopeSrv, jnl)
 		ln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
 			log.Fatalf("debug: %v", err)
@@ -124,6 +152,30 @@ func main() {
 		dir.Accreditations(registrars.Svc1API)[0],
 		dir.Credential(dir.Accreditations(registrars.Svc1API)[0]))
 
+	// Background snapshotter: periodic consistent full-store snapshots bound
+	// the WAL replay a restart pays, without ever stopping the world.
+	snapStop := make(chan struct{})
+	snapDone := make(chan struct{})
+	if jnl != nil {
+		go func() {
+			defer close(snapDone)
+			t := time.NewTicker(*snapshotEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := jnl.Snapshot(nil); err != nil {
+						log.Printf("snapshot: %v", err)
+					}
+				case <-snapStop:
+					return
+				}
+			}
+		}()
+	} else {
+		close(snapDone)
+	}
+
 	// Keep the lifecycle engine ticking so seeded domains progress through
 	// expiration while the server runs.
 	lc := registry.NewLifecycle(store, registry.DefaultLifecycleConfig())
@@ -137,8 +189,24 @@ func main() {
 			if n := lc.Tick(clock.Now()); n > 0 {
 				log.Printf("lifecycle: %d transitions", n)
 			}
-		case <-sig:
-			log.Print("shutting down")
+		case s := <-sig:
+			log.Printf("%v: shutting down", s)
+			// Stop the only mutating surface first and drain its in-flight
+			// sessions, then flush and close the journal so every
+			// acknowledged mutation is on disk before the process exits.
+			if err := eppSrv.Close(); err != nil {
+				log.Printf("EPP: close: %v", err)
+			}
+			close(snapStop)
+			<-snapDone
+			if jnl != nil {
+				m := jnl.Metrics()
+				if err := jnl.Close(); err != nil {
+					log.Printf("journal: close: %v", err)
+				} else {
+					log.Printf("journal: flushed and closed (%d bytes, %d fsyncs)", m.WALBytes, m.WALFsyncs)
+				}
+			}
 			logSurface("RDAP", rdapSrv.Metrics().Requests, rdapSrv.Metrics().Cache, rdapSrv.ServeErr())
 			logSurface("WHOIS", whoisSrv.Metrics().Requests, whoisSrv.Metrics().Cache, whoisSrv.ServeErr())
 			sm := scopeSrv.Metrics()
@@ -158,7 +226,7 @@ func main() {
 // under a single expvar map, so `curl /debug/vars` shows shard count, live
 // domain population, request totals and cache hit ratios alongside the
 // standard memstats — handy when reading a pprof contention profile.
-func publishDebugVars(store *registry.Store, rdapSrv *rdap.Server, whoisSrv *whois.Server, scopeSrv *dropscope.Server) {
+func publishDebugVars(store *registry.Store, rdapSrv *rdap.Server, whoisSrv *whois.Server, scopeSrv *dropscope.Server, jnl *journal.Journal) {
 	surface := func(requests uint64, cache gencache.Counters) map[string]any {
 		return map[string]any{
 			"requests":    requests,
@@ -169,7 +237,7 @@ func publishDebugVars(store *registry.Store, rdapSrv *rdap.Server, whoisSrv *who
 	}
 	expvar.Publish("dropserve", expvar.Func(func() any {
 		rm, wm, sm := rdapSrv.Metrics(), whoisSrv.Metrics(), scopeSrv.Metrics()
-		return map[string]any{
+		vars := map[string]any{
 			"store": map[string]any{
 				"shards":     store.ShardCount(),
 				"domains":    store.Count(),
@@ -179,6 +247,16 @@ func publishDebugVars(store *registry.Store, rdapSrv *rdap.Server, whoisSrv *who
 			"whois": surface(wm.Requests, wm.Cache),
 			"scope": surface(sm.Requests, sm.Cache),
 		}
+		if jnl != nil {
+			jm := jnl.Metrics()
+			vars["journal"] = map[string]any{
+				"wal_bytes":                 jm.WALBytes,
+				"wal_fsyncs":                jm.WALFsyncs,
+				"snapshot_age_seconds":      jm.SnapshotAgeSeconds,
+				"recovery_replayed_records": jm.RecoveryReplayedRecords,
+			}
+		}
+		return vars
 	}))
 }
 

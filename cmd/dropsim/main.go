@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 
+	"dropzero/internal/journal"
 	"dropzero/internal/measure"
 	"dropzero/internal/sim"
 )
@@ -31,6 +32,8 @@ func main() {
 	shards := flag.Int("shards", 0, "registry store shard count (0 = auto from GOMAXPROCS, 1 = legacy single lock; output is identical at any setting)")
 	out := flag.String("out", "dataset.csv", "output path for the observation dataset")
 	regsOut := flag.String("registrars", "registrars.csv", "output path for the registrar directory")
+	dataDir := flag.String("datadir", "", "durability directory: journal the study's state there and resume a crashed run from it (empty = memory only)")
+	durability := flag.String("durability", "async", "journal mode when -datadir is set: off, async or sync")
 	flag.Parse()
 
 	cfg.Days = *days
@@ -38,11 +41,21 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Parallelism = *parallelism
 	cfg.Shards = *shards
+	cfg.DataDir = *dataDir
+	mode, err := journal.ParseMode(*durability)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Durability = mode
 
 	log.Printf("simulating %d deletion days at scale %.3f (seed %d)...", cfg.Days, cfg.Scale, cfg.Seed)
 	res, err := sim.Run(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if !res.Recovered.Fresh() {
+		log.Printf("resumed from %s: snapshot seq %d, %d journal records replayed",
+			cfg.DataDir, res.Recovered.SnapshotSeq, res.Recovered.ReplayedRecords)
 	}
 
 	reregs := 0

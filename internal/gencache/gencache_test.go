@@ -2,7 +2,9 @@ package gencache
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -101,6 +103,73 @@ func TestCapacityFloor(t *testing.T) {
 	c.Put(1, 2, 2)
 	if c.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+// TestConcurrentGenerationFlushes hammers the cache with renderers that
+// follow the documented install discipline (read the generation, render,
+// re-check, Put) while a mutator goroutine keeps bumping the generation out
+// from under them, so flushes race Gets and installs constantly. The value
+// each renderer installs is the generation it rendered at, which turns the
+// cache's whole contract into one assertion: a hit at generation g only
+// ever returns bytes rendered at g. Run under -race this also proves the
+// locking, not just the semantics.
+func TestConcurrentGenerationFlushes(t *testing.T) {
+	c := New[int, uint64](16)
+	var gen atomic.Uint64
+	gen.Store(1)
+	stop := make(chan struct{})
+	var mutator sync.WaitGroup
+	mutator.Add(1)
+	go func() { // the "store": every mutation bumps the generation
+		defer mutator.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				gen.Add(1)
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				key := (w + i) % 24 // more keys than capacity: evictions race flushes too
+				g1 := gen.Load()
+				if v, ok := c.Get(g1, key); ok {
+					if v != g1 {
+						t.Errorf("Get(gen %d, key %d) returned bytes rendered at generation %d", g1, key, v)
+						return
+					}
+					continue
+				}
+				rendered := g1 // render: the value records its own generation
+				if gen.Load() == g1 {
+					c.Put(g1, key, rendered)
+				}
+				if i%97 == 0 && g1 > 1 {
+					// A slow renderer that skipped the re-check and installs
+					// bytes from a generation ago; Put must keep it from ever
+					// being served to a reader at a newer generation.
+					c.Put(g1-1, key, g1-1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	mutator.Wait()
+
+	// The counters must account for exactly the Gets that ran.
+	st := c.Stats()
+	if st.Hits+st.Misses != 8*5000 {
+		t.Fatalf("hits %d + misses %d != %d Gets", st.Hits, st.Misses, 8*5000)
 	}
 }
 

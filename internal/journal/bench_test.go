@@ -1,0 +1,102 @@
+package journal
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dropzero/internal/model"
+	"dropzero/internal/registry"
+	"dropzero/internal/simtime"
+)
+
+// BenchmarkWALAppend measures EPP create throughput per durability mode: no
+// journal at all (the pre-durability baseline), async group commit (the
+// production default) and fully synchronous appends. The acceptance bar is
+// async within 2× of off — the journal must not give back the Drop-second
+// throughput the sharded store bought.
+func BenchmarkWALAppend(b *testing.B) {
+	start := simtime.Day{Year: 2018, Month: time.January, Dom: 8}
+	for _, mode := range []Mode{ModeOff, ModeAsync, ModeSync} {
+		b.Run(mode.String(), func(b *testing.B) {
+			s := registry.NewStore(simtime.NewSimClock(start.At(0, 0, 0)))
+			s.AddRegistrar(model.Registrar{IANAID: 900, Name: "Bench Reg"})
+			if mode != ModeOff {
+				j, _, err := Open(s, Options{Dir: b.TempDir(), Mode: mode})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer j.Close()
+				s.SetJournal(j)
+			}
+			at := start.At(10, 0, 0)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				id := rand.Int63()
+				i := 0
+				for pb.Next() {
+					name := fmt.Sprintf("wa%x-%d.com", id, i)
+					i++
+					if _, err := s.CreateAt(name, 900, 1, at); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkRecovery measures cold-start recovery of a populated store:
+// snapshot load plus WAL tail replay, at 100k and (with -benchtime beyond
+// 1x, or -short off) 1M domains. The log is arranged so roughly 10% of the
+// population is replayed from the WAL tail — the shape a crash between
+// periodic snapshots produces.
+func BenchmarkRecovery(b *testing.B) {
+	start := simtime.Day{Year: 2018, Month: time.January, Dom: 8}
+	sizes := []int{100_000, 1_000_000}
+	if testing.Short() {
+		sizes = []int{100_000}
+	}
+	for _, n := range sizes {
+		b.Run(fmt.Sprintf("domains=%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			s := registry.NewStore(simtime.NewSimClock(start.At(0, 0, 0)))
+			j, _, err := Open(s, Options{Dir: dir, Mode: ModeAsync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.SetJournal(j)
+			s.AddRegistrar(model.Registrar{IANAID: 900, Name: "Bench Reg"})
+			at := start.At(10, 0, 0)
+			snapAt := n - n/10
+			for i := 0; i < n; i++ {
+				if _, err := s.CreateAt(fmt.Sprintf("rc%07d.com", i), 900, 1, at); err != nil {
+					b.Fatal(err)
+				}
+				if i == snapAt {
+					if err := j.Snapshot(nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			if err := j.Close(); err != nil {
+				b.Fatal(err)
+			}
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s2 := registry.NewStore(simtime.NewSimClock(start.At(0, 0, 0)))
+				j2, rec, err := Open(s2, Options{Dir: dir, Mode: ModeAsync})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s2.Count() != n {
+					b.Fatalf("recovered %d domains, want %d", s2.Count(), n)
+				}
+				b.ReportMetric(float64(rec.ReplayedRecords), "replayed/op")
+				j2.Close()
+			}
+		})
+	}
+}

@@ -1,0 +1,201 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"dropzero/internal/model"
+	"dropzero/internal/registry"
+	"dropzero/internal/simtime"
+)
+
+// Mutation payload encoding: a hand-rolled binary codec rather than gob,
+// because the Drop-second hot path appends tens of records per simulated
+// second and gob's per-message type preamble roughly triples the bytes. The
+// layout is a fixed field order with varints:
+//
+//	kind u8
+//	name uvarint-len + bytes
+//	id uvarint · registrarID varint
+//	created/updated/expiry/time: unix-seconds varint + nanos uvarint
+//	status u8 · deleteDay (year varint, month u8, dom u8) · rank varint
+//	registrar gob blob (uvarint-len + bytes; MutAddRegistrar only, rare)
+//
+// Times round-trip as instants: the zero time.Time encodes as its Unix
+// second (-62135596800) and decodes back to a value for which IsZero()
+// holds, preserving the "zero means keep / none" sentinels the registry
+// records use. Decoding is defensive everywhere — the torn-write fuzz test
+// feeds this arbitrary bytes and a panic would be a recovery bug.
+
+// appendUvarint/appendVarint wrap binary's append helpers for symmetry.
+func appendTime(b []byte, t time.Time) []byte {
+	b = binary.AppendVarint(b, t.Unix())
+	return binary.AppendUvarint(b, uint64(t.Nanosecond()))
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendMutation serialises m after b.
+func appendMutation(b []byte, m *registry.Mutation) ([]byte, error) {
+	b = append(b, byte(m.Kind))
+	b = appendString(b, m.Name)
+	b = binary.AppendUvarint(b, m.ID)
+	b = binary.AppendVarint(b, int64(m.RegistrarID))
+	b = appendTime(b, m.Created)
+	b = appendTime(b, m.Updated)
+	b = appendTime(b, m.Expiry)
+	b = append(b, byte(m.Status))
+	b = binary.AppendVarint(b, int64(m.DeleteDay.Year))
+	b = append(b, byte(m.DeleteDay.Month), byte(m.DeleteDay.Dom))
+	b = appendTime(b, m.Time)
+	b = binary.AppendVarint(b, int64(m.Rank))
+	if m.Kind == registry.MutAddRegistrar {
+		var reg bytes.Buffer
+		if err := gob.NewEncoder(&reg).Encode(m.Registrar); err != nil {
+			return nil, fmt.Errorf("encode registrar: %w", err)
+		}
+		b = binary.AppendUvarint(b, uint64(reg.Len()))
+		b = append(b, reg.Bytes()...)
+	}
+	return b, nil
+}
+
+// decoder reads the codec's primitives with bounds checking.
+type decoder struct {
+	b []byte
+}
+
+var errTruncated = fmt.Errorf("journal: truncated mutation payload")
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	d.b = d.b[n:]
+	return v, nil
+}
+
+func (d *decoder) varint() (int64, error) {
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	d.b = d.b[n:]
+	return v, nil
+}
+
+func (d *decoder) byte() (byte, error) {
+	if len(d.b) == 0 {
+		return 0, errTruncated
+	}
+	c := d.b[0]
+	d.b = d.b[1:]
+	return c, nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(d.b)) {
+		return "", errTruncated
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s, nil
+}
+
+func (d *decoder) time() (time.Time, error) {
+	sec, err := d.varint()
+	if err != nil {
+		return time.Time{}, err
+	}
+	nsec, err := d.uvarint()
+	if err != nil {
+		return time.Time{}, err
+	}
+	if nsec >= 1e9 {
+		return time.Time{}, fmt.Errorf("journal: nanosecond field out of range: %d", nsec)
+	}
+	return time.Unix(sec, int64(nsec)).UTC(), nil
+}
+
+// decodeMutation parses one mutation payload. It never panics on malformed
+// input; any structural problem comes back as an error.
+func decodeMutation(b []byte) (registry.Mutation, error) {
+	var m registry.Mutation
+	d := &decoder{b: b}
+
+	kind, err := d.byte()
+	if err != nil {
+		return m, err
+	}
+	m.Kind = registry.MutKind(kind)
+	if m.Name, err = d.str(); err != nil {
+		return m, err
+	}
+	if m.ID, err = d.uvarint(); err != nil {
+		return m, err
+	}
+	rid, err := d.varint()
+	if err != nil {
+		return m, err
+	}
+	m.RegistrarID = int(rid)
+	if m.Created, err = d.time(); err != nil {
+		return m, err
+	}
+	if m.Updated, err = d.time(); err != nil {
+		return m, err
+	}
+	if m.Expiry, err = d.time(); err != nil {
+		return m, err
+	}
+	st, err := d.byte()
+	if err != nil {
+		return m, err
+	}
+	m.Status = model.Status(st)
+	year, err := d.varint()
+	if err != nil {
+		return m, err
+	}
+	month, err := d.byte()
+	if err != nil {
+		return m, err
+	}
+	dom, err := d.byte()
+	if err != nil {
+		return m, err
+	}
+	m.DeleteDay = simtime.Day{Year: int(year), Month: time.Month(month), Dom: int(dom)}
+	if m.Time, err = d.time(); err != nil {
+		return m, err
+	}
+	rank, err := d.varint()
+	if err != nil {
+		return m, err
+	}
+	m.Rank = int(rank)
+	if m.Kind == registry.MutAddRegistrar {
+		blob, err := d.str()
+		if err != nil {
+			return m, err
+		}
+		if err := gob.NewDecoder(bytes.NewReader([]byte(blob))).Decode(&m.Registrar); err != nil {
+			return m, fmt.Errorf("journal: decode registrar: %w", err)
+		}
+	}
+	if len(d.b) != 0 {
+		return m, fmt.Errorf("journal: %d trailing bytes after mutation payload", len(d.b))
+	}
+	return m, nil
+}

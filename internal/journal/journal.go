@@ -1,0 +1,338 @@
+// Package journal gives registry.Store durable state: a segmented,
+// CRC-checksummed write-ahead log fed by the store's mutation hook, plus
+// periodic full-store snapshots so recovery replays a bounded tail instead
+// of the whole history. The design goals, in order: recovery reproduces the
+// pre-crash store exactly (the replay differential tests in
+// internal/registry define "exactly"); a torn final write is tolerated
+// while any other corruption fails loudly; and the Drop-second hot path
+// pays one group-commit fsync per burst, not one per mutation.
+package journal
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dropzero/internal/registry"
+)
+
+// Mode selects the durability contract.
+type Mode int
+
+const (
+	// ModeOff disables the journal entirely: no WAL, no snapshots, no
+	// recovery. The caller simply never opens one.
+	ModeOff Mode = iota
+	// ModeAsync acknowledges mutations before they are durable; a
+	// background flusher group-commits every SyncInterval or SyncEvery
+	// records. A crash loses at most the unflushed tail — never a torn or
+	// reordered prefix.
+	ModeAsync
+	// ModeSync blocks each mutation until its record is fsynced. Group
+	// commit still applies: concurrent mutators share one fsync.
+	ModeSync
+)
+
+// String returns the flag spelling of m.
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeAsync:
+		return "async"
+	case ModeSync:
+		return "sync"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode parses a -durability flag value.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "off":
+		return ModeOff, nil
+	case "async":
+		return ModeAsync, nil
+	case "sync":
+		return ModeSync, nil
+	}
+	return ModeOff, fmt.Errorf("journal: unknown durability mode %q (want off, async or sync)", s)
+}
+
+// Options configures Open. The zero value of every field gets a sensible
+// default except Dir, which is required.
+type Options struct {
+	// Dir is the data directory holding WAL segments and snapshots. It is
+	// created if missing.
+	Dir string
+	// Mode is the durability contract; ModeOff is rejected by Open (a
+	// caller wanting no journal should not open one).
+	Mode Mode
+	// SyncEvery group-commits after this many unsynced records in async
+	// mode (default 256).
+	SyncEvery int
+	// SyncInterval bounds how stale the durable prefix may be in async
+	// mode (default 50ms).
+	SyncInterval time.Duration
+	// SegmentBytes rotates WAL segments at this size (default 64 MiB).
+	SegmentBytes int64
+	// Now supplies the clock for the snapshot-age metric (default
+	// time.Now). Kept injectable so simulated-time tests do not read wall
+	// time.
+	Now func() time.Time
+	// KeepAll disables pruning of superseded snapshots and WAL segments.
+	// Crash-recovery tests use it so a simulated crash (CrashCopy) can cut
+	// the history at any sequence point, not only after the newest
+	// snapshot.
+	KeepAll bool
+}
+
+func (o *Options) defaults() error {
+	if o.Dir == "" {
+		return fmt.Errorf("journal: Options.Dir is required")
+	}
+	if o.Mode == ModeOff {
+		return fmt.Errorf("journal: Open with ModeOff: disable the journal by not opening one")
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 256
+	}
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 50 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return nil
+}
+
+// Recovery reports what Open reconstructed from the data directory.
+type Recovery struct {
+	// SnapshotSeq is the WAL sequence number of the loaded snapshot (0 when
+	// recovery started from an empty log).
+	SnapshotSeq uint64
+	// ReplayedRecords counts WAL records applied on top of the snapshot.
+	ReplayedRecords int
+	// AppState is the application checkpoint blob from the loaded snapshot,
+	// nil when there was none.
+	AppState []byte
+	// AppRecords are the application records from the replayed WAL tail, in
+	// log order.
+	AppRecords [][]byte
+	// TornBytes is how many bytes of torn final write were truncated away
+	// (0 for a clean log).
+	TornBytes int64
+}
+
+// Fresh reports whether the data directory held no durable state at all —
+// the caller should seed/build its initial world, which the journal will
+// record.
+func (r Recovery) Fresh() bool {
+	return r.SnapshotSeq == 0 && r.ReplayedRecords == 0
+}
+
+// Journal is an open write-ahead journal bound to one store. It implements
+// registry.Journal; attach it with store.SetJournal after Open returns.
+type Journal struct {
+	store *registry.Store
+	w     *wal
+	mode  Mode
+	now   func() time.Time
+
+	// snapMu serialises snapshot writes (background snapshotter vs explicit
+	// calls); it is never held while the store or WAL are locked.
+	snapMu  sync.Mutex
+	keepAll bool
+
+	lastSnapUnix atomic.Int64 // 0 = no snapshot yet this process
+	replayed     atomic.Uint64
+}
+
+// Open recovers the durable state in o.Dir into store (which must be empty
+// and not yet serving) and returns the journal ready for appends. Recovery
+// loads the newest valid snapshot, replays the WAL tail through
+// store.Apply, truncates a torn final write, and positions the log so the
+// next mutation continues the sequence.
+func Open(store *registry.Store, o Options) (*Journal, Recovery, error) {
+	var rec Recovery
+	if err := o.defaults(); err != nil {
+		return nil, rec, err
+	}
+	if err := os.MkdirAll(o.Dir, 0o777); err != nil {
+		return nil, rec, fmt.Errorf("journal: %w", err)
+	}
+
+	sf, err := loadLatestSnapshot(o.Dir)
+	if err != nil {
+		return nil, rec, err
+	}
+	var after uint64
+	if sf != nil {
+		if err := store.RestoreSnapshot(sf.State); err != nil {
+			return nil, rec, err
+		}
+		after = sf.Seq
+		rec.SnapshotSeq = sf.Seq
+		rec.AppState = sf.AppState
+	}
+
+	res, err := scanDir(o.Dir, after)
+	if err != nil {
+		return nil, rec, err
+	}
+	if names, firstSeqs, lerr := listSegments(o.Dir); lerr == nil && len(firstSeqs) > 0 && firstSeqs[0] > after+1 {
+		return nil, rec, fmt.Errorf("journal: gap between snapshot (seq %d) and oldest segment %s", after, names[0])
+	}
+	for _, r := range res.records {
+		if r.Mutation != nil {
+			if err := store.Apply(*r.Mutation); err != nil {
+				return nil, rec, fmt.Errorf("journal: replay seq %d: %w", r.Seq, err)
+			}
+		} else {
+			rec.AppRecords = append(rec.AppRecords, r.App)
+		}
+		rec.ReplayedRecords++
+	}
+	if res.tornFile != "" {
+		info, err := os.Stat(res.tornFile)
+		if err != nil {
+			return nil, rec, fmt.Errorf("journal: %w", err)
+		}
+		rec.TornBytes = info.Size() - res.tornAt
+		if err := os.Truncate(res.tornFile, res.tornAt); err != nil {
+			return nil, rec, fmt.Errorf("journal: truncate torn tail: %w", err)
+		}
+	}
+
+	last := res.lastSeq
+	if after > last {
+		// The snapshot is newer than the durable log tail (an async-mode
+		// crash lost buffered records the snapshot already covered). The
+		// snapshot is the state of record; the sequence continues from it.
+		last = after
+	}
+	w, err := newWAL(o.Dir, last, o.SyncEvery, o.SyncInterval, o.SegmentBytes, o.Mode == ModeAsync)
+	if err != nil {
+		return nil, rec, err
+	}
+
+	j := &Journal{store: store, w: w, mode: o.Mode, now: o.Now, keepAll: o.KeepAll}
+	j.replayed.Store(uint64(rec.ReplayedRecords))
+	if sf != nil {
+		j.lastSnapUnix.Store(o.Now().Unix())
+	}
+	return j, rec, nil
+}
+
+// Append implements registry.Journal: it frames the mutation into the WAL
+// buffer and, in sync mode, returns the group-commit waiter the store runs
+// after releasing its locks. Async mode returns nil — durability follows
+// within SyncInterval.
+func (j *Journal) Append(m registry.Mutation) func() error {
+	body, err := appendMutation(nil, &m)
+	if err != nil {
+		return func() error { return err }
+	}
+	_, wait := j.w.append(recMutation, body)
+	if j.mode == ModeSync {
+		return wait
+	}
+	return nil
+}
+
+// AppendApp journals an opaque application record (the simulation driver's
+// per-day checkpoint deltas). Same durability contract as Append; the
+// returned waiter is non-nil only in sync mode.
+func (j *Journal) AppendApp(body []byte) func() error {
+	_, wait := j.w.append(recApp, body)
+	if j.mode == ModeSync {
+		return wait
+	}
+	return nil
+}
+
+// Sync forces a group commit of everything appended so far and blocks until
+// it is durable.
+func (j *Journal) Sync() error {
+	return j.w.waitDurable(j.w.lastSeq())
+}
+
+// LastSeq returns the sequence number of the most recently appended record
+// (durable or not).
+func (j *Journal) LastSeq() uint64 { return j.w.lastSeq() }
+
+// Snapshot writes a consistent full-store snapshot tagged with the WAL
+// position it covers, then prunes snapshots and segments it supersedes.
+// appState is the application's own checkpoint blob, stored alongside.
+//
+// Consistency without stopping the world: the store's generation counter is
+// read before the WAL position and again after the shard-by-shard copy, and
+// the copy is discarded unless the two reads match — the same
+// read-render-reread discipline the serving caches use. Because every
+// mutator appends its record after its in-memory change and before its
+// generation bump, matching reads prove the copy contains exactly the
+// mutations with sequence numbers ≤ the recorded position.
+func (j *Journal) Snapshot(appState []byte) error {
+	j.snapMu.Lock()
+	defer j.snapMu.Unlock()
+
+	const maxAttempts = 25
+	for attempt := 1; ; attempt++ {
+		g1 := j.store.Generation()
+		seq := j.w.lastSeq()
+		state := j.store.CaptureSnapshot()
+		if j.store.Generation() == g1 {
+			if _, err := writeSnapshot(j.w.dir, &snapshotFile{Seq: seq, AppState: appState, State: state}); err != nil {
+				return err
+			}
+			if !j.keepAll {
+				if err := pruneAfterSnapshot(j.w.dir, seq); err != nil {
+					return fmt.Errorf("journal: prune: %w", err)
+				}
+			}
+			j.lastSnapUnix.Store(j.now().Unix())
+			return nil
+		}
+		if attempt >= maxAttempts {
+			return fmt.Errorf("journal: snapshot: store kept mutating through %d capture attempts", maxAttempts)
+		}
+		time.Sleep(time.Duration(attempt) * time.Millisecond)
+	}
+}
+
+// Metrics is a point-in-time reading of the journal's counters, shaped for
+// expvar publication.
+type Metrics struct {
+	// WALBytes is the total frame bytes written to segments.
+	WALBytes uint64
+	// WALFsyncs counts group commits (each one fsync).
+	WALFsyncs uint64
+	// SnapshotAgeSeconds is the age of the newest snapshot this process
+	// wrote or loaded; -1 before the first one.
+	SnapshotAgeSeconds float64
+	// RecoveryReplayedRecords is how many WAL records Open replayed.
+	RecoveryReplayedRecords uint64
+}
+
+// Metrics returns the current counter values.
+func (j *Journal) Metrics() Metrics {
+	m := Metrics{
+		WALBytes:                j.w.bytes.Load(),
+		WALFsyncs:               j.w.fsyncs.Load(),
+		SnapshotAgeSeconds:      -1,
+		RecoveryReplayedRecords: j.replayed.Load(),
+	}
+	if ts := j.lastSnapUnix.Load(); ts != 0 {
+		m.SnapshotAgeSeconds = j.now().Sub(time.Unix(ts, 0)).Seconds()
+	}
+	return m
+}
+
+// Close flushes and fsyncs every buffered record and closes the log. The
+// journal must be detached from the store (or the store quiesced) first.
+func (j *Journal) Close() error { return j.w.close() }

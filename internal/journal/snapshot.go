@@ -1,0 +1,214 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dropzero/internal/registry"
+)
+
+// Snapshot files are named snap-<seq>.snap, where <seq> is the WAL sequence
+// number the captured state includes: recovery restores the snapshot, then
+// replays records with sequence numbers strictly greater. The file is a
+// short magic header, a gob stream of snapshotFile, and a CRC-32 footer
+// over everything between; it is written to a temp name, fsynced and
+// renamed, so a half-written snapshot never shadows a complete older one.
+const (
+	snapMagic  = "DZSNAP1\n"
+	snapFooter = 4 // CRC-32 of the gob stream
+)
+
+// snapshotFile is the gob payload of one snapshot.
+type snapshotFile struct {
+	// Seq is the WAL sequence number of the last mutation the state
+	// includes.
+	Seq uint64
+	// AppState is the application's own checkpoint blob (the simulation
+	// driver's pipeline and progress state); opaque to the journal.
+	AppState []byte
+	// State is the registry's full durable state.
+	State registry.SnapshotState
+}
+
+func snapName(seq uint64) string { return fmt.Sprintf("snap-%020d.snap", seq) }
+
+func parseSnapName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSnapshots returns dir's snapshot files in ascending sequence order.
+func listSnapshots(dir string) (names []string, seqs []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	type snap struct {
+		name string
+		seq  uint64
+	}
+	var snaps []snap
+	for _, e := range entries {
+		if seq, ok := parseSnapName(e.Name()); ok {
+			snaps = append(snaps, snap{e.Name(), seq})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].seq < snaps[j].seq })
+	for _, s := range snaps {
+		names = append(names, s.name)
+		seqs = append(seqs, s.seq)
+	}
+	return names, seqs, nil
+}
+
+// crcWriter tees writes through a running CRC-32.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// writeSnapshot persists sf atomically into dir and returns the final path.
+func writeSnapshot(dir string, sf *snapshotFile) (string, error) {
+	final := filepath.Join(dir, snapName(sf.Seq))
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return "", fmt.Errorf("journal: snapshot: %w", err)
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+
+	bw := bufio.NewWriterSize(f, 1<<20)
+	cw := &crcWriter{w: bw}
+	err = func() error {
+		if _, err := io.WriteString(cw, snapMagic); err != nil {
+			return err
+		}
+		if err := gob.NewEncoder(cw).Encode(sf); err != nil {
+			return err
+		}
+		var footer [snapFooter]byte
+		binary.LittleEndian.PutUint32(footer[:], cw.crc)
+		if _, err := bw.Write(footer[:]); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		return f.Sync()
+	}()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return "", fmt.Errorf("journal: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return "", fmt.Errorf("journal: publish snapshot: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return "", fmt.Errorf("journal: sync dir: %w", err)
+	}
+	return final, nil
+}
+
+// readSnapshot loads and verifies one snapshot file.
+func readSnapshot(path string) (*snapshotFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: read snapshot: %w", err)
+	}
+	if len(data) < len(snapMagic)+snapFooter || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("journal: snapshot %s: bad header", filepath.Base(path))
+	}
+	body := data[:len(data)-snapFooter]
+	want := binary.LittleEndian.Uint32(data[len(data)-snapFooter:])
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, fmt.Errorf("journal: snapshot %s: CRC mismatch", filepath.Base(path))
+	}
+	var sf snapshotFile
+	if err := gob.NewDecoder(strings.NewReader(string(body[len(snapMagic):]))).Decode(&sf); err != nil {
+		return nil, fmt.Errorf("journal: snapshot %s: %w", filepath.Base(path), err)
+	}
+	return &sf, nil
+}
+
+// loadLatestSnapshot returns the newest snapshot in dir that verifies, or
+// nil when none exists. A snapshot that fails verification is skipped in
+// favour of the next older one — it can only be the product of a crash
+// mid-write racing the rename, and the WAL still covers everything since
+// the older snapshot.
+func loadLatestSnapshot(dir string) (*snapshotFile, error) {
+	names, _, err := listSnapshots(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: list snapshots: %w", err)
+	}
+	var firstErr error
+	for i := len(names) - 1; i >= 0; i-- {
+		sf, err := readSnapshot(filepath.Join(dir, names[i]))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		return sf, nil
+	}
+	if firstErr != nil && len(names) > 0 {
+		// Every snapshot present is broken: that is not a crash artefact
+		// (rename is atomic), it is data loss. Refuse to guess.
+		return nil, firstErr
+	}
+	return nil, nil
+}
+
+// pruneAfterSnapshot removes snapshots older than seq and every WAL segment
+// fully covered by the snapshot at seq: a segment is removable when its
+// successor's first record is still ≤ seq+1, meaning no record after seq
+// lives in it. The current append segment is never covered by construction
+// (its records are newer than any snapshot).
+func pruneAfterSnapshot(dir string, seq uint64) error {
+	snapNames, snapSeqs, err := listSnapshots(dir)
+	if err != nil {
+		return err
+	}
+	for i, name := range snapNames {
+		if snapSeqs[i] < seq {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	segNames, firstSeqs, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	for i := 0; i+1 < len(segNames); i++ {
+		if firstSeqs[i+1] <= seq+1 {
+			if err := os.Remove(filepath.Join(dir, segNames[i])); err != nil {
+				return err
+			}
+		}
+	}
+	return syncDir(dir)
+}

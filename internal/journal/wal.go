@@ -1,0 +1,445 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dropzero/internal/registry"
+)
+
+// On-disk frame layout, little-endian:
+//
+//	u32 payload length · u32 CRC-32 (IEEE) of payload · payload
+//	payload: u64 sequence number · u8 record type · body
+//
+// Sequence numbers start at 1 and are strictly consecutive across the whole
+// log, segment boundaries included. Segments are files named
+// wal-<firstseq>.log where <firstseq> is the sequence number of the first
+// record the segment may contain; rotation fsyncs the outgoing segment
+// before the first write to its successor, so on any crash the durable
+// records form a contiguous prefix — a torn or missing tail is only ever
+// possible in the newest segment.
+const (
+	frameHeader   = 8 // length + CRC
+	payloadHeader = 9 // seq + record type
+	// maxRecordBytes bounds a single record; anything larger in a length
+	// field is corruption, not data.
+	maxRecordBytes = 64 << 20
+
+	recMutation byte = 1 // registry.Mutation payload
+	recApp      byte = 2 // opaque application payload (simulation driver state)
+)
+
+// wal is the segmented append log with group-commit fsync.
+//
+// Writers append encoded frames to an in-memory buffer under mu and either
+// return immediately (async mode — a background flusher syncs on a timer or
+// after SyncEvery records) or wait for durability (sync mode). In both
+// cases one leader performs the write+fsync for every record buffered at
+// the moment it starts, so a burst of N concurrent appends costs one fsync,
+// not N — the group commit the Drop-second hot path needs.
+type wal struct {
+	dir          string
+	syncEvery    int
+	syncInterval time.Duration
+	segmentBytes int64
+
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast when durable advances, err is set, or the leader steps down
+	f       *os.File   // current segment
+	size    int64      // bytes already written to f
+	buf     []byte     // encoded frames not yet written
+	seq     uint64     // last assigned sequence number
+	durable uint64     // last sequence number known fsynced
+	syncing bool       // a leader is mid write+fsync
+	err     error      // sticky: first IO failure poisons the log
+	closed  bool
+
+	flushReq chan struct{} // nudges the async flusher before its timer
+	stop     chan struct{}
+	flusherWG sync.WaitGroup
+
+	bytes  atomic.Uint64 // total frame bytes handed to the OS
+	fsyncs atomic.Uint64
+}
+
+// segName returns the file name of the segment whose first record is seq.
+func segName(seq uint64) string { return fmt.Sprintf("wal-%020d.log", seq) }
+
+// parseSegName extracts the first-record sequence number from a segment
+// file name, reporting ok=false for non-segment files.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns the directory's WAL segments in sequence order.
+func listSegments(dir string) (names []string, firstSeqs []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	type seg struct {
+		name string
+		seq  uint64
+	}
+	var segs []seg
+	for _, e := range entries {
+		if seq, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, seg{e.Name(), seq})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	for _, s := range segs {
+		names = append(names, s.name)
+		firstSeqs = append(firstSeqs, s.seq)
+	}
+	return names, firstSeqs, nil
+}
+
+// syncDir fsyncs the directory so segment creates/renames/removals survive
+// a crash of their own.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// newWAL opens a fresh segment for appending, with lastSeq the highest
+// sequence number already durable in dir (0 for an empty log). Recovery has
+// already run: the new segment starts at lastSeq+1 and any torn tail in the
+// previous segment has been truncated away.
+func newWAL(dir string, lastSeq uint64, syncEvery int, syncInterval time.Duration, segmentBytes int64, background bool) (*wal, error) {
+	w := &wal{
+		dir:          dir,
+		syncEvery:    syncEvery,
+		syncInterval: syncInterval,
+		segmentBytes: segmentBytes,
+		seq:          lastSeq,
+		durable:      lastSeq,
+		flushReq:     make(chan struct{}, 1),
+		stop:         make(chan struct{}),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	if err := w.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	if background {
+		w.flusherWG.Add(1)
+		go w.flusher()
+	}
+	return w, nil
+}
+
+// openSegmentLocked creates (or truncates) the segment that will hold
+// record seq+1 and makes it current. Caller holds mu or has exclusive
+// access.
+func (w *wal) openSegmentLocked() error {
+	name := filepath.Join(w.dir, segName(w.seq+1))
+	f, err := os.Create(name)
+	if err != nil {
+		return fmt.Errorf("journal: create segment: %w", err)
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: sync dir: %w", err)
+	}
+	if w.f != nil {
+		w.f.Close()
+	}
+	w.f = f
+	w.size = 0
+	return nil
+}
+
+// append frames one record and returns its sequence number plus a wait
+// function that blocks until the record is fsynced (or the log failed).
+// Callers in async mode simply discard the wait.
+func (w *wal) append(typ byte, body []byte) (uint64, func() error) {
+	frame := make([]byte, 0, frameHeader+payloadHeader+len(body))
+	frame = frame[:frameHeader]
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return 0, func() error { return err }
+	}
+	if w.closed {
+		w.mu.Unlock()
+		return 0, func() error { return fmt.Errorf("journal: append after close") }
+	}
+	w.seq++
+	seq := w.seq
+	frame = binary.LittleEndian.AppendUint64(frame, seq)
+	frame = append(frame, typ)
+	frame = append(frame, body...)
+	payload := frame[frameHeader:]
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	w.buf = append(w.buf, frame...)
+	nudge := w.syncEvery > 0 && seq-w.durable >= uint64(w.syncEvery)
+	w.mu.Unlock()
+
+	if nudge {
+		select {
+		case w.flushReq <- struct{}{}:
+		default:
+		}
+	}
+	return seq, func() error { return w.waitDurable(seq) }
+}
+
+// waitDurable blocks until seq is fsynced, electing the caller as the
+// group-commit leader when no flush is in flight: the leader writes and
+// fsyncs every record buffered so far, then wakes all waiters. Followers
+// whose records were covered return without touching the disk.
+func (w *wal) waitDurable(seq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.err == nil && w.durable < seq {
+		if w.syncing {
+			w.cond.Wait()
+			continue
+		}
+		w.flushLocked()
+	}
+	if w.err != nil && w.durable < seq {
+		return w.err
+	}
+	return nil
+}
+
+// flushLocked performs one group commit: write the pending buffer, fsync,
+// advance durable to the highest buffered sequence number, and rotate the
+// segment when it is full. Called with mu held; the IO runs unlocked so
+// appenders are never blocked behind an fsync.
+func (w *wal) flushLocked() {
+	w.syncing = true
+	buf := w.buf
+	w.buf = nil
+	target := w.seq
+	f := w.f
+	w.mu.Unlock()
+
+	var werr error
+	if len(buf) > 0 {
+		_, werr = f.Write(buf)
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+
+	w.mu.Lock()
+	w.fsyncs.Add(1)
+	if werr != nil {
+		w.err = fmt.Errorf("journal: wal flush: %w", werr)
+	} else {
+		w.bytes.Add(uint64(len(buf)))
+		w.size += int64(len(buf))
+		if target > w.durable {
+			w.durable = target
+		}
+		if w.size >= w.segmentBytes {
+			// The outgoing segment is fully synced, so its successor can
+			// never hold durable records the predecessor is missing.
+			if err := w.openSegmentLocked(); err != nil {
+				w.err = err
+			}
+		}
+	}
+	w.syncing = false
+	w.cond.Broadcast()
+}
+
+// flusher is the async-mode background goroutine: group commit on a timer,
+// or sooner when appenders cross the SyncEvery threshold.
+func (w *wal) flusher() {
+	defer w.flusherWG.Done()
+	t := time.NewTicker(w.syncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+		case <-w.flushReq:
+		}
+		w.mu.Lock()
+		for w.err == nil && w.durable < w.seq {
+			if w.syncing {
+				w.cond.Wait()
+				continue
+			}
+			w.flushLocked()
+		}
+		w.mu.Unlock()
+	}
+}
+
+// lastSeq returns the highest assigned sequence number.
+func (w *wal) lastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// close stops the flusher, performs a final group commit and closes the
+// current segment. The returned error reports any record that could not be
+// made durable.
+func (w *wal) close() error {
+	w.mu.Lock()
+	if w.closed {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.stop)
+	w.flusherWG.Wait()
+
+	w.mu.Lock()
+	for w.err == nil && w.durable < w.seq {
+		if w.syncing {
+			w.cond.Wait()
+			continue
+		}
+		w.flushLocked()
+	}
+	err := w.err
+	if w.f != nil {
+		if cerr := w.f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("journal: close segment: %w", cerr)
+		}
+		w.f = nil
+	}
+	w.mu.Unlock()
+	return err
+}
+
+// Record is one recovered WAL entry: a registry mutation or an opaque
+// application record (the simulation driver's own checkpoint stream).
+type Record struct {
+	Seq      uint64
+	Mutation *registry.Mutation
+	App      []byte
+}
+
+// scanResult is what reading the on-disk log yields: the decoded records,
+// the highest good sequence number, and — when the final segment ends in a
+// torn write — the file and offset recovery must truncate at before the
+// log is appended to again.
+type scanResult struct {
+	records  []Record
+	lastSeq  uint64
+	tornFile string
+	tornAt   int64
+}
+
+// scanDir reads every segment in dir in order, decoding records with
+// sequence numbers strictly greater than after. Corruption in any segment
+// but the last is fatal — those segments were fsynced before their
+// successors were written, so damage there is not a crash artefact. In the
+// last segment a malformed frame is treated as the torn tail of an
+// interrupted write: scanning stops at the last whole record and the torn
+// offset is reported for truncation.
+func scanDir(dir string, after uint64) (scanResult, error) {
+	var res scanResult
+	names, firstSeqs, err := listSegments(dir)
+	if err != nil {
+		return res, fmt.Errorf("journal: list segments: %w", err)
+	}
+	res.lastSeq = after
+	expect := uint64(0) // next expected seq; 0 = not yet anchored
+	for i, name := range names {
+		path := filepath.Join(dir, name)
+		last := i == len(names)-1
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return res, fmt.Errorf("journal: read segment: %w", err)
+		}
+		if expect == 0 {
+			expect = firstSeqs[i]
+		} else if firstSeqs[i] != expect {
+			return res, fmt.Errorf("journal: segment %s starts at seq %d, want %d: missing segment", name, firstSeqs[i], expect)
+		}
+		off := 0
+		for off < len(data) {
+			rest := len(data) - off
+			if rest < frameHeader {
+				if last {
+					res.tornFile, res.tornAt = path, int64(off)
+					off = len(data)
+					break
+				}
+				return res, fmt.Errorf("journal: segment %s: %d trailing bytes mid-log", name, rest)
+			}
+			ln := int64(binary.LittleEndian.Uint32(data[off:]))
+			crc := binary.LittleEndian.Uint32(data[off+4:])
+			if ln < payloadHeader || ln > maxRecordBytes || int64(rest-frameHeader) < ln {
+				if last {
+					res.tornFile, res.tornAt = path, int64(off)
+					off = len(data)
+					break
+				}
+				return res, fmt.Errorf("journal: segment %s offset %d: bad record length %d", name, off, ln)
+			}
+			payload := data[off+frameHeader : off+frameHeader+int(ln)]
+			if crc32.ChecksumIEEE(payload) != crc {
+				if last {
+					res.tornFile, res.tornAt = path, int64(off)
+					off = len(data)
+					break
+				}
+				return res, fmt.Errorf("journal: segment %s offset %d: CRC mismatch", name, off)
+			}
+			seq := binary.LittleEndian.Uint64(payload)
+			typ := payload[8]
+			body := payload[payloadHeader:]
+			if seq != expect {
+				return res, fmt.Errorf("journal: segment %s offset %d: seq %d, want %d: records out of order", name, off, seq, expect)
+			}
+			expect++
+			off += frameHeader + int(ln)
+			if seq <= after {
+				res.lastSeq = seq
+				continue
+			}
+			switch typ {
+			case recMutation:
+				m, err := decodeMutation(body)
+				if err != nil {
+					return res, fmt.Errorf("journal: segment %s seq %d: %w", name, seq, err)
+				}
+				res.records = append(res.records, Record{Seq: seq, Mutation: &m})
+			case recApp:
+				res.records = append(res.records, Record{Seq: seq, App: append([]byte(nil), body...)})
+			default:
+				return res, fmt.Errorf("journal: segment %s seq %d: unknown record type %d", name, seq, typ)
+			}
+			res.lastSeq = seq
+		}
+	}
+	return res, nil
+}

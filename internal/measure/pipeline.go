@@ -50,8 +50,14 @@ type Pipeline struct {
 	// and Stats are identical at every setting.
 	Parallelism int
 
+	// TrackDeltas makes each CollectDaily record its state changes for the
+	// durability journal; the driver drains them with TakeDelta. Off by
+	// default so non-journaled studies pay nothing.
+	TrackDeltas bool
+
 	pending map[string]*pendingDomain
 	stats   Stats
+	delta   *CollectDelta
 }
 
 type pendingDomain struct {
@@ -109,6 +115,10 @@ func (p *Pipeline) CollectDaily(ctx context.Context, today simtime.Day) error {
 	if p.pending == nil {
 		p.pending = make(map[string]*pendingDomain)
 	}
+	if p.TrackDeltas {
+		p.delta = &CollectDelta{Day: today}
+	}
+	statsBefore := p.stats
 	entries, err := p.Lists.Fetch(ctx, today)
 	if err != nil {
 		return fmt.Errorf("measure: fetch pending list for %v: %w", today, err)
@@ -126,6 +136,9 @@ func (p *Pipeline) CollectDaily(ctx context.Context, today simtime.Day) error {
 		}
 		p.pending[e.Name] = &pendingDomain{name: e.Name, tld: tld, deleteDay: e.DeleteDay}
 		p.stats.ListEntries++
+		if p.delta != nil {
+			p.delta.Added = append(p.delta.Added, PendingEntry{Name: e.Name, TLD: tld, DeleteDay: e.DeleteDay})
+		}
 	}
 	// Fetch metadata for domains deleting within the lookup window that we
 	// have not resolved yet. The ≤ comparison (rather than ==) bootstraps
@@ -154,6 +167,14 @@ func (p *Pipeline) CollectDaily(ctx context.Context, today simtime.Day) error {
 	for i, r := range results {
 		p.stats.add(r.delta)
 		due[i].prior = r.prior
+		if p.delta != nil && r.prior != nil {
+			c := *r.prior
+			p.delta.Resolved = append(p.delta.Resolved,
+				PendingEntry{Name: due[i].name, TLD: due[i].tld, DeleteDay: due[i].deleteDay, Prior: &c})
+		}
+	}
+	if p.delta != nil {
+		p.delta.Stats = p.stats.sub(statsBefore)
 	}
 	return nil
 }

@@ -32,9 +32,22 @@ type engineTrace struct {
 // is the whole point.
 func runEngine(t *testing.T, seed int64, days int, scan bool, shards int) engineTrace {
 	t.Helper()
+	tr, _ := runEngineOn(t, seed, days, scan, shards, nil)
+	return tr
+}
+
+// runEngineOn is runEngine returning the final store as well, with an
+// optional journal attached before the first mutation so the journal sees
+// the complete record stream (the replay differential test depends on
+// capturing everything, registrar adds and seeds included).
+func runEngineOn(t *testing.T, seed int64, days int, scan bool, shards int, j Journal) (engineTrace, *Store) {
+	t.Helper()
 	start := simtime.Day{Year: 2018, Month: time.January, Dom: 8}
 	clock := simtime.NewSimClock(start.At(0, 30, 0))
 	s := NewStoreWithShards(clock, shards)
+	if j != nil {
+		s.SetJournal(j)
+	}
 	s.SetScanEngine(scan)
 	for r := 0; r < 10; r++ {
 		s.AddRegistrar(model.Registrar{IANAID: 1000 + r, Name: fmt.Sprintf("Reg %d", r)})
@@ -138,7 +151,7 @@ func runEngine(t *testing.T, seed int64, days int, scan bool, shards int) engine
 		return true
 	})
 	slicesSortByName(tr.final)
-	return tr
+	return tr, s
 }
 
 func slicesSortByName(ds []model.Domain) {

@@ -120,7 +120,17 @@ type Scheduled struct {
 // domainID) order with second-precision deletion instants paced by the
 // configured rate, day-level rate variation, per-second jitter and stalls.
 func (r *DropRunner) Schedule(day simtime.Day, rng *rand.Rand) []Scheduled {
-	queue := r.BuildQueue(day)
+	return r.ScheduleQueue(day, r.BuildQueue(day), rng)
+}
+
+// ScheduleQueue is Schedule over an explicit, already-ordered queue. Crash
+// recovery uses it to re-derive a partially executed Drop's original plan:
+// the purged prefix is reconstructed from the deletion archive, the
+// remaining entries come from BuildQueue on the recovered store, and —
+// because the pacing draws depend only on the queue *length* and rng — the
+// schedule (and therefore every remaining deletion instant) comes out
+// exactly as the uninterrupted run would have produced it.
+func (r *DropRunner) ScheduleQueue(day simtime.Day, queue []QueueEntry, rng *rand.Rand) []Scheduled {
 	out := make([]Scheduled, 0, len(queue))
 	t := day.At(r.cfg.StartHour, r.cfg.StartMinute, 0)
 	i := 0

@@ -1,0 +1,338 @@
+package registry
+
+import (
+	"fmt"
+	"time"
+
+	"dropzero/internal/model"
+	"dropzero/internal/simtime"
+)
+
+// This file is the store's durability seam: every committed mutation is
+// describable as a plain-data Mutation record, an attached Journal receives
+// each record inside the mutating critical section, and Apply replays a
+// record stream into an empty store, reproducing byte-identical state. The
+// WAL encoding, segment management and snapshot files live in
+// internal/journal; the registry only defines what a mutation *is* and how
+// to re-apply one.
+
+// MutKind identifies the store mutator a Mutation records.
+type MutKind uint8
+
+// One kind per mutator. Values are part of the on-disk WAL format: never
+// renumber, only append.
+const (
+	MutAddRegistrar MutKind = 1 + iota
+	MutCreate
+	MutSeed
+	MutTouch
+	MutRenew
+	MutTransfer
+	MutSetState
+	MutPurge
+)
+
+var mutKindNames = [...]string{
+	MutAddRegistrar: "addRegistrar",
+	MutCreate:       "create",
+	MutSeed:         "seed",
+	MutTouch:        "touch",
+	MutRenew:        "renew",
+	MutTransfer:     "transfer",
+	MutSetState:     "setState",
+	MutPurge:        "purge",
+}
+
+// String returns the mutator name.
+func (k MutKind) String() string {
+	if int(k) < len(mutKindNames) && mutKindNames[k] != "" {
+		return mutKindNames[k]
+	}
+	return fmt.Sprintf("MutKind(%d)", uint8(k))
+}
+
+// Mutation is the complete, self-contained record of one committed Store
+// mutation. Every field a replay needs is absolute (assigned object IDs,
+// resulting timestamps, resulting states), never derived from clocks or
+// allocators, so applying the same record stream to an empty store always
+// reproduces the same state. Which fields are meaningful depends on Kind:
+//
+//	MutAddRegistrar: Registrar
+//	MutCreate:       ID, Name, RegistrarID, Created, Updated, Expiry
+//	MutSeed:         ID, Name, RegistrarID, Created, Updated, Expiry, Status, DeleteDay
+//	MutTouch:        Name, Updated
+//	MutRenew:        Name, Updated, Expiry
+//	MutTransfer:     Name, RegistrarID (gaining), Updated
+//	MutSetState:     Name, Status, Updated (zero = keep), DeleteDay
+//	MutPurge:        ID, Name, Time, Rank
+type Mutation struct {
+	Kind MutKind
+
+	Name        string
+	ID          uint64
+	RegistrarID int
+
+	Created time.Time
+	Updated time.Time
+	Expiry  time.Time
+
+	Status    model.Status
+	DeleteDay simtime.Day
+
+	// Purge event fields.
+	Time time.Time
+	Rank int
+
+	// MutAddRegistrar payload.
+	Registrar model.Registrar
+}
+
+// Journal receives every committed store mutation. Append is called inside
+// the mutating critical section (shard write lock or registrar lock), after
+// the in-memory change and before the generation bump, so the journal's
+// record order is a linearisation of commit order and the snapshotter's
+// generation-equality check brackets exactly the records it has seen.
+//
+// Append must be fast and non-blocking (buffer the record); it returns a
+// wait function for callers that need durability before acknowledging —
+// the store invokes it after releasing all locks. A nil wait means nothing
+// to wait for (asynchronous durability).
+type Journal interface {
+	Append(m Mutation) (wait func() error)
+}
+
+// SetJournal attaches j as the store's write-ahead journal; pass nil to
+// detach. Attach before the store receives traffic: mutators read the
+// pointer atomically, so a mid-traffic swap cannot corrupt state, but any
+// mutation committed while no journal is attached is simply not logged.
+func (s *Store) SetJournal(j Journal) {
+	if j == nil {
+		s.journal.Store(nil)
+		return
+	}
+	s.journal.Store(&j)
+}
+
+// appendJournal hands m to the attached journal, if any. Callers hold the
+// critical section the mutation committed under and must invoke the
+// returned wait (via waitJournal) only after releasing every lock.
+func (s *Store) appendJournal(m Mutation) func() error {
+	if p := s.journal.Load(); p != nil {
+		return (*p).Append(m)
+	}
+	return nil
+}
+
+// waitJournal runs the durability wait returned by appendJournal. A non-nil
+// error means the mutation is committed in memory but its durability is not
+// established — the store is ahead of its log, and the caller should treat
+// the operation (and usually the process) as failed.
+func waitJournal(wait func() error) error {
+	if wait == nil {
+		return nil
+	}
+	if err := wait(); err != nil {
+		return fmt.Errorf("registry: journal: %w", err)
+	}
+	return nil
+}
+
+// Apply replays one mutation record during recovery. It reproduces exactly
+// the state change the original mutator committed — assigned IDs, transfer
+// code derivation, due-index maintenance, the deletion archive and the
+// generation counter — without consulting the clock, the ID allocator or
+// the attached journal (recovery attaches the journal only after replay).
+// It is not part of the serving API: records must be applied in their
+// original order, single-goroutine, before the store receives traffic.
+func (s *Store) Apply(m Mutation) error {
+	switch m.Kind {
+	case MutAddRegistrar:
+		s.regMu.Lock()
+		s.registrars[m.Registrar.IANAID] = m.Registrar
+		s.bumpGen()
+		s.regMu.Unlock()
+		return nil
+
+	case MutCreate, MutSeed:
+		_, tld, err := splitName(m.Name)
+		if err != nil {
+			return fmt.Errorf("registry: replay %v %q: %w", m.Kind, m.Name, err)
+		}
+		sh := s.shardOf(m.Name)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if _, taken := sh.domains[m.Name]; taken {
+			return fmt.Errorf("registry: replay %v: %w: %q", m.Kind, ErrExists, m.Name)
+		}
+		d := &model.Domain{
+			ID:          m.ID,
+			Name:        m.Name,
+			TLD:         tld,
+			RegistrarID: m.RegistrarID,
+			Created:     m.Created,
+			Updated:     m.Updated,
+			Expiry:      m.Expiry,
+			Status:      model.StatusActive,
+		}
+		if m.Kind == MutSeed {
+			d.Status = m.Status
+			d.DeleteDay = m.DeleteDay
+		}
+		sh.domains[m.Name] = d
+		sh.byID[d.ID] = d
+		if m.Kind == MutCreate {
+			// Creates mint a transfer code; seeds do not (SeedAt's contract).
+			sh.authInfo[m.Name] = deriveAuthInfo(d.ID, m.Name)
+		}
+		sh.dueAdd(d)
+		if cur := s.nextID.Load(); m.ID > cur {
+			s.nextID.Store(m.ID)
+		}
+		s.bumpGen()
+		return nil
+
+	case MutTouch, MutRenew, MutTransfer, MutSetState:
+		sh := s.shardOf(m.Name)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		d, ok := sh.domains[m.Name]
+		if !ok {
+			return fmt.Errorf("registry: replay %v: %w: %q", m.Kind, ErrNotFound, m.Name)
+		}
+		sh.dueRemove(d)
+		switch m.Kind {
+		case MutTouch:
+			d.Updated = m.Updated
+		case MutRenew:
+			d.Expiry = m.Expiry
+			d.Updated = m.Updated
+			d.Status = model.StatusActive
+		case MutTransfer:
+			d.RegistrarID = m.RegistrarID
+			d.Updated = m.Updated
+			d.Status = model.StatusActive
+			sh.authInfo[m.Name] = deriveAuthInfo(d.ID^0x5bf0, m.Name)
+		case MutSetState:
+			d.Status = m.Status
+			if !m.Updated.IsZero() {
+				d.Updated = m.Updated
+			}
+			d.DeleteDay = m.DeleteDay
+		}
+		sh.dueAdd(d)
+		s.bumpGen()
+		return nil
+
+	case MutPurge:
+		sh := s.shardOf(m.Name)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		d, ok := sh.domains[m.Name]
+		if !ok {
+			return fmt.Errorf("registry: replay purge: %w: %q", ErrNotFound, m.Name)
+		}
+		ev := model.DeletionEvent{
+			DomainID: d.ID,
+			Name:     d.Name,
+			TLD:      d.TLD,
+			Time:     m.Time,
+			Rank:     m.Rank,
+		}
+		sh.dueRemove(d)
+		delete(sh.domains, m.Name)
+		delete(sh.byID, d.ID)
+		delete(sh.authInfo, m.Name)
+		day := simtime.DayOf(m.Time)
+		s.delMu.Lock()
+		s.deletions[day] = append(s.deletions[day], ev)
+		s.delMu.Unlock()
+		s.bumpGen()
+		return nil
+	}
+	return fmt.Errorf("registry: replay: unknown mutation kind %d", m.Kind)
+}
+
+// SnapshotDomain is one registration in a store snapshot, paired with its
+// transfer authorisation code ("" when none was minted — seeded domains).
+type SnapshotDomain struct {
+	Domain   model.Domain
+	AuthInfo string
+}
+
+// SnapshotState is a full copy of the store's durable state: everything
+// recovery needs to rebuild an identical store, and nothing that is
+// process-local (caches, observers, the scan-engine flag).
+type SnapshotState struct {
+	Gen        uint64
+	NextID     uint64
+	Registrars []model.Registrar
+	Domains    []SnapshotDomain
+	Deletions  map[simtime.Day][]model.DeletionEvent
+}
+
+// CaptureSnapshot copies the store's durable state, visiting the shards one
+// at a time under read locks — it never stops the world. The copy is NOT by
+// itself consistent under concurrent mutation: the snapshotter brackets the
+// call with two Generation() reads and discards the copy unless they match
+// (the same read-render-reread discipline the response caches use), which
+// proves no mutation committed while the copy was taken.
+func (s *Store) CaptureSnapshot() SnapshotState {
+	st := SnapshotState{
+		Registrars: s.Registrars(),
+		Deletions:  make(map[simtime.Day][]model.DeletionEvent),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for name, d := range sh.domains {
+			st.Domains = append(st.Domains, SnapshotDomain{Domain: *d, AuthInfo: sh.authInfo[name]})
+		}
+		sh.mu.RUnlock()
+	}
+	s.delMu.Lock()
+	for day, evs := range s.deletions {
+		st.Deletions[day] = append([]model.DeletionEvent(nil), evs...)
+	}
+	s.delMu.Unlock()
+	st.NextID = s.nextID.Load()
+	st.Gen = s.gen.Load()
+	return st
+}
+
+// RestoreSnapshot loads a captured state into an empty store during
+// recovery: registrars, every registration (with its transfer code), the
+// deletion archive, the ID allocator and the generation counter. Replaying
+// the WAL tail on top via Apply then reproduces the exact pre-crash store.
+// Recovery-only: the store must be empty and not yet serving.
+func (s *Store) RestoreSnapshot(st SnapshotState) error {
+	for _, r := range st.Registrars {
+		s.regMu.Lock()
+		s.registrars[r.IANAID] = r
+		s.regMu.Unlock()
+	}
+	for _, sd := range st.Domains {
+		d := sd.Domain
+		sh := s.shardOf(d.Name)
+		sh.mu.Lock()
+		if _, taken := sh.domains[d.Name]; taken {
+			sh.mu.Unlock()
+			return fmt.Errorf("registry: restore: %w: %q", ErrExists, d.Name)
+		}
+		c := d
+		sh.domains[d.Name] = &c
+		sh.byID[c.ID] = &c
+		if sd.AuthInfo != "" {
+			sh.authInfo[d.Name] = sd.AuthInfo
+		}
+		sh.dueAdd(&c)
+		sh.mu.Unlock()
+	}
+	s.delMu.Lock()
+	for day, evs := range st.Deletions {
+		s.deletions[day] = append([]model.DeletionEvent(nil), evs...)
+	}
+	s.delMu.Unlock()
+	s.nextID.Store(st.NextID)
+	s.gen.Store(st.Gen)
+	return nil
+}

@@ -149,6 +149,12 @@ type Store struct {
 	// section and deliver after unlocking.
 	observer atomic.Pointer[Observer]
 
+	// journal is the attached write-ahead journal (pointer-to-interface, like
+	// observer). Mutators append their Mutation record inside the critical
+	// section — after the in-memory change, before the generation bump — and
+	// run the returned durability wait after unlocking. See journal.go.
+	journal atomic.Pointer[Journal]
+
 	// shards has power-of-two length; mask routes a name hash to its shard.
 	shards []shard
 	mask   uint64
@@ -300,12 +306,15 @@ func (s *Store) loadObserver() Observer {
 }
 
 // AddRegistrar registers an accreditation. Creating or updating domains under
-// an unknown IANA ID fails.
+// an unknown IANA ID fails. Journal durability errors are not reported here
+// (the signature predates journaling); they resurface on the journal itself.
 func (s *Store) AddRegistrar(r model.Registrar) {
 	s.regMu.Lock()
-	defer s.regMu.Unlock()
 	s.registrars[r.IANAID] = r
+	wait := s.appendJournal(Mutation{Kind: MutAddRegistrar, Registrar: r})
 	s.bumpGen()
+	s.regMu.Unlock()
+	_ = waitJournal(wait)
 }
 
 // Registrar looks up an accreditation by IANA ID.
@@ -400,8 +409,8 @@ func (s *Store) CreateAt(name string, registrarID int, termYears int, at time.Ti
 	at = simtime.Trunc(at)
 	sh := s.shardOf(name)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if _, taken := sh.domains[name]; taken {
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrExists, name)
 	}
 	d := &model.Domain{
@@ -418,8 +427,17 @@ func (s *Store) CreateAt(name string, registrarID int, termYears int, at time.Ti
 	sh.byID[d.ID] = d
 	sh.authInfo[name] = deriveAuthInfo(d.ID, name)
 	sh.dueAdd(d)
+	wait := s.appendJournal(Mutation{
+		Kind: MutCreate, ID: d.ID, Name: name, RegistrarID: registrarID,
+		Created: d.Created, Updated: d.Updated, Expiry: d.Expiry,
+	})
 	s.bumpGen()
-	return cloned(d), nil
+	out := cloned(d)
+	sh.mu.Unlock()
+	if err := waitJournal(wait); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // deriveAuthInfo mints a registration's transfer code (splitmix64 over the
@@ -496,9 +514,13 @@ func (s *Store) Transfer(name string, gainingID int, authInfo string) error {
 	d.Status = model.StatusActive
 	sh.dueAdd(d)
 	sh.authInfo[name] = deriveAuthInfo(d.ID^0x5bf0, name)
+	wait := s.appendJournal(Mutation{Kind: MutTransfer, Name: name, RegistrarID: gainingID, Updated: d.Updated})
 	s.bumpGen()
 	obs := s.loadObserver()
 	sh.mu.Unlock()
+	if err := waitJournal(wait); err != nil {
+		return err
+	}
 	if obs != nil {
 		obs.DomainTransferred(name, losing, gainingID)
 	}
@@ -545,31 +567,35 @@ func (s *Store) Touch(name string, registrarID int) error {
 func (s *Store) TouchAt(name string, registrarID int, at time.Time) error {
 	sh := s.shardOf(name)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	d, ok := sh.domains[name]
 	if !ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	if d.RegistrarID != registrarID {
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrWrongRegistrar, name)
 	}
 	sh.dueRemove(d)
 	d.Updated = simtime.Trunc(at)
 	sh.dueAdd(d)
+	wait := s.appendJournal(Mutation{Kind: MutTouch, Name: name, Updated: d.Updated})
 	s.bumpGen()
-	return nil
+	sh.mu.Unlock()
+	return waitJournal(wait)
 }
 
 // Renew extends the registration by years and records the update.
 func (s *Store) Renew(name string, registrarID int, years int) error {
 	sh := s.shardOf(name)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	d, ok := sh.domains[name]
 	if !ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	if d.RegistrarID != registrarID {
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrWrongRegistrar, name)
 	}
 	now := simtime.Trunc(s.clock.Now())
@@ -578,8 +604,10 @@ func (s *Store) Renew(name string, registrarID int, years int) error {
 	d.Updated = now
 	d.Status = model.StatusActive
 	sh.dueAdd(d)
+	wait := s.appendJournal(Mutation{Kind: MutRenew, Name: name, Updated: d.Updated, Expiry: d.Expiry})
 	s.bumpGen()
-	return nil
+	sh.mu.Unlock()
+	return waitJournal(wait)
 }
 
 // setState transitions a domain's lifecycle state; used by the lifecycle
@@ -595,15 +623,21 @@ func (s *Store) setState(name string, st model.Status, updated time.Time, delete
 	from := d.Status
 	sh.dueRemove(d)
 	d.Status = st
+	var recUpdated time.Time // zero = keep, mirrored by replay
 	if !updated.IsZero() {
 		d.Updated = simtime.Trunc(updated)
+		recUpdated = d.Updated
 	}
 	d.DeleteDay = deleteDay
 	sh.dueAdd(d)
+	wait := s.appendJournal(Mutation{Kind: MutSetState, Name: name, Status: st, Updated: recUpdated, DeleteDay: deleteDay})
 	s.bumpGen()
 	obs := s.loadObserver()
 	registrarID := d.RegistrarID
 	sh.mu.Unlock()
+	if err := waitJournal(wait); err != nil {
+		return err
+	}
 	if obs != nil && from != st {
 		obs.DomainTransitioned(name, registrarID, from, st)
 	}
@@ -695,10 +729,14 @@ func (s *Store) purge(name string, at time.Time, rank int) (model.DeletionEvent,
 	s.delMu.Lock()
 	s.deletions[day] = append(s.deletions[day], ev)
 	s.delMu.Unlock()
+	wait := s.appendJournal(Mutation{Kind: MutPurge, ID: ev.DomainID, Name: name, Time: ev.Time, Rank: rank})
 	s.bumpGen()
 	obs := s.loadObserver()
 	registrarID := d.RegistrarID
 	sh.mu.Unlock()
+	if err := waitJournal(wait); err != nil {
+		return ev, err
+	}
 	if obs != nil {
 		obs.DomainPurged(ev, registrarID)
 	}
@@ -844,8 +882,8 @@ func (s *Store) SeedAt(name string, registrarID int, created, updated, expiry ti
 	}
 	sh := s.shardOf(name)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if _, taken := sh.domains[name]; taken {
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrExists, name)
 	}
 	d := &model.Domain{
@@ -862,8 +900,18 @@ func (s *Store) SeedAt(name string, registrarID int, created, updated, expiry ti
 	sh.domains[name] = d
 	sh.byID[d.ID] = d
 	sh.dueAdd(d)
+	wait := s.appendJournal(Mutation{
+		Kind: MutSeed, ID: d.ID, Name: name, RegistrarID: registrarID,
+		Created: d.Created, Updated: d.Updated, Expiry: d.Expiry,
+		Status: st, DeleteDay: deleteDay,
+	})
 	s.bumpGen()
-	return cloned(d), nil
+	out := cloned(d)
+	sh.mu.Unlock()
+	if err := waitJournal(wait); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func cloned(d *model.Domain) *model.Domain {

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"time"
 
+	"dropzero/internal/journal"
 	"dropzero/internal/registrars"
 	"dropzero/internal/registry"
 	"dropzero/internal/safebrowsing"
@@ -68,6 +69,27 @@ type Config struct {
 	// registrars get; a study's output is byte-identical at every setting,
 	// and the differential tests assert exactly that.
 	Shards int
+	// DataDir makes the study durable: registry mutations and the
+	// measurement pipeline's daily state go to a write-ahead journal with
+	// periodic snapshots in this directory, and a rerun with the same
+	// config resumes from whatever the directory holds — mid-seeding,
+	// mid-Drop, anywhere — producing byte-identical output to an
+	// uninterrupted run. Empty keeps the study memory-only.
+	DataDir string
+	// Durability is the journal mode when DataDir is set: journal.ModeAsync
+	// (group-commit in the background; a crash loses at most the unflushed
+	// tail, which resume re-executes) or journal.ModeSync (every mutation
+	// fsynced before it is acknowledged). ModeOff with a DataDir disables
+	// journaling entirely.
+	Durability journal.Mode
+	// SnapshotDays writes a full registry+pipeline snapshot every N
+	// completed study days, bounding how much WAL a recovery replays
+	// (0 = every 7 days).
+	SnapshotDays int
+	// KeepCheckpoints disables pruning of superseded snapshots and WAL
+	// segments. Crash-recovery tests use it to manufacture crashes at
+	// arbitrary points of a finished run's history.
+	KeepCheckpoints bool
 }
 
 // DefaultConfig returns the configuration used by the experiment harness: a

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"dropzero/internal/measure"
+)
+
+// The simulation driver journals its own state alongside the registry's:
+// after each day's pending-list collection it appends the pipeline's
+// CollectDelta as an application record, and every snapshot carries the
+// full pipeline state plus the count of completed collections. Everything
+// else the driver holds — RNG streams, market decisions, oracle labels,
+// ground-truth metadata — is deliberately NOT persisted: it is recomputed
+// on resume by replaying the decision process against the recovered
+// deletion archive, which is cheaper than journaling it and keeps the WAL
+// to one record per day outside the store's own mutations.
+//
+// Why the pipeline is the exception: its lookups ran against the registry
+// as it was before later Drops purged those very registrations, so no
+// amount of replay against the recovered (newer) store can reproduce them.
+
+// dayRecord is one application WAL record: the outcome of CollectDaily for
+// study day index Day.
+type dayRecord struct {
+	// Day is the zero-based study day index the collection ran for.
+	Day int
+	// Delta is the pipeline state change the collection produced.
+	Delta measure.CollectDelta
+}
+
+// checkpoint is the application blob stored in every snapshot.
+type checkpoint struct {
+	// CollectedDays is how many study days' collections the Pipeline state
+	// below already includes; resume re-enters the day loop there.
+	CollectedDays int
+	// Pipeline is the measurement pipeline's full state at that point.
+	Pipeline measure.PipelineState
+}
+
+func encodeDayRecord(r *dayRecord) ([]byte, error) {
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(r); err != nil {
+		return nil, fmt.Errorf("sim: encode day record: %w", err)
+	}
+	return b.Bytes(), nil
+}
+
+func decodeDayRecord(data []byte) (*dayRecord, error) {
+	var r dayRecord
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&r); err != nil {
+		return nil, fmt.Errorf("sim: decode day record: %w", err)
+	}
+	return &r, nil
+}
+
+func encodeCheckpoint(c *checkpoint) ([]byte, error) {
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(c); err != nil {
+		return nil, fmt.Errorf("sim: encode checkpoint: %w", err)
+	}
+	return b.Bytes(), nil
+}
+
+func decodeCheckpoint(data []byte) (*checkpoint, error) {
+	var c checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&c); err != nil {
+		return nil, fmt.Errorf("sim: decode checkpoint: %w", err)
+	}
+	return &c, nil
+}

@@ -10,6 +10,7 @@ import (
 
 	"dropzero/internal/dropscope"
 	"dropzero/internal/inproc"
+	"dropzero/internal/journal"
 	"dropzero/internal/measure"
 	"dropzero/internal/model"
 	"dropzero/internal/par"
@@ -53,9 +54,28 @@ type Result struct {
 	// PipelineStats reports measurement activity (lookup counts, RDAP
 	// failures, WHOIS fallbacks).
 	PipelineStats measure.Stats
+	// Recovered reports what the durability journal reconstructed before
+	// the run proper started (zero value for memory-only or fresh runs).
+	Recovered journal.Recovery
 }
 
-// Run executes a full study. It is deterministic for a given Config.
+// Run executes a full study. It is deterministic for a given Config: equal
+// configs give byte-identical results — including when the run is a resume
+// of a crashed one. With Config.DataDir set, every registry mutation and
+// each day's pipeline collection goes through a write-ahead journal, and
+// Run first recovers whatever the directory holds, then re-executes only
+// the remainder of the study.
+//
+// Resume never re-runs completed work against the live registry (whose
+// state has moved past it); instead it replays the decision process from
+// recovered ground truth. The deletion archive feeds the market's
+// per-lot decisions and the label draws, so every RNG stream advances
+// exactly as the uninterrupted run advanced it, the oracle relearns its
+// labels, and Truths is rebuilt — while the registry itself, the deletion
+// log and the pipeline state come from the journal. A day interrupted
+// mid-Drop reconstructs its original queue as the archived prefix plus the
+// still-pending remainder, re-derives the original schedule (the pacing
+// draws depend only on queue length), and purges only the unfinished tail.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Days <= 0 || cfg.Scale <= 0 {
 		return nil, fmt.Errorf("sim: config needs positive Days and Scale (got %d, %g)", cfg.Days, cfg.Scale)
@@ -67,6 +87,54 @@ func Run(cfg Config) (*Result, error) {
 	dir := registrars.BuildDirectory(rng)
 	store := registry.NewStoreWithShards(clock, cfg.Shards)
 	store.SetScanEngine(cfg.ScanEngine)
+
+	// Durability: recover the registry and the driver's own checkpoint
+	// stream before anything else touches the store.
+	journaled := cfg.DataDir != "" && cfg.Durability != journal.ModeOff
+	snapDays := cfg.SnapshotDays
+	if snapDays <= 0 {
+		snapDays = 7
+	}
+	var jnl *journal.Journal
+	var rec journal.Recovery
+	var restored *checkpoint
+	resumePoint := 0 // study days whose collection is already in the pipeline state
+	var deltas []*measure.CollectDelta
+	if journaled {
+		var err error
+		jnl, rec, err = journal.Open(store, journal.Options{
+			Dir:     cfg.DataDir,
+			Mode:    cfg.Durability,
+			KeepAll: cfg.KeepCheckpoints,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer jnl.Close()
+		if rec.AppState != nil {
+			if restored, err = decodeCheckpoint(rec.AppState); err != nil {
+				return nil, err
+			}
+			resumePoint = restored.CollectedDays
+		}
+		for _, raw := range rec.AppRecords {
+			r, err := decodeDayRecord(raw)
+			if err != nil {
+				return nil, err
+			}
+			if r.Day < resumePoint {
+				continue // already folded into the snapshot's pipeline state
+			}
+			if r.Day != resumePoint {
+				return nil, fmt.Errorf("sim: recovery: collection for day %d follows day %d", r.Day, resumePoint-1)
+			}
+			d := r.Delta
+			deltas = append(deltas, &d)
+			resumePoint = r.Day + 1
+		}
+		store.SetJournal(jnl)
+	}
+
 	for _, r := range dir.Registrars() {
 		store.AddRegistrar(r)
 	}
@@ -74,12 +142,16 @@ func Run(cfg Config) (*Result, error) {
 	oracle := safebrowsing.NewOracle()
 	labelRng := rand.New(rand.NewSource(cfg.Seed + 13))
 
-	// Population.
+	// Population. Generation is pure (RNG-only); insertion is skipped once
+	// any day's collection has completed — by then seeding had finished and
+	// Drops may already have purged some of the seeds.
 	seeder := newSeeder(cfg, dir, rand.New(rand.NewSource(cfg.Seed+3)))
 	lifecycleCfg := registry.DefaultLifecycleConfig()
-	meta, err := seeder.seedAll(store, lifecycleCfg)
-	if err != nil {
-		return nil, err
+	specs, meta := seeder.generate(lifecycleCfg)
+	if resumePoint == 0 {
+		if err := insertAll(store, specs, journaled && !rec.Fresh()); err != nil {
+			return nil, err
+		}
 	}
 
 	// Public surfaces. RDAP failures are attached to tail registrars that
@@ -126,6 +198,15 @@ func Run(cfg Config) (*Result, error) {
 		Oracle:      oracleClient,
 		TLDFilter:   model.COM,
 		Parallelism: workers,
+		TrackDeltas: journaled,
+	}
+	if restored != nil {
+		pipeline.Restore(restored.Pipeline)
+	}
+	for _, d := range deltas {
+		if err := pipeline.ApplyDelta(d); err != nil {
+			return nil, err
+		}
 	}
 
 	runner := registry.NewDropRunner(store, cfg.scaledDrop())
@@ -138,23 +219,68 @@ func Run(cfg Config) (*Result, error) {
 		Truths:     make(map[string]Truth, len(meta)),
 		Directory:  dir,
 		Registrars: dir.Registrars(),
+		Recovered:  rec,
 	}
 	ctx := context.Background()
 
 	day := cfg.StartDay
 	for i := 0; i < cfg.Days; i++ {
 		// Morning: the measurement pipeline downloads today's pending list
-		// and collects metadata for domains deleting three days out.
-		clock.Set(day.At(10, 0, 0))
-		if err := pipeline.CollectDaily(ctx, day); err != nil {
-			return nil, err
+		// and collects metadata for domains deleting three days out. A
+		// resumed day's collection is already in the restored pipeline
+		// state — the lookups it made saw a registry that no longer exists,
+		// so it must never re-run.
+		if i >= resumePoint {
+			clock.Set(day.At(10, 0, 0))
+			if err := pipeline.CollectDaily(ctx, day); err != nil {
+				return nil, err
+			}
+			if journaled {
+				delta := pipeline.TakeDelta()
+				if delta == nil {
+					return nil, fmt.Errorf("sim: day %d: pipeline produced no delta", i)
+				}
+				raw, err := encodeDayRecord(&dayRecord{Day: i, Delta: *delta})
+				if err != nil {
+					return nil, err
+				}
+				if wait := jnl.AppendApp(raw); wait != nil {
+					if err := wait(); err != nil {
+						return nil, err
+					}
+				}
+			}
 		}
 
-		// 19:00 UTC: the Drop.
-		clock.Set(day.At(19, 0, 0))
-		events, err := runner.Run(day, dropRng)
-		if err != nil {
-			return nil, err
+		// 19:00 UTC: the Drop. The day's original queue is the recovered
+		// deletion archive (the part that already ran) followed by whatever
+		// is still pending; re-deriving the schedule over the whole queue
+		// consumes exactly the pacing draws the uninterrupted run would
+		// have, then only the unfinished tail is executed.
+		archived := store.Deletions(day)
+		remaining := runner.BuildQueue(day)
+		queue := make([]registry.QueueEntry, 0, len(archived)+len(remaining))
+		for _, ev := range archived {
+			queue = append(queue, registry.QueueEntry{Name: ev.Name, TLD: ev.TLD, ID: ev.DomainID})
+		}
+		queue = append(queue, remaining...)
+		if len(remaining) > 0 {
+			clock.Set(day.At(19, 0, 0))
+		}
+		sched := runner.ScheduleQueue(day, queue, dropRng)
+		for k, ev := range archived {
+			if sched[k].Name != ev.Name || !sched[k].Time.Equal(ev.Time) {
+				return nil, fmt.Errorf("sim: resume: recovered deletion %d on %v (%s at %v) disagrees with the replayed schedule (%s at %v)",
+					k, day, ev.Name, ev.Time, sched[k].Name, sched[k].Time)
+			}
+		}
+		events := slices.Clip(archived)
+		for _, s := range sched[len(archived):] {
+			ev, err := runner.Apply(s)
+			if err != nil {
+				return nil, err
+			}
+			events = append(events, ev)
 		}
 		res.Deletions[day] = events
 		dropEnd := registry.EndTime(events)
@@ -162,6 +288,11 @@ func Run(cfg Config) (*Result, error) {
 
 		// The market claims deleted names; claims materialise in
 		// chronological order so registry IDs keep increasing with time.
+		// On resume this replays decisions for recovered days too — the
+		// market and label RNG streams advance identically, the oracle
+		// relearns every label — but a claim whose registration already
+		// survived the crash is verified against the store instead of
+		// re-created.
 		type pendingCreate struct {
 			claim *registrars.Claim
 			at    time.Time
@@ -191,14 +322,31 @@ func Run(cfg Config) (*Result, error) {
 		}
 		slices.SortStableFunc(creates, func(a, b pendingCreate) int { return a.at.Compare(b.at) })
 		for _, c := range creates {
-			if _, err := store.CreateAt(c.name, c.claim.RegistrarID, 1, c.at); err != nil {
+			if d, err := store.Get(c.name); err == nil {
+				if d.RegistrarID != c.claim.RegistrarID || !d.Created.Equal(c.at) {
+					return nil, fmt.Errorf("sim: resume: recovered registration of %s (registrar %d at %v) disagrees with the replayed claim (registrar %d at %v)",
+						c.name, d.RegistrarID, d.Created, c.claim.RegistrarID, c.at)
+				}
+			} else if _, err := store.CreateAt(c.name, c.claim.RegistrarID, 1, c.at); err != nil {
 				return nil, fmt.Errorf("sim: materialise claim for %s: %w", c.name, err)
 			}
 			oracle.Set(c.name, cfg.Labels.Label(c.claim.Delay, labelRng))
 		}
 
+		if journaled && i+1 >= resumePoint && (i+1)%snapDays == 0 {
+			blob, err := encodeCheckpoint(&checkpoint{CollectedDays: i + 1, Pipeline: pipeline.State()})
+			if err != nil {
+				return nil, err
+			}
+			if err := jnl.Snapshot(blob); err != nil {
+				return nil, err
+			}
+		}
+
 		day = day.Next()
-		clock.Set(day.At(0, 1, 0))
+		if i+1 >= resumePoint {
+			clock.Set(day.At(0, 1, 0))
+		}
 	}
 
 	// ≥8 weeks later: the re-registration lookups.
@@ -211,5 +359,10 @@ func Run(cfg Config) (*Result, error) {
 	slices.SortFunc(obs, func(a, b *model.Observation) int { return strings.Compare(a.Name, b.Name) })
 	res.Observations = obs
 	res.PipelineStats = pipeline.Stats()
+	if journaled {
+		if err := jnl.Close(); err != nil {
+			return nil, fmt.Errorf("sim: final journal flush: %w", err)
+		}
+	}
 	return res, nil
 }

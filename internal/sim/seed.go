@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"slices"
@@ -130,10 +131,13 @@ func (s *seeder) specsForDay(day simtime.Day, comCount int, lifecycle registry.L
 	return out
 }
 
-// seedAll generates the full population for every deletion day, inserts it
-// into the store in creation order (preserving the ID/creation-time
-// invariant), and returns the ground-truth metadata by name.
-func (s *seeder) seedAll(store *registry.Store, lifecycle registry.LifecycleConfig) (map[string]lotMeta, error) {
+// generate builds the full population for every deletion day in insertion
+// order (by creation time, preserving the ID/creation-time invariant) and
+// the ground-truth metadata by name. Generation is pure: it consumes only
+// the seeder's RNG streams, never the store, so a resumed study can
+// regenerate the identical population and metadata without touching the
+// recovered registry.
+func (s *seeder) generate(lifecycle registry.LifecycleConfig) ([]domainSpec, map[string]lotMeta) {
 	var specs []domainSpec
 	volRng := rand.New(rand.NewSource(s.cfg.Seed + 7))
 	day := s.cfg.StartDay
@@ -144,11 +148,35 @@ func (s *seeder) seedAll(store *registry.Store, lifecycle registry.LifecycleConf
 	slices.SortStableFunc(specs, func(a, b domainSpec) int { return a.created.Compare(b.created) })
 	meta := make(map[string]lotMeta, len(specs))
 	for _, sp := range specs {
-		if _, err := store.SeedAt(sp.name, sp.registrarID, sp.created, sp.updated, sp.expiry,
-			model.StatusPendingDelete, sp.deleteDay); err != nil {
-			return nil, fmt.Errorf("sim: seed %s: %w", sp.name, err)
-		}
 		meta[sp.name] = sp.meta
+	}
+	return specs, meta
+}
+
+// insertAll seeds specs into the store in order. With resume set, names the
+// store already holds are skipped: a recovered study re-walks the
+// deterministic insertion order and fills in only whatever the crash cut
+// off — the store ends up with exactly the population an uninterrupted
+// seeding would have produced.
+func insertAll(store *registry.Store, specs []domainSpec, resume bool) error {
+	for _, sp := range specs {
+		_, err := store.SeedAt(sp.name, sp.registrarID, sp.created, sp.updated, sp.expiry,
+			model.StatusPendingDelete, sp.deleteDay)
+		if err != nil {
+			if resume && errors.Is(err, registry.ErrExists) {
+				continue
+			}
+			return fmt.Errorf("sim: seed %s: %w", sp.name, err)
+		}
+	}
+	return nil
+}
+
+// seedAll generates the population and inserts it, the non-resuming path.
+func (s *seeder) seedAll(store *registry.Store, lifecycle registry.LifecycleConfig) (map[string]lotMeta, error) {
+	specs, meta := s.generate(lifecycle)
+	if err := insertAll(store, specs, false); err != nil {
+		return nil, err
 	}
 	return meta, nil
 }
