@@ -164,6 +164,14 @@ func main() {
 			for {
 				select {
 				case <-t.C:
+					// Async mode acknowledges mutations before they are
+					// durable, so a poisoned WAL (disk full, IO error) is
+					// invisible to EPP clients; surface it here instead of
+					// only at Close. The snapshot still runs — it persists
+					// the current state directly, independent of the log.
+					if err := jnl.Err(); err != nil {
+						log.Printf("journal: WAL failed, new mutations are NOT durable: %v", err)
+					}
 					if err := jnl.Snapshot(nil); err != nil {
 						log.Printf("snapshot: %v", err)
 					}
@@ -249,9 +257,14 @@ func publishDebugVars(store *registry.Store, rdapSrv *rdap.Server, whoisSrv *who
 		}
 		if jnl != nil {
 			jm := jnl.Metrics()
+			walErr := ""
+			if err := jnl.Err(); err != nil {
+				walErr = err.Error()
+			}
 			vars["journal"] = map[string]any{
 				"wal_bytes":                 jm.WALBytes,
 				"wal_fsyncs":                jm.WALFsyncs,
+				"wal_error":                 walErr,
 				"snapshot_age_seconds":      jm.SnapshotAgeSeconds,
 				"recovery_replayed_records": jm.RecoveryReplayedRecords,
 			}

@@ -266,6 +266,14 @@ func (j *Journal) Sync() error {
 // (durable or not).
 func (j *Journal) LastSeq() uint64 { return j.w.lastSeq() }
 
+// Err returns the WAL's sticky IO failure, or nil while the log is healthy.
+// Async mode acknowledges mutations before they are durable, so once the
+// WAL trips (disk full, IO error) Append keeps succeeding with no
+// durability behind it — long-running callers must poll Err (the
+// snapshotter loops in dropserve and sim do) instead of waiting for Close
+// to surface the failure.
+func (j *Journal) Err() error { return j.w.stickyErr() }
+
 // Snapshot writes a consistent full-store snapshot tagged with the WAL
 // position it covers, then prunes snapshots and segments it supersedes.
 // appState is the application's own checkpoint blob, stored alongside.
@@ -277,32 +285,44 @@ func (j *Journal) LastSeq() uint64 { return j.w.lastSeq() }
 // mutator appends its record after its in-memory change and before its
 // generation bump, matching reads prove the copy contains exactly the
 // mutations with sequence numbers ≤ the recorded position.
+//
+// Under sustained write load a large store's optimistic capture may never
+// observe a quiet generation; after a bounded retry budget Snapshot falls
+// back to a write-quiesced capture (CaptureSnapshotQuiesced) that briefly
+// blocks mutators instead of failing forever — snapshots must always
+// eventually land or WAL growth and replay time are unbounded.
 func (j *Journal) Snapshot(appState []byte) error {
 	j.snapMu.Lock()
 	defer j.snapMu.Unlock()
 
-	const maxAttempts = 25
-	for attempt := 1; ; attempt++ {
+	const maxAttempts = 10
+	var (
+		state    registry.SnapshotState
+		seq      uint64
+		captured bool
+	)
+	for attempt := 1; attempt <= maxAttempts && !captured; attempt++ {
 		g1 := j.store.Generation()
-		seq := j.w.lastSeq()
-		state := j.store.CaptureSnapshot()
-		if j.store.Generation() == g1 {
-			if _, err := writeSnapshot(j.w.dir, &snapshotFile{Seq: seq, AppState: appState, State: state}); err != nil {
-				return err
-			}
-			if !j.keepAll {
-				if err := pruneAfterSnapshot(j.w.dir, seq); err != nil {
-					return fmt.Errorf("journal: prune: %w", err)
-				}
-			}
-			j.lastSnapUnix.Store(j.now().Unix())
-			return nil
+		seq = j.w.lastSeq()
+		state = j.store.CaptureSnapshot()
+		captured = j.store.Generation() == g1
+		if !captured && attempt < maxAttempts {
+			time.Sleep(time.Duration(attempt) * time.Millisecond)
 		}
-		if attempt >= maxAttempts {
-			return fmt.Errorf("journal: snapshot: store kept mutating through %d capture attempts", maxAttempts)
-		}
-		time.Sleep(time.Duration(attempt) * time.Millisecond)
 	}
+	if !captured {
+		state, seq = j.store.CaptureSnapshotQuiesced(j.w.lastSeq)
+	}
+	if _, err := writeSnapshot(j.w.dir, &snapshotFile{Seq: seq, AppState: appState, State: state}); err != nil {
+		return err
+	}
+	if !j.keepAll {
+		if err := pruneAfterSnapshot(j.w.dir, seq); err != nil {
+			return fmt.Errorf("journal: prune: %w", err)
+		}
+	}
+	j.lastSnapUnix.Store(j.now().Unix())
+	return nil
 }
 
 // Metrics is a point-in-time reading of the journal's counters, shaped for

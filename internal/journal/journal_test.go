@@ -336,6 +336,202 @@ func TestCrashCopyRecovery(t *testing.T) {
 	}
 }
 
+// TestRotationNamesSegmentAtDurableBoundary: records appended during a
+// flush's unlocked IO window land in the *next* segment, so a rotated
+// segment must be named after the durable boundary (durable+1), not the
+// latest assigned sequence (seq+1). Regression test: the seq+1 name claimed
+// a later first sequence than the segment held and failed scanDir's
+// contiguity check on the next recovery, making durable data unrecoverable.
+func TestRotationNamesSegmentAtDurableBoundary(t *testing.T) {
+	dir := t.TempDir()
+	w, err := newWAL(dir, 0, 1, time.Hour, 1, false) // 1-byte segments: every flush rotates
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.append(recApp, []byte("one"))
+	w.testHookMidFlush = func() {
+		w.testHookMidFlush = nil
+		w.append(recApp, []byte("two")) // buffered while record 1's flush IO runs
+	}
+	if err := w.waitDurable(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.waitDurable(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := scanDir(dir, 0)
+	if err != nil {
+		t.Fatalf("recovery scan after mid-flush append: %v", err)
+	}
+	if res.lastSeq != 2 || len(res.records) != 2 {
+		t.Fatalf("recovered lastSeq=%d with %d records, want 2 and 2", res.lastSeq, len(res.records))
+	}
+	if res.tornFile != "" {
+		t.Fatalf("unexpected torn tail reported in %s", res.tornFile)
+	}
+}
+
+// TestReopenAfterSnapshotAheadOfLog: an async-mode crash can lose buffered
+// WAL records a snapshot already covered, leaving the durable log tail
+// behind the snapshot. The first reopen recovers from the snapshot and
+// starts a fresh segment at snapshot-seq+1; the *second* reopen must
+// tolerate the resulting gap between the stale tail segment and the new one
+// — every missing record is covered by the snapshot — instead of failing
+// the contiguity check and bricking recovery.
+func TestReopenAfterSnapshotAheadOfLog(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestStore()
+	j, _ := openJournal(t, s, dir, ModeSync, true)
+	s.SetJournal(j)
+	s.AddRegistrar(model.Registrar{IANAID: 900, Name: "Reg"})
+	for i := 0; i < 6; i++ {
+		if _, err := s.CreateAt(fmt.Sprintf("ahead%d.com", i), 900, 1, testStart.At(9, 0, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Snapshot(nil); err != nil {
+		t.Fatal(err)
+	}
+	snapSeq := j.LastSeq()
+	want := dumpVisible(s)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Manufacture the crash: truncate the segment so the durable log ends
+	// three records before the snapshot.
+	segs, _, err := listSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want exactly one segment, got %v (err %v)", segs, err)
+	}
+	path := filepath.Join(dir, segs[0])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep, err := frameBoundary(data, snapSeq-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, int64(keep)); err != nil {
+		t.Fatal(err)
+	}
+
+	// First reopen: the snapshot is ahead of the log tail; it is the state
+	// of record and the sequence continues from it.
+	s2 := newTestStore()
+	j2, rec2 := openJournal(t, s2, dir, ModeSync, false)
+	if rec2.SnapshotSeq != snapSeq {
+		t.Fatalf("recovered snapshot seq %d, want %d", rec2.SnapshotSeq, snapSeq)
+	}
+	if got := dumpVisible(s2); got != want {
+		t.Error("first reopen differs from snapshot state")
+	}
+	s2.SetJournal(j2)
+	if _, err := s2.CreateAt("after-gap.com", 900, 1, testStart.At(12, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	want2 := dumpVisible(s2)
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second reopen: the stale tail segment still ends below the snapshot
+	// seq and the next segment starts at snapshot-seq+1; recovery must
+	// stitch across the snapshot-covered gap.
+	s3 := newTestStore()
+	j3, _ := openJournal(t, s3, dir, ModeSync, false)
+	defer j3.Close()
+	if got := dumpVisible(s3); got != want2 {
+		t.Error("second reopen after snapshot-covered gap differs")
+	}
+}
+
+// TestErrSurfacesWALFailure: async mode acknowledges appends that will
+// never become durable once the WAL trips; Err must expose the sticky
+// failure so long-running callers can detect it before Close.
+func TestErrSurfacesWALFailure(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestStore()
+	j, _ := openJournal(t, s, dir, ModeAsync, false)
+	s.SetJournal(j)
+	s.AddRegistrar(model.Registrar{IANAID: 900, Name: "Reg"})
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatalf("healthy journal reports error: %v", err)
+	}
+	// Poison the log: close the segment file out from under the WAL so the
+	// next flush fails the way a disk error would.
+	j.w.mu.Lock()
+	j.w.f.Close()
+	j.w.mu.Unlock()
+	if _, err := s.CreateAt("poison.com", 900, 1, testStart.At(9, 0, 0)); err != nil {
+		t.Fatalf("async append must still acknowledge: %v", err)
+	}
+	if err := j.Sync(); err == nil {
+		t.Error("Sync succeeded on a poisoned WAL")
+	}
+	if err := j.Err(); err == nil {
+		t.Fatal("Err() returned nil after a WAL IO failure")
+	}
+	j.Close()
+}
+
+// TestSnapshotUnderSustainedWrites: a writer hammering the store defeats
+// the optimistic generation-bracketed capture; Snapshot must fall back to
+// the write-quiesced capture and still produce a snapshot that recovery
+// composes correctly with the WAL tail.
+func TestSnapshotUnderSustainedWrites(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestStore()
+	j, _ := openJournal(t, s, dir, ModeSync, false)
+	s.SetJournal(j)
+	s.AddRegistrar(model.Registrar{IANAID: 900, Name: "Reg"})
+	for i := 0; i < 32; i++ {
+		if _, err := s.CreateAt(fmt.Sprintf("load%02d.com", i), 900, 1, testStart.At(9, 0, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.TouchAt(fmt.Sprintf("load%02d.com", i%32), 900, testStart.At(10, 0, i%60))
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		if err := j.Snapshot(nil); err != nil {
+			t.Fatalf("snapshot %d under sustained writes: %v", i, err)
+		}
+	}
+	close(stop)
+	<-done
+	want := dumpVisible(s)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := newTestStore()
+	j2, rec := openJournal(t, s2, dir, ModeSync, false)
+	defer j2.Close()
+	if rec.SnapshotSeq == 0 {
+		t.Fatal("no snapshot recovered")
+	}
+	if got := dumpVisible(s2); got != want {
+		t.Error("recovery after under-load snapshot differs from original")
+	}
+}
+
 // TestMutationCodecRoundTrip: every field of every kind survives the binary
 // codec, including the zero-time sentinels.
 func TestMutationCodecRoundTrip(t *testing.T) {
@@ -408,6 +604,36 @@ func TestSegmentRotation(t *testing.T) {
 	}
 }
 
+// TestGroupCommitCoalesces: appends buffered while no flush is in flight
+// must share one fsync. Asserted against the raw WAL with the flush
+// deferred until all records are buffered, so the result does not depend
+// on scheduler overlap (which -race serialises away).
+func TestGroupCommitCoalesces(t *testing.T) {
+	dir := t.TempDir()
+	w, err := newWAL(dir, 0, 1<<20, time.Hour, 64<<20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	var wait func() error
+	for i := 0; i < n; i++ {
+		_, wait = w.append(recApp, []byte(fmt.Sprintf("rec-%02d", i)))
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.fsyncs.Load(); got != 1 {
+		t.Errorf("%d buffered appends took %d fsyncs, want one group commit", n, got)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := scanDir(dir, 0)
+	if err != nil || len(res.records) != n {
+		t.Fatalf("recovered %d records (err %v), want %d", len(res.records), err, n)
+	}
+}
+
 // TestConcurrentAppendGroupCommit: hammer the journal from many goroutines
 // in sync mode and verify group commit coalesced the fsyncs and every
 // record survived.
@@ -437,9 +663,13 @@ func TestConcurrentAppendGroupCommit(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// No fsync amplification: at worst one commit per record (under -race
+	// the scheduler can serialise the workers completely, so a strict
+	// coalescing bound here would be flaky — TestGroupCommitCoalesces
+	// asserts coalescing deterministically against the raw WAL).
 	fsyncs := j.Metrics().WALFsyncs
-	if fsyncs == 0 || fsyncs >= workers*per+1 {
-		t.Errorf("group commit ineffective: %d fsyncs for %d records", fsyncs, workers*per)
+	if fsyncs == 0 || fsyncs > uint64(workers*per)+1 {
+		t.Errorf("fsync amplification: %d fsyncs for %d records", fsyncs, workers*per)
 	}
 	want := dumpVisible(s)
 	if err := j.Close(); err != nil {

@@ -70,6 +70,11 @@ type wal struct {
 
 	bytes  atomic.Uint64 // total frame bytes handed to the OS
 	fsyncs atomic.Uint64
+
+	// testHookMidFlush, when set, runs during flushLocked's unlocked IO
+	// window. Tests use it to interleave appends with a flush
+	// deterministically; nil in production.
+	testHookMidFlush func()
 }
 
 // segName returns the file name of the segment whose first record is seq.
@@ -153,10 +158,18 @@ func newWAL(dir string, lastSeq uint64, syncEvery int, syncInterval time.Duratio
 }
 
 // openSegmentLocked creates (or truncates) the segment that will hold
-// record seq+1 and makes it current. Caller holds mu or has exclusive
+// record durable+1 and makes it current. Caller holds mu or has exclusive
 // access.
+//
+// The name must come from durable, not seq: at rotation time every record
+// ≤ durable was just fsynced into the outgoing segment, but appenders may
+// have buffered records durable+1..seq during the unlocked flush IO, and
+// those land in the *new* segment — so its first record is durable+1.
+// Naming it seq+1 would claim a later first sequence than it holds and
+// fail scanDir's contiguity check on the next recovery. (At newWAL time
+// durable == seq, so the fresh-open case is unaffected.)
 func (w *wal) openSegmentLocked() error {
-	name := filepath.Join(w.dir, segName(w.seq+1))
+	name := filepath.Join(w.dir, segName(w.durable+1))
 	f, err := os.Create(name)
 	if err != nil {
 		return fmt.Errorf("journal: create segment: %w", err)
@@ -249,6 +262,9 @@ func (w *wal) flushLocked() {
 	if werr == nil {
 		werr = f.Sync()
 	}
+	if hook := w.testHookMidFlush; hook != nil {
+		hook()
+	}
 
 	w.mu.Lock()
 	w.fsyncs.Add(1)
@@ -302,6 +318,14 @@ func (w *wal) lastSeq() uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.seq
+}
+
+// stickyErr returns the first IO failure that poisoned the log, or nil
+// while the log is healthy.
+func (w *wal) stickyErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
 }
 
 // close stops the flusher, performs a final group commit and closes the
@@ -382,7 +406,19 @@ func scanDir(dir string, after uint64) (scanResult, error) {
 		if expect == 0 {
 			expect = firstSeqs[i]
 		} else if firstSeqs[i] != expect {
-			return res, fmt.Errorf("journal: segment %s starts at seq %d, want %d: missing segment", name, firstSeqs[i], expect)
+			// A gap between segments is tolerable only when every missing
+			// record (expect..firstSeqs[i]-1) is ≤ after, i.e. covered by the
+			// snapshot recovery already loaded. That state is a legitimate
+			// crash artefact: an async-mode crash that lost buffered records
+			// a snapshot had already captured leaves the old tail segment
+			// ending below the snapshot seq, and the post-recovery process
+			// opens its new segment at snapshot-seq+1. Any gap reaching past
+			// the snapshot is real data loss and stays fatal.
+			if firstSeqs[i] > expect && firstSeqs[i] <= after+1 {
+				expect = firstSeqs[i]
+			} else {
+				return res, fmt.Errorf("journal: segment %s starts at seq %d, want %d: missing segment", name, firstSeqs[i], expect)
+			}
 		}
 		off := 0
 		for off < len(data) {

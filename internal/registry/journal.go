@@ -299,6 +299,50 @@ func (s *Store) CaptureSnapshot() SnapshotState {
 	return st
 }
 
+// CaptureSnapshotQuiesced copies the store's durable state under a full
+// write quiesce: the registrar table and every shard stay read-locked for
+// the whole copy, so no mutation can commit anywhere in the store while it
+// runs (readers are unaffected — mutators briefly queue behind the held
+// read locks). walSeq is invoked while the quiesce holds; because every
+// journal append happens inside a mutating critical section, the value it
+// returns identifies exactly the last record the copy contains — the
+// consistency CaptureSnapshot gets optimistically from generation
+// bracketing, guaranteed here at the cost of stalling writers for the
+// duration of one full-store copy.
+//
+// Lock order is regMu < shards (ascending index) < delMu, consistent with
+// every other path (mutators take a single shard lock, and only after any
+// regMu use is finished; purge takes delMu inside its shard critical
+// section), so the quiesce introduces no lock-order cycle. This is the
+// snapshotter's fallback when sustained write load keeps defeating the
+// optimistic capture; it is not a hot-path API.
+func (s *Store) CaptureSnapshotQuiesced(walSeq func() uint64) (SnapshotState, uint64) {
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		defer s.shards[i].mu.RUnlock()
+	}
+	st := SnapshotState{
+		Registrars: s.registrarsLocked(),
+		Deletions:  make(map[simtime.Day][]model.DeletionEvent),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for name, d := range sh.domains {
+			st.Domains = append(st.Domains, SnapshotDomain{Domain: *d, AuthInfo: sh.authInfo[name]})
+		}
+	}
+	s.delMu.Lock()
+	for day, evs := range s.deletions {
+		st.Deletions[day] = append([]model.DeletionEvent(nil), evs...)
+	}
+	s.delMu.Unlock()
+	st.NextID = s.nextID.Load()
+	st.Gen = s.gen.Load()
+	return st, walSeq()
+}
+
 // RestoreSnapshot loads a captured state into an empty store during
 // recovery: registrars, every registration (with its transfer code), the
 // deletion archive, the ID allocator and the generation counter. Replaying

@@ -120,6 +120,10 @@ func (sh *shard) dueRemove(d *model.Domain) {
 // registrar and deletion-archive locks may be taken while holding a shard
 // lock but never the reverse. Multi-shard readers release shard i before
 // locking shard i+1, so there is no lock-order cycle anywhere in the store.
+// The single exception is CaptureSnapshotQuiesced, which read-locks regMu
+// and every shard in ascending index order; that still nests cleanly
+// because no path holds a shard lock while acquiring regMu or another
+// shard's lock.
 type Store struct {
 	clock simtime.Clock
 
@@ -339,6 +343,12 @@ func (s *Store) hasRegistrar(ianaID int) bool {
 func (s *Store) Registrars() []model.Registrar {
 	s.regMu.RLock()
 	defer s.regMu.RUnlock()
+	return s.registrarsLocked()
+}
+
+// registrarsLocked builds the sorted accreditation list; the caller holds
+// regMu (either mode).
+func (s *Store) registrarsLocked() []model.Registrar {
 	out := make([]model.Registrar, 0, len(s.registrars))
 	for _, r := range s.registrars {
 		out = append(out, r)

@@ -343,6 +343,15 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 
+		// In async mode appends are acknowledged before they are durable, so
+		// a poisoned WAL would otherwise stay invisible until the final
+		// Close; fail the run at day granularity instead.
+		if journaled {
+			if err := jnl.Err(); err != nil {
+				return nil, fmt.Errorf("sim: day %d: journal: %w", i, err)
+			}
+		}
+
 		day = day.Next()
 		if i+1 >= resumePoint {
 			clock.Set(day.At(0, 1, 0))
