@@ -34,7 +34,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "inline simulation: seed")
 	parallelism := flag.Int("parallelism", 0, "lookup/figure workers (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
 	asJSON := flag.Bool("json", false, "emit the machine-readable summary instead of the text report")
+	stormFig := flag.Bool("storm", false, "run the live-storm figure instead: re-registration delay CDF vs client aggressiveness (uses -seed)")
+	stormNames := flag.Int("storm-names", 12, "contested names per -storm sweep point")
 	flag.Parse()
+
+	if *stormFig {
+		if err := runStormFigure(os.Stdout, *stormNames, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var in analysis.Input
 	switch {

@@ -129,7 +129,7 @@ func main() {
 	defer zoneSrv.Close()
 
 	if *debugAddr != "" {
-		publishDebugVars(store, rdapSrv, whoisSrv, scopeSrv, jnl)
+		publishDebugVars(store, eppSrv, rdapSrv, whoisSrv, scopeSrv, jnl)
 		ln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
 			log.Fatalf("debug: %v", err)
@@ -205,6 +205,9 @@ func main() {
 			if err := eppSrv.Close(); err != nil {
 				log.Printf("EPP: close: %v", err)
 			}
+			em := eppSrv.Metrics()
+			log.Printf("EPP: %d connections, commands %v, result codes %v",
+				em.Conns, em.Commands, em.Codes)
 			close(snapStop)
 			<-snapDone
 			if jnl != nil {
@@ -234,7 +237,7 @@ func main() {
 // under a single expvar map, so `curl /debug/vars` shows shard count, live
 // domain population, request totals and cache hit ratios alongside the
 // standard memstats — handy when reading a pprof contention profile.
-func publishDebugVars(store *registry.Store, rdapSrv *rdap.Server, whoisSrv *whois.Server, scopeSrv *dropscope.Server, jnl *journal.Journal) {
+func publishDebugVars(store *registry.Store, eppSrv *epp.Server, rdapSrv *rdap.Server, whoisSrv *whois.Server, scopeSrv *dropscope.Server, jnl *journal.Journal) {
 	surface := func(requests uint64, cache gencache.Counters) map[string]any {
 		return map[string]any{
 			"requests":    requests,
@@ -245,11 +248,20 @@ func publishDebugVars(store *registry.Store, rdapSrv *rdap.Server, whoisSrv *who
 	}
 	expvar.Publish("dropserve", expvar.Func(func() any {
 		rm, wm, sm := rdapSrv.Metrics(), whoisSrv.Metrics(), scopeSrv.Metrics()
+		em := eppSrv.Metrics()
 		vars := map[string]any{
 			"store": map[string]any{
 				"shards":     store.ShardCount(),
 				"domains":    store.Count(),
 				"generation": store.Generation(),
+			},
+			// Per-command and per-result-code counters from the EPP hot
+			// path; during a Drop, watch create vs code 2302 (lost races)
+			// and 2502 (rate-limit pushback) climb here.
+			"epp": map[string]any{
+				"connections": em.Conns,
+				"commands":    em.Commands,
+				"codes":       em.Codes,
 			},
 			"rdap":  surface(rm.Requests, rm.Cache),
 			"whois": surface(wm.Requests, wm.Cache),

@@ -1,0 +1,260 @@
+// Command dropstorm runs a drop-catch create storm against a live EPP
+// registry and audits the outcome. By default it self-hosts a registry with
+// the simulated registrar ecosystem, seeds contested pending-delete names,
+// executes the Drop, and storms it with the calibrated per-service client
+// profiles (DropCatch most aggressive, the retail registrars compliant).
+//
+//	dropstorm -names 16 -services DropCatch,SnapNames,Pheenix
+//	dropstorm -transport inproc -names 64 -scale 0.5
+//
+// The run exits non-zero if the registry's FCFS guarantee is violated: any
+// name acked to more than one client, any acked create missing from the
+// store (a lost ack), or any dropped name left unclaimed. CI uses this as
+// the storm smoke test.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"dropzero/internal/epp"
+	"dropzero/internal/model"
+	"dropzero/internal/registrars"
+	"dropzero/internal/registry"
+	"dropzero/internal/simtime"
+	"dropzero/internal/storm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dropstorm: ")
+
+	nNames := flag.Int("names", 16, "contested pending-delete names to drop")
+	services := flag.String("services", "DropCatch,SnapNames,Pheenix,GoDaddy",
+		"comma-separated services to storm with (see internal/registrars)")
+	transport := flag.String("transport", "tcp", "EPP transport: tcp or inproc")
+	scale := flag.Float64("scale", 0.25, "session-pool scale factor applied to each service's calibrated spec")
+	dropSpacing := flag.Duration("drop-spacing", 25*time.Millisecond, "gap between consecutive deletions")
+	dropStart := flag.Duration("drop-start", 250*time.Millisecond, "first deletion instant after storm start")
+	burst := flag.Float64("burst", 20, "per-accreditation create token burst")
+	rate := flag.Float64("rate", 5, "per-accreditation create token refill per second")
+	seed := flag.Int64("seed", 1, "ecosystem seed")
+	verbose := flag.Bool("v", false, "print the per-profile attempt breakdown")
+	flag.Parse()
+
+	if err := run(*nNames, *services, *transport, *scale, *dropSpacing, *dropStart, *burst, *rate, *seed, *verbose); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(nNames int, services, transport string, scale float64,
+	dropSpacing, dropStart time.Duration, burst, rate float64, seed int64, verbose bool) error {
+	day := simtime.Day{Year: 2018, Month: time.March, Dom: 8}
+	clock := simtime.NewSimClock(day.At(18, 59, 0))
+	rng := rand.New(rand.NewSource(seed))
+	dir := registrars.BuildDirectory(rng)
+	store := registry.NewStoreWithShards(clock, 0)
+	for _, r := range dir.Registrars() {
+		store.AddRegistrar(r)
+	}
+
+	// Seed the contested names pendingDelete, due today.
+	names := make([]string, nNames)
+	sponsor := dir.Accreditations(registrars.SvcOther)[0]
+	for i := range names {
+		names[i] = fmt.Sprintf("contested%04d.com", i)
+		updated := day.AddDays(-35).At(6, 30, i%60)
+		if _, err := store.SeedAt(names[i], sponsor, updated.AddDate(-2, 0, 0), updated,
+			updated.AddDate(0, 0, -30), model.StatusPendingDelete, day); err != nil {
+			return err
+		}
+	}
+
+	srv := epp.NewServer(store, clock, epp.ServerConfig{
+		Credentials: dir.Credentials(),
+		CreateBurst: burst,
+		CreateRate:  rate,
+	})
+	defer srv.Close()
+	dial := func() (*epp.Client, error) { return srv.ConnectInProc(), nil }
+	if transport == "tcp" {
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		dial = func() (*epp.Client, error) { return epp.Dial(addr.String()) }
+	} else if transport != "inproc" {
+		return fmt.Errorf("unknown transport %q (want tcp or inproc)", transport)
+	}
+
+	// Plan the Drop and map it to per-name purge callbacks.
+	runner := registry.NewDropRunner(store, registry.DropConfig{StartHour: 19, BaseRatePerSec: 10000})
+	sched := runner.Schedule(day, rng)
+	if len(sched) != nNames {
+		return fmt.Errorf("scheduled %d deletions, want %d", len(sched), nNames)
+	}
+	byName := make(map[string]registry.Scheduled, len(sched))
+	for _, sc := range sched {
+		byName[sc.Name] = sc
+	}
+	clock.Set(day.At(19, 0, 0))
+
+	var profiles []storm.ClientProfile
+	for _, svc := range strings.Split(services, ",") {
+		svc = strings.TrimSpace(svc)
+		if svc == "" {
+			continue
+		}
+		accreds := dir.Accreditations(svc)
+		if len(accreds) == 0 {
+			return fmt.Errorf("unknown service %q", svc)
+		}
+		spec := registrars.StormSpecOf(svc)
+		sessions := int(float64(spec.Sessions) * scale)
+		if sessions < 1 {
+			sessions = 1
+		}
+		if sessions > len(accreds) {
+			sessions = len(accreds)
+		}
+		profiles = append(profiles, storm.ClientProfile{
+			Service:           svc,
+			Accreditations:    accreds[:sessions],
+			Sessions:          sessions,
+			Schedule:          spec.Schedule,
+			Compliant:         spec.Compliant,
+			PerDomainInFlight: spec.PerDomainInFlight,
+		})
+	}
+	if len(profiles) == 0 {
+		return fmt.Errorf("no services selected")
+	}
+
+	offsets := make([]time.Duration, nNames)
+	for i := range offsets {
+		offsets[i] = dropStart + time.Duration(i)*dropSpacing
+	}
+
+	// The registry runs on a SimClock so the seeded lifecycle state and the
+	// Drop schedule are deterministic, but the storm itself happens in real
+	// time: advance virtual time at wall pace for the storm's duration so
+	// the per-accreditation token buckets refill at -rate tokens/second the
+	// way they would against a real clock. Nothing else Sets the clock while
+	// the storm runs (DropRunner.Apply only purges), so the monotonic Set is
+	// race-free.
+	stormStart := clock.Now()
+	wallStart := time.Now()
+	stopTick := make(chan struct{})
+	tickDone := make(chan struct{})
+	go func() {
+		defer close(tickDone)
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopTick:
+				return
+			case <-tick.C:
+				clock.Set(stormStart.Add(time.Since(wallStart)))
+			}
+		}
+	}()
+	defer func() { close(stopTick); <-tickDone }()
+
+	fmt.Printf("storming %d names over %s with %d services\n", nNames, transport, len(profiles))
+	rep, err := storm.Run(storm.Config{
+		Dial:        dial,
+		Credential:  dir.Credential,
+		Names:       names,
+		DropOffsets: offsets,
+		Drop: func(name string) error {
+			_, err := runner.Apply(byName[name])
+			return err
+		},
+		Profiles: profiles,
+	})
+	if err != nil {
+		return err
+	}
+	printReport(rep, verbose)
+
+	// The FCFS audit decides the exit code.
+	var failures []string
+	if len(rep.DropErrors) > 0 {
+		failures = append(failures, fmt.Sprintf("%d drop failures: %v", len(rep.DropErrors), rep.DropErrors))
+	}
+	if len(rep.Unclaimed) > 0 {
+		failures = append(failures, fmt.Sprintf("%d dropped names unclaimed: %v", len(rep.Unclaimed), rep.Unclaimed))
+	}
+	if err := rep.VerifyWins(store); err != nil {
+		failures = append(failures, err.Error())
+	}
+	if rep.Creates.Errors > 0 {
+		failures = append(failures, fmt.Sprintf("%d transport/unexpected errors", rep.Creates.Errors))
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "dropstorm: FAIL\n")
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("PASS: %d names, exactly one winner each, zero lost acks\n", len(rep.Winners))
+	return nil
+}
+
+func printReport(rep *storm.Report, verbose bool) {
+	c := rep.Creates
+	fmt.Printf("offered %.0f req/s, achieved %.0f req/s (%d creates sent, max dispatch lag %v)\n",
+		rep.OfferedRPS, rep.AchievedRPS, c.Requests, rep.MaxLag.Round(time.Microsecond))
+	fmt.Printf("create latency p50=%v p95=%v p99=%v p99.9=%v\n",
+		c.P50().Round(time.Microsecond), c.P95().Round(time.Microsecond),
+		c.P99().Round(time.Microsecond), c.P999().Round(time.Microsecond))
+
+	codes := make([]int, 0, len(c.CodeCounts))
+	for code := range c.CodeCounts {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	fmt.Printf("result codes:")
+	for _, code := range codes {
+		fmt.Printf(" %d×%d", code, c.CodeCounts[code])
+	}
+	fmt.Println()
+
+	svcs := make([]string, 0, len(rep.WinsByService))
+	for svc := range rep.WinsByService {
+		svcs = append(svcs, svc)
+	}
+	sort.Slice(svcs, func(i, j int) bool {
+		return rep.WinsByService[svcs[i]] > rep.WinsByService[svcs[j]]
+	})
+	fmt.Printf("FCFS wins by service:")
+	for _, svc := range svcs {
+		fmt.Printf(" %s=%d", svc, rep.WinsByService[svc])
+	}
+	fmt.Printf(" (across %d accreditations)\n", len(rep.WinsByAccreditation))
+
+	delays := rep.WinDelays()
+	if n := len(delays); n > 0 {
+		fmt.Printf("re-registration delay: min=%v median=%v max=%v\n",
+			delays[0].Round(time.Microsecond), delays[n/2].Round(time.Microsecond),
+			delays[n-1].Round(time.Microsecond))
+	}
+	if verbose {
+		for _, p := range rep.Profiles {
+			mode := "abusive"
+			if p.Compliant {
+				mode = "compliant"
+			}
+			fmt.Printf("  %-12s %-9s attempts=%-6d wins=%-4d rateLimited=%-5d skipped=%-5d settled=%-6d errors=%d\n",
+				p.Service, mode, p.Attempts, p.Wins, p.RateLimited, p.Skipped, p.Settled, p.Errors)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
+	fr   *frameReader
 }
 
 // Dial connects to an EPP server.
@@ -21,7 +22,16 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("epp: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn}, nil
+	return NewClientConn(conn), nil
+}
+
+// NewClientConn wraps an established connection (a TCP socket, or one end of
+// a net.Pipe served by Server.ServeConn for the in-process transport).
+func NewClientConn(conn net.Conn) *Client {
+	// The frame reader's bufio layer is deliberately not pool-released on
+	// Close: Close may race an in-flight roundTrip (that is how a blocked
+	// command is interrupted), so the buffer's lifetime is left to the GC.
+	return &Client{conn: conn, fr: newFrameReader(conn)}
 }
 
 // Close terminates the connection without a logout exchange.
@@ -36,7 +46,7 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 		return nil, err
 	}
 	var resp Response
-	if err := ReadFrame(c.conn, &resp); err != nil {
+	if err := c.fr.read(&resp); err != nil {
 		return nil, err
 	}
 	if err := resp.Err(); err != nil {

@@ -1,0 +1,325 @@
+package epp
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// hostileStrings exercise every escape class of the JSON string encoder:
+// quotes, backslashes, control characters, the HTML escapes, invalid UTF-8,
+// and the JavaScript line separators.
+var hostileStrings = []string{
+	"",
+	"plain ascii",
+	`quote " backslash \ slash /`,
+	"tab\tnewline\ncarriage\rreturn",
+	"nul\x00bell\x07esc\x1b",
+	"html <script>&amp;</script>",
+	"unicode é世界 emoji \U0001F600",
+	"invalid utf8 \xff\xfe trailing",
+	"line sep   para sep  ",
+	"mixed \x01<\xc3\x28>& \x7f", // \xc3\x28 is an invalid 2-byte sequence
+}
+
+func responseShapes() map[string]*Response {
+	now := time.Date(2018, time.March, 8, 19, 0, 0, 0, time.UTC)
+	frac := time.Date(2018, time.March, 8, 19, 0, 0, 123456789, time.UTC)
+	offset := time.Date(2018, time.March, 8, 21, 30, 0, 0, time.FixedZone("", 2*3600+1800))
+	// MarshalJSON truncates sub-minute offset components via the "Z07:00"
+	// layout rather than erroring; the encoders must match that quirk.
+	subMinute := time.Date(2018, time.March, 8, 19, 0, 0, 0, time.FixedZone("", 3601))
+	avail := true
+	unavail := false
+	return map[string]*Response{
+		"minimal": {Code: CodeOK, Msg: "command completed successfully", ServerTime: now},
+		"zeroes":  {},
+		"check/available": {
+			Code: CodeOK, Msg: "command completed successfully",
+			Available: &avail, ServerTime: now,
+		},
+		"check/taken": {
+			Code: CodeOK, Msg: "command completed successfully",
+			Available: &unavail, ServerTime: now,
+		},
+		"create/domain": {
+			Code: CodeOK, Msg: "command completed successfully",
+			Domain: &DomainInfo{
+				ID: 17, Name: "contested00.com", Registrar: 1007,
+				Created: now, Updated: frac, Expiry: now.AddDate(1, 0, 0),
+				Status: "active",
+			},
+			ServerTime: now,
+		},
+		"info/authinfo": {
+			Code: CodeOK, Msg: "command completed successfully",
+			Domain: &DomainInfo{
+				ID: 9, Name: "held.net", Registrar: 1000,
+				Created: offset, Updated: now, Expiry: now.AddDate(5, 0, 0),
+				Status: "pendingDelete", AuthInfo: "AX-3k9fmd02xq1z",
+			},
+			ServerTime: frac,
+		},
+		"poll/message": {
+			Code: CodeAckToDequeue, Msg: "command completed successfully; ack to dequeue",
+			Message:  &Message{ID: 441, Time: now, Text: "domain held.net deleted (drop rank 3)"},
+			MsgCount: 12, ServerTime: now,
+		},
+		"poll/negative-count": {
+			Code: CodeOK, Msg: "ok", MsgCount: -3, ServerTime: now,
+		},
+		"sub-minute-offset": {
+			Code: CodeOK, Msg: "ok", ServerTime: subMinute,
+		},
+		"failure": {
+			Code: CodeObjectExists, Msg: "object exists", ServerTime: now,
+		},
+	}
+}
+
+func requestShapes() map[string]*Request {
+	return map[string]*Request{
+		"login":    {Cmd: CmdLogin, Registrar: 1007, Token: "token-1007"},
+		"logout":   {Cmd: CmdLogout},
+		"check":    {Cmd: CmdCheck, Name: "contested00.com"},
+		"create":   {Cmd: CmdCreate, Name: "contested00.com", Years: 3},
+		"poll/req": {Cmd: CmdPoll, PollOp: PollOpRequest},
+		"poll/ack": {Cmd: CmdPoll, PollOp: PollOpAck, MsgID: 18446744073709551615},
+		"transfer": {Cmd: CmdTransfer, Name: "held.net", AuthInfo: "AX-3k9fmd02xq1z"},
+		"zeroes":   {},
+		"negative": {Cmd: CmdCreate, Name: "x.com", Years: -4, Registrar: -9},
+	}
+}
+
+// TestAppendEncodersMatchJSON pins the append encoders to encoding/json,
+// byte for byte, across every response shape the server produces (including
+// poll messages and authInfo-bearing info responses) and across hostile
+// string content.
+func TestAppendEncodersMatchJSON(t *testing.T) {
+	for name, resp := range responseShapes() {
+		t.Run("response/"+name, func(t *testing.T) {
+			want, err := json.Marshal(resp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ok := appendResponse(nil, resp)
+			if !ok {
+				t.Fatalf("appendResponse refused an encodable response")
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("appendResponse drift:\n got %s\nwant %s", got, want)
+			}
+		})
+	}
+	for name, req := range requestShapes() {
+		t.Run("request/"+name, func(t *testing.T) {
+			want, err := json.Marshal(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := appendRequest(nil, req); !bytes.Equal(got, want) {
+				t.Errorf("appendRequest drift:\n got %s\nwant %s", got, want)
+			}
+		})
+	}
+	for _, s := range hostileStrings {
+		resp := &Response{Code: CodeCommandFailed, Msg: s,
+			Domain:  &DomainInfo{Name: s, Status: s, AuthInfo: s},
+			Message: &Message{ID: 1, Text: s},
+		}
+		want, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := appendResponse(nil, resp)
+		if !ok {
+			t.Fatalf("appendResponse refused hostile string %q", s)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("string %q drift:\n got %s\nwant %s", s, got, want)
+		}
+		req := &Request{Cmd: s, Token: s, Name: s, AuthInfo: s}
+		want, err = json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := appendRequest(nil, req); !bytes.Equal(got, want) {
+			t.Errorf("request string %q drift:\n got %s\nwant %s", s, got, want)
+		}
+	}
+}
+
+// TestAppendTimeFallback: times MarshalJSON rejects must make appendResponse
+// decline, and WriteFrame must surface the same condition as an error (the
+// encoding/json fallback path).
+func TestAppendTimeFallback(t *testing.T) {
+	bad := []time.Time{
+		time.Date(10001, 1, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(-5, 1, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2018, 1, 1, 0, 0, 0, 0, time.FixedZone("wide", 24*3600)),
+		time.Date(2018, 1, 1, 0, 0, 0, 0, time.FixedZone("negwide", -24*3600)),
+	}
+	for _, ts := range bad {
+		resp := &Response{Code: CodeOK, Msg: "x", ServerTime: ts}
+		if _, err := json.Marshal(resp); err == nil {
+			t.Fatalf("expected json.Marshal to reject %v", ts)
+		}
+		if _, ok := appendResponse(nil, resp); ok {
+			t.Errorf("appendResponse accepted %v, json.Marshal rejects it", ts)
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, resp); err == nil {
+			t.Errorf("WriteFrame accepted unencodable time %v", ts)
+		}
+	}
+}
+
+// TestWriteFrameSingleWrite: the frame must reach the connection as one
+// write (header and body coalesced) — the storm optimisation that halves
+// syscalls per response.
+func TestWriteFrameSingleWrite(t *testing.T) {
+	var w countingWriter
+	if err := WriteFrame(&w, &Request{Cmd: CmdCheck, Name: "a.com"}); err != nil {
+		t.Fatal(err)
+	}
+	if w.writes != 1 {
+		t.Fatalf("request frame took %d writes, want 1", w.writes)
+	}
+	w = countingWriter{}
+	if err := WriteFrame(&w, &Response{Code: CodeOK, Msg: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if w.writes != 1 {
+		t.Fatalf("response frame took %d writes, want 1", w.writes)
+	}
+}
+
+type countingWriter struct {
+	writes int
+	buf    bytes.Buffer
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return w.buf.Write(p)
+}
+
+// TestDecodeMatchesJSONUnmarshal: the specialised decoders must agree with
+// encoding/json on every frame the encoders produce.
+func TestDecodeMatchesJSONUnmarshal(t *testing.T) {
+	for name, resp := range responseShapes() {
+		t.Run("response/"+name, func(t *testing.T) {
+			body, err := json.Marshal(resp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var viaJSON, viaCursor Response
+			if err := json.Unmarshal(body, &viaJSON); err != nil {
+				t.Fatal(err)
+			}
+			if err := decodeFrame(body, &viaCursor, nil); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(viaJSON, viaCursor) {
+				t.Errorf("decode drift:\n got %+v\nwant %+v", viaCursor, viaJSON)
+			}
+		})
+	}
+	for name, req := range requestShapes() {
+		t.Run("request/"+name, func(t *testing.T) {
+			body, err := json.Marshal(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var viaJSON, viaCursor Request
+			if err := json.Unmarshal(body, &viaJSON); err != nil {
+				t.Fatal(err)
+			}
+			if err := decodeFrame(body, &viaCursor, nil); err != nil {
+				t.Fatal(err)
+			}
+			if viaJSON != viaCursor {
+				t.Errorf("decode drift:\n got %+v\nwant %+v", viaCursor, viaJSON)
+			}
+		})
+	}
+}
+
+// TestDecodeToleratesForeignJSON: whitespace, unknown fields, reordered
+// fields and nulls — shapes a non-Go peer could legally send.
+func TestDecodeToleratesForeignJSON(t *testing.T) {
+	body := []byte("  {\n  \"extra\": {\"deep\": [1, \"two\", null, {\"x\": false}]},\n" +
+		"  \"name\": \"spaced.com\",\n  \"years\": 2,\n  \"cmd\": \"create\",\n" +
+		"  \"future\": null\n}  ")
+	var req Request
+	if err := decodeFrame(body, &req, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := Request{Cmd: CmdCreate, Name: "spaced.com", Years: 2}
+	if req != want {
+		t.Fatalf("req = %+v, want %+v", req, want)
+	}
+
+	body = []byte(`{"serverTime":"2018-03-08T19:00:00Z","msg":"hi é 😀","code":1000,"available":null,"domain":null}`)
+	var resp Response
+	if err := decodeFrame(body, &resp, nil); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != CodeOK || resp.Msg != "hi é 😀" || resp.Available != nil || resp.Domain != nil {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if !resp.ServerTime.Equal(time.Date(2018, time.March, 8, 19, 0, 0, 0, time.UTC)) {
+		t.Fatalf("serverTime = %v", resp.ServerTime)
+	}
+}
+
+// TestDecodeRejectsMalformed: hostile bodies must error, not panic or
+// silently succeed.
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := []string{
+		``, `{`, `}`, `[]`, `{"cmd"}`, `{"cmd":}`, `{"cmd":"check"`,
+		`{"cmd":"check",}`, `{"cmd":"check"}{`, `{"cmd":"check"} x`,
+		`{"years":"notanint"}`, `{"years":1e3}`, `{"years":1.5}`,
+		`{"msgID":-1}`, `{"cmd":"a\q"}`, `{"cmd":"a\u12"}`,
+		`{"cmd":"` + "\x01" + `"}`, `{"registrar":99999999999999999999999}`,
+	}
+	for _, body := range cases {
+		var req Request
+		if err := decodeFrame([]byte(body), &req, nil); err == nil {
+			t.Errorf("decodeFrame accepted %q", body)
+		}
+	}
+	var resp Response
+	if err := decodeFrame([]byte(`{"serverTime":"not a time"}`), &resp, nil); err == nil {
+		t.Error("decodeFrame accepted a bad timestamp")
+	}
+}
+
+// TestMessagesInterned: decoding a canonical result message must reuse the
+// interned constant rather than allocating a copy per frame.
+func TestMessagesInterned(t *testing.T) {
+	body, err := json.Marshal(&Response{Code: CodeObjectExists, Msg: msgObjectExists})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := decodeFrame(body, &resp, nil); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Msg != msgObjectExists {
+		t.Fatalf("msg = %q", resp.Msg)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		var r Response
+		if err := decodeFrame(body, &r, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One jsonCursor-free decode of a domain-less failure response should
+	// stay tiny: no string copies for the interned message.
+	if allocs > 1 {
+		t.Fatalf("decode of interned failure response allocates %.0f times", allocs)
+	}
+}

@@ -244,6 +244,42 @@ func TestServerRateLimit(t *testing.T) {
 	}
 }
 
+// TestServerInvalidCreateDoesNotBurnTokens: a create that fails validation
+// (bad name or out-of-range years) must be rejected before the rate limiter
+// is charged. Previously the bucket was debited first, so a competitor could
+// be starved of its budget by its own malformed retries — or a buggy client
+// could burn its entire Drop-second allowance on garbage.
+func TestServerInvalidCreateDoesNotBurnTokens(t *testing.T) {
+	_, _, addr := newTestServer(t, ServerConfig{CreateBurst: 2, CreateRate: 0.0001})
+	c := dialLogin(t, addr, 7001, "tok-a")
+	invalid := []struct {
+		name  string
+		years int
+	}{
+		{"no-tld", 1},
+		{"UPPER.com", 1},
+		{"-lead.com", 1},
+		{"", 1},
+		{"fine.com", 11},
+		{"fine.com", -2},
+	}
+	for _, in := range invalid {
+		if _, err := c.Create(in.name, in.years); !IsCode(err, CodeParamRange) {
+			t.Fatalf("create %q/%d: got %v, want CodeParamRange", in.name, in.years, err)
+		}
+	}
+	// The full burst of 2 must still be available after 6 invalid attempts.
+	if _, err := c.Create("valid-a.com", 1); err != nil {
+		t.Fatalf("first valid create after invalid spam: %v", err)
+	}
+	if _, err := c.Create("valid-b.com", 1); err != nil {
+		t.Fatalf("second valid create after invalid spam: %v", err)
+	}
+	if _, err := c.Create("valid-c.com", 1); !IsCode(err, CodeRateLimited) {
+		t.Fatalf("third valid create: got %v, want CodeRateLimited", err)
+	}
+}
+
 func TestServerRateLimitRefill(t *testing.T) {
 	_, clock, addr := newTestServer(t, ServerConfig{CreateBurst: 1, CreateRate: 1})
 	c := dialLogin(t, addr, 7001, "tok-a")

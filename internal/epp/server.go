@@ -34,10 +34,11 @@ type ServerConfig struct {
 
 // Server serves the registry over the EPP-like protocol.
 type Server struct {
-	store   *registry.Store
-	clock   simtime.Clock
-	cfg     ServerConfig
-	limiter *Limiter
+	store    *registry.Store
+	clock    simtime.Clock
+	cfg      ServerConfig
+	limiter  *Limiter
+	counters *serverCounters
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -48,7 +49,11 @@ type Server struct {
 
 // NewServer returns a Server over store.
 func NewServer(store *registry.Store, clock simtime.Clock, cfg ServerConfig) *Server {
-	s := &Server{store: store, clock: clock, cfg: cfg, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		store: store, clock: clock, cfg: cfg,
+		counters: newServerCounters(),
+		conns:    make(map[net.Conn]struct{}),
+	}
 	if cfg.CreateBurst > 0 && cfg.CreateRate > 0 {
 		s.limiter = NewLimiter(clock, cfg.CreateBurst, cfg.CreateRate)
 	}
@@ -120,6 +125,33 @@ func (s *Server) Close() error {
 	return err
 }
 
+// ServeConn serves one already-established connection until it closes or the
+// server shuts down. It is the building block of the in-process transport:
+// storm harnesses and benchmarks pass one end of a net.Pipe so the full
+// framing and dispatch path runs at memory speed, with the TCP path byte-for
+// -byte identical.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
+	s.serveConn(conn)
+}
+
+// ConnectInProc returns a client whose connection is a net.Pipe served by
+// this server — the in-process EPP transport.
+func (s *Server) ConnectInProc() *Client {
+	cli, srv := net.Pipe()
+	go s.ServeConn(srv)
+	return NewClientConn(cli)
+}
+
 // session is per-connection login state.
 type session struct {
 	registrarID int
@@ -127,23 +159,32 @@ type session struct {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
+	s.counters.conns.Add(1)
+	fr := newFrameReader(conn)
 	defer func() {
+		fr.release()
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	// One Request and one Response are reused for the life of the
+	// connection; frames are decoded through the connection's pooled reader
+	// and encoded with the append encoders, so a steady-state command costs
+	// no per-frame buffer allocations on this side of the wire.
 	var sess session
+	var req Request
+	var resp Response
 	for {
-		var req Request
-		if err := ReadFrame(conn, &req); err != nil {
+		req = Request{}
+		if err := fr.read(&req); err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.logf("epp: %s: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
-		resp := s.Handle(&sess, &req)
-		if err := WriteFrame(conn, resp); err != nil {
+		s.handle(&sess, &req, &resp)
+		if err := WriteFrame(conn, &resp); err != nil {
 			s.logf("epp: %s: %v", conn.RemoteAddr(), err)
 			return
 		}
@@ -157,13 +198,20 @@ func (s *Server) serveConn(conn net.Conn) {
 // in-process transport used by large simulations exercises exactly the same
 // dispatch logic as the TCP path.
 func (s *Server) Handle(sess *session, req *Request) *Response {
-	resp := &Response{ServerTime: simtime.Trunc(s.clock.Now())}
+	resp := &Response{}
+	s.handle(sess, req, resp)
+	return resp
+}
+
+// handle dispatches into resp, which it fully overwrites.
+func (s *Server) handle(sess *session, req *Request, resp *Response) {
+	*resp = Response{ServerTime: simtime.Trunc(s.clock.Now())}
 	switch req.Cmd {
 	case CmdLogin:
 		s.handleLogin(sess, req, resp)
 	case CmdLogout:
 		sess.loggedIn = false
-		resp.Code, resp.Msg = CodeLoggedOut, "command completed successfully; ending session"
+		resp.Code, resp.Msg = CodeLoggedOut, msgLoggedOut
 	case CmdCheck:
 		s.requireLogin(sess, resp, func() { s.handleCheck(req, resp) })
 	case CmdInfo:
@@ -183,12 +231,49 @@ func (s *Server) Handle(sess *session, req *Request) *Response {
 	default:
 		resp.Code, resp.Msg = CodeUnknownCommand, fmt.Sprintf("unknown command %q", req.Cmd)
 	}
-	return resp
+	s.counters.record(req.Cmd, resp.Code)
+}
+
+// Interned result messages: the hot-path outcomes answer with static strings
+// (RFC 5730-style default result text) instead of formatting a fresh message
+// per frame. Parameter errors keep their diagnostic err.Error() text — they
+// are off the storm path and the detail matters there.
+const (
+	msgOK              = "command completed successfully"
+	msgLoggedOut       = "command completed successfully; ending session"
+	msgNoMessages      = "command completed successfully; no messages"
+	msgAckToDequeue    = "command completed successfully; ack to dequeue"
+	msgNotLoggedIn     = "command use error; login first"
+	msgAuthError       = "authentication error"
+	msgRateLimited     = "session limit exceeded; try again later"
+	msgObjectExists    = "object exists"
+	msgObjectNotFound  = "object does not exist"
+	msgAuthorization   = "authorization error"
+	msgBadAuthInfo     = "invalid authorization information"
+	msgStatusProhibits = "object status prohibits operation"
+)
+
+// resultMsg maps a store failure to its interned message; codes without a
+// canonical text fall back to the error's own description.
+func resultMsg(code int, err error) string {
+	switch code {
+	case CodeObjectExists:
+		return msgObjectExists
+	case CodeObjectNotFound:
+		return msgObjectNotFound
+	case CodeAuthorization:
+		return msgAuthorization
+	case CodeBadAuthInfo:
+		return msgBadAuthInfo
+	case CodeStatusProhibits:
+		return msgStatusProhibits
+	}
+	return err.Error()
 }
 
 func (s *Server) requireLogin(sess *session, resp *Response, fn func()) {
 	if !sess.loggedIn {
-		resp.Code, resp.Msg = CodeNotLoggedIn, "command use error; login first"
+		resp.Code, resp.Msg = CodeNotLoggedIn, msgNotLoggedIn
 		return
 	}
 	fn()
@@ -197,7 +282,7 @@ func (s *Server) requireLogin(sess *session, resp *Response, fn func()) {
 func (s *Server) handleLogin(sess *session, req *Request, resp *Response) {
 	token, ok := s.cfg.Credentials[req.Registrar]
 	if !ok || token != req.Token {
-		resp.Code, resp.Msg = CodeAuthError, "authentication error"
+		resp.Code, resp.Msg = CodeAuthError, msgAuthError
 		return
 	}
 	if _, ok := s.store.Registrar(req.Registrar); !ok {
@@ -206,7 +291,7 @@ func (s *Server) handleLogin(sess *session, req *Request, resp *Response) {
 	}
 	sess.registrarID = req.Registrar
 	sess.loggedIn = true
-	resp.Code, resp.Msg = CodeOK, "command completed successfully"
+	resp.Code, resp.Msg = CodeOK, msgOK
 }
 
 func (s *Server) handleCheck(req *Request, resp *Response) {
@@ -215,17 +300,17 @@ func (s *Server) handleCheck(req *Request, resp *Response) {
 		resp.Code, resp.Msg = CodeParamRange, err.Error()
 		return
 	}
-	resp.Code, resp.Msg = CodeOK, "command completed successfully"
+	resp.Code, resp.Msg = CodeOK, msgOK
 	resp.Available = &avail
 }
 
 func (s *Server) handleInfo(sess *session, req *Request, resp *Response) {
 	d, err := s.store.Get(req.Name)
 	if err != nil {
-		resp.Code, resp.Msg = CodeObjectNotFound, "object does not exist"
+		resp.Code, resp.Msg = CodeObjectNotFound, msgObjectNotFound
 		return
 	}
-	resp.Code, resp.Msg = CodeOK, "command completed successfully"
+	resp.Code, resp.Msg = CodeOK, msgOK
 	resp.Domain = toInfo(d)
 	if d.RegistrarID == sess.registrarID {
 		if auth, err := s.store.AuthInfo(req.Name, sess.registrarID); err == nil {
@@ -236,27 +321,41 @@ func (s *Server) handleInfo(sess *session, req *Request, resp *Response) {
 
 func (s *Server) handleTransfer(sess *session, req *Request, resp *Response) {
 	if err := s.store.Transfer(req.Name, sess.registrarID, req.AuthInfo); err != nil {
-		resp.Code, resp.Msg = storeCode(err), err.Error()
+		code := storeCode(err)
+		resp.Code, resp.Msg = code, resultMsg(code, err)
 		return
 	}
-	resp.Code, resp.Msg = CodeOK, "command completed successfully"
+	resp.Code, resp.Msg = CodeOK, msgOK
 }
 
 func (s *Server) handleCreate(sess *session, req *Request, resp *Response) {
-	if s.limiter != nil && !s.limiter.Allow(sess.registrarID) {
-		resp.Code, resp.Msg = CodeRateLimited, "session limit exceeded; try again later"
-		return
-	}
 	years := req.Years
 	if years == 0 {
 		years = 1
 	}
-	d, err := s.store.Create(req.Name, sess.registrarID, years)
-	if err != nil {
-		resp.Code, resp.Msg = storeCode(err), err.Error()
+	// Validate the command before charging the per-accreditation token
+	// bucket: the bucket is the scarce resource drop-catchers race over, and
+	// charging first would let anyone who knows a competitor's login burn
+	// that competitor's create budget with free invalid-name spam.
+	if err := registry.CheckName(req.Name); err != nil {
+		resp.Code, resp.Msg = CodeParamRange, err.Error()
 		return
 	}
-	resp.Code, resp.Msg = CodeOK, "command completed successfully"
+	if years < 1 || years > 10 {
+		resp.Code, resp.Msg = CodeParamRange, fmt.Sprintf("invalid term %d years", years)
+		return
+	}
+	if s.limiter != nil && !s.limiter.Allow(sess.registrarID) {
+		resp.Code, resp.Msg = CodeRateLimited, msgRateLimited
+		return
+	}
+	d, err := s.store.Create(req.Name, sess.registrarID, years)
+	if err != nil {
+		code := storeCode(err)
+		resp.Code, resp.Msg = code, resultMsg(code, err)
+		return
+	}
+	resp.Code, resp.Msg = CodeOK, msgOK
 	resp.Domain = toInfo(d)
 }
 
@@ -266,41 +365,44 @@ func (s *Server) handleRenew(sess *session, req *Request, resp *Response) {
 		years = 1
 	}
 	if err := s.store.Renew(req.Name, sess.registrarID, years); err != nil {
-		resp.Code, resp.Msg = storeCode(err), err.Error()
+		code := storeCode(err)
+		resp.Code, resp.Msg = code, resultMsg(code, err)
 		return
 	}
-	resp.Code, resp.Msg = CodeOK, "command completed successfully"
+	resp.Code, resp.Msg = CodeOK, msgOK
 }
 
 func (s *Server) handleUpdate(sess *session, req *Request, resp *Response) {
 	if err := s.store.Touch(req.Name, sess.registrarID); err != nil {
-		resp.Code, resp.Msg = storeCode(err), err.Error()
+		code := storeCode(err)
+		resp.Code, resp.Msg = code, resultMsg(code, err)
 		return
 	}
-	resp.Code, resp.Msg = CodeOK, "command completed successfully"
+	resp.Code, resp.Msg = CodeOK, msgOK
 }
 
 func (s *Server) handleDelete(sess *session, req *Request, resp *Response) {
 	d, err := s.store.Get(req.Name)
 	if err != nil {
-		resp.Code, resp.Msg = CodeObjectNotFound, "object does not exist"
+		resp.Code, resp.Msg = CodeObjectNotFound, msgObjectNotFound
 		return
 	}
 	if d.RegistrarID != sess.registrarID {
-		resp.Code, resp.Msg = CodeAuthorization, "authorization error"
+		resp.Code, resp.Msg = CodeAuthorization, msgAuthorization
 		return
 	}
 	if d.Status != model.StatusActive && d.Status != model.StatusAutoRenew {
-		resp.Code, resp.Msg = CodeStatusProhibits, "object status prohibits operation"
+		resp.Code, resp.Msg = CodeStatusProhibits, msgStatusProhibits
 		return
 	}
 	// A registrar delete sends the domain into the redemption period; its
 	// Updated timestamp — set now — becomes the future deletion-order key.
 	if err := s.store.MarkRedemption(req.Name, s.clock.Now()); err != nil {
-		resp.Code, resp.Msg = storeCode(err), err.Error()
+		code := storeCode(err)
+		resp.Code, resp.Msg = code, resultMsg(code, err)
 		return
 	}
-	resp.Code, resp.Msg = CodeOK, "command completed successfully"
+	resp.Code, resp.Msg = CodeOK, msgOK
 }
 
 func (s *Server) handlePoll(sess *session, req *Request, resp *Response) {
@@ -312,10 +414,10 @@ func (s *Server) handlePoll(sess *session, req *Request, resp *Response) {
 	case PollOpRequest, "":
 		msg, count, ok := s.cfg.Poll.Peek(sess.registrarID)
 		if !ok {
-			resp.Code, resp.Msg = CodeNoMessages, "command completed successfully; no messages"
+			resp.Code, resp.Msg = CodeNoMessages, msgNoMessages
 			return
 		}
-		resp.Code, resp.Msg = CodeAckToDequeue, "command completed successfully; ack to dequeue"
+		resp.Code, resp.Msg = CodeAckToDequeue, msgAckToDequeue
 		resp.Message = &msg
 		resp.MsgCount = count
 	case PollOpAck:
@@ -323,7 +425,7 @@ func (s *Server) handlePoll(sess *session, req *Request, resp *Response) {
 			resp.Code, resp.Msg = CodeParamRange, err.Error()
 			return
 		}
-		resp.Code, resp.Msg = CodeOK, "command completed successfully"
+		resp.Code, resp.Msg = CodeOK, msgOK
 		resp.MsgCount = s.cfg.Poll.Len(sess.registrarID)
 	default:
 		resp.Code, resp.Msg = CodeParamRange, fmt.Sprintf("unknown poll op %q", req.PollOp)

@@ -7,6 +7,7 @@
 package loadgen
 
 import (
+	"errors"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -18,9 +19,47 @@ type Result struct {
 	Requests uint64        // requests attempted (== the budget given to Run)
 	Errors   uint64        // requests whose fn returned an error
 	Elapsed  time.Duration // wall clock from first to last request
+	// CodeCounts breaks requests down by protocol result code, for request
+	// errors that implement interface{ ResultCode() int } (epp.ResultError
+	// does). Successful requests are counted under code 0 by Run; RunOpenLoop
+	// counts them under the code its fn reports. Nil when nothing was coded.
+	CodeCounts map[int]uint64
 	// latencies holds every request's duration, sorted ascending. Populated
 	// only by Run; a zero Result reports zero percentiles.
 	latencies []time.Duration
+}
+
+// Collect assembles a Result from raw observations recorded by an external
+// driver (the storm harness runs its own dispatcher but reports through this
+// package's percentile machinery). latencies is consumed: it is sorted in
+// place and retained.
+func Collect(latencies []time.Duration, errs uint64, elapsed time.Duration, codes map[int]uint64) Result {
+	slices.Sort(latencies)
+	return Result{
+		Requests:   uint64(len(latencies)),
+		Errors:     errs,
+		Elapsed:    elapsed,
+		CodeCounts: codes,
+		latencies:  latencies,
+	}
+}
+
+// resultCoder is the error hook for the code breakdown: protocol errors that
+// know their wire result code implement it. Deliberately structural so this
+// package needs no protocol import.
+type resultCoder interface{ ResultCode() int }
+
+// codeOf extracts a protocol result code from err, walking wrapped errors.
+// A nil error is code 0; an uncoded error reports ok=false.
+func codeOf(err error) (int, bool) {
+	if err == nil {
+		return 0, true
+	}
+	var rc resultCoder
+	if errors.As(err, &rc) {
+		return rc.ResultCode(), true
+	}
+	return 0, false
 }
 
 // RPS returns the sustained request rate of the run.
@@ -31,9 +70,13 @@ func (r Result) RPS() float64 {
 	return float64(r.Requests) / r.Elapsed.Seconds()
 }
 
-// Percentile returns the p-th percentile request latency (nearest-rank over
-// the recorded durations), for p in (0, 100]. Out-of-range p or an empty run
-// reports zero.
+// Percentile returns the p-th percentile request latency for p in (0, 100].
+// Semantics are nearest-rank over the recorded durations: the value returned
+// is always an observed latency (rank ⌈p/100·n⌋ in the sorted sample, no
+// interpolation), so sparse tails report a real request rather than a blend
+// of two. With fewer than 100/(100-p) samples the top percentiles collapse
+// onto the sample maximum — P999 needs ≥1000 requests to resolve.
+// Out-of-range p or an empty run reports zero.
 func (r Result) Percentile(p float64) time.Duration {
 	if len(r.latencies) == 0 || p <= 0 || p > 100 {
 		return 0
@@ -58,6 +101,11 @@ func (r Result) P95() time.Duration { return r.Percentile(95) }
 // whether a drop-catcher's create lands inside the deletion second.
 func (r Result) P99() time.Duration { return r.Percentile(99) }
 
+// P999 is the 99.9th-percentile request latency. During the Drop the race is
+// decided by the single fastest create among thousands, so the far tail —
+// the requests that would have lost — is the storm engine's headline number.
+func (r Result) P999() time.Duration { return r.Percentile(99.9) }
+
 // Run issues total requests through fn from workers concurrent goroutines.
 // fn receives the request's global index (0..total-1) so callers can vary
 // the target per request. workers and total are clamped to at least 1.
@@ -73,16 +121,19 @@ func Run(workers, total int, fn func(i int) error) Result {
 	var next, errs atomic.Uint64
 	var wg sync.WaitGroup
 	perWorker := make([][]time.Duration, workers)
+	perWorkerCodes := make([]map[int]uint64, workers)
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			lat := make([]time.Duration, 0, total/workers+1)
+			codes := make(map[int]uint64)
 			for {
 				i := next.Add(1) - 1
 				if i >= uint64(total) {
 					perWorker[w] = lat
+					perWorkerCodes[w] = codes
 					return
 				}
 				t0 := time.Now()
@@ -90,6 +141,9 @@ func Run(workers, total int, fn func(i int) error) Result {
 				lat = append(lat, time.Since(t0))
 				if err != nil {
 					errs.Add(1)
+				}
+				if code, ok := codeOf(err); ok {
+					codes[code]++
 				}
 			}
 		}(w)
@@ -102,9 +156,25 @@ func Run(workers, total int, fn func(i int) error) Result {
 	}
 	slices.Sort(all)
 	return Result{
-		Requests:  uint64(total),
-		Errors:    errs.Load(),
-		Elapsed:   elapsed,
-		latencies: all,
+		Requests:   uint64(total),
+		Errors:     errs.Load(),
+		Elapsed:    elapsed,
+		CodeCounts: mergeCodes(perWorkerCodes),
+		latencies:  all,
 	}
+}
+
+// mergeCodes folds per-worker code tallies into one map, nil when no request
+// produced a code.
+func mergeCodes(per []map[int]uint64) map[int]uint64 {
+	var out map[int]uint64
+	for _, m := range per {
+		for code, n := range m {
+			if out == nil {
+				out = make(map[int]uint64)
+			}
+			out[code] += n
+		}
+	}
+	return out
 }

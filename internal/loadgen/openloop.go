@@ -1,0 +1,140 @@
+package loadgen
+
+import (
+	"slices"
+	"sync"
+	"time"
+)
+
+// OpenLoopResult extends Result with the offered-versus-achieved accounting
+// that only an open-loop run can report.
+type OpenLoopResult struct {
+	Result
+	// OfferedRPS is the arrival rate the schedule demanded: arrivals divided
+	// by the schedule horizon (the last offset). Zero-horizon schedules (a
+	// single burst instant) report zero — offered rate is undefined for them.
+	OfferedRPS float64
+	// AchievedRPS is the completion rate actually delivered: completed
+	// requests divided by the wall clock from run start to last completion.
+	// Under saturation AchievedRPS falls below OfferedRPS while latency
+	// grows; a closed-loop driver would instead silently slow its arrivals.
+	AchievedRPS float64
+	// MaxLag is the worst dispatcher lateness: how far behind its scheduled
+	// instant an arrival actually fired. Lag is *included* in the recorded
+	// latencies (they are measured from the scheduled instant), so a large
+	// MaxLag flags that the generator, not the server, was the bottleneck.
+	MaxLag time.Duration
+}
+
+// RunOpenLoop issues one request per schedule offset, firing each at
+// start+offset regardless of whether earlier requests have completed — the
+// open-loop discipline. Closed-loop drivers (Run) stop sending when the
+// server stalls, which hides the very overload a drop-catch storm creates;
+// here arrivals keep coming and the backlog shows up as tail latency.
+//
+// Latency is measured from the *scheduled* instant, not the actual send, so
+// coordinated omission is impossible: if the dispatcher or the server falls
+// behind, the wait is charged to the request. fn receives the arrival index
+// (0..len(offsets)-1, in schedule order) and returns the protocol result
+// code (0 when it has none) plus an error for failures; both feed
+// Result.CodeCounts and Result.Errors.
+//
+// offsets are relative to run start, in any order (sorted internally,
+// negatives clamped to zero). An empty schedule returns a zero result.
+func RunOpenLoop(offsets []time.Duration, fn func(i int) (code int, err error)) OpenLoopResult {
+	n := len(offsets)
+	if n == 0 {
+		return OpenLoopResult{}
+	}
+	sched := slices.Clone(offsets)
+	slices.Sort(sched)
+	for i, off := range sched {
+		if off < 0 {
+			sched[i] = 0
+		}
+	}
+
+	lats := make([]time.Duration, n)
+	codes := make([]int, n)
+	hasCode := make([]bool, n)
+	failed := make([]bool, n)
+	lags := make([]time.Duration, n)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, off := range sched {
+		at := start.Add(off)
+		if d := time.Until(at); d > 0 {
+			time.Sleep(d)
+		}
+		lags[i] = time.Since(at)
+		wg.Add(1)
+		go func(i int, at time.Time) {
+			defer wg.Done()
+			code, err := fn(i)
+			lats[i] = time.Since(at)
+			if err != nil {
+				failed[i] = true
+			}
+			if c, ok := codeOf(err); ok && err != nil {
+				codes[i], hasCode[i] = c, true
+			} else if err == nil {
+				codes[i], hasCode[i] = code, true
+			}
+		}(i, at)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var errs uint64
+	var codeCounts map[int]uint64
+	for i := 0; i < n; i++ {
+		if failed[i] {
+			errs++
+		}
+		if hasCode[i] {
+			if codeCounts == nil {
+				codeCounts = make(map[int]uint64)
+			}
+			codeCounts[codes[i]]++
+		}
+	}
+	maxLag := slices.Max(lags)
+	sorted := slices.Clone(lats)
+	slices.Sort(sorted)
+
+	res := OpenLoopResult{
+		Result: Result{
+			Requests:   uint64(n),
+			Errors:     errs,
+			Elapsed:    elapsed,
+			CodeCounts: codeCounts,
+			latencies:  sorted,
+		},
+		MaxLag: maxLag,
+	}
+	if horizon := sched[n-1]; horizon > 0 {
+		res.OfferedRPS = float64(n) / horizon.Seconds()
+	}
+	if elapsed > 0 {
+		res.AchievedRPS = float64(n) / elapsed.Seconds()
+	}
+	return res
+}
+
+// UniformSchedule builds n arrival offsets evenly spaced across span,
+// starting at zero: the constant-rate open-loop workload. n < 1 returns nil.
+func UniformSchedule(n int, span time.Duration) []time.Duration {
+	if n < 1 {
+		return nil
+	}
+	out := make([]time.Duration, n)
+	if n == 1 {
+		return out
+	}
+	step := span / time.Duration(n-1)
+	for i := range out {
+		out[i] = time.Duration(i) * step
+	}
+	return out
+}

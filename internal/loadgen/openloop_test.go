@@ -1,0 +1,221 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type codedErr struct{ code int }
+
+func (e *codedErr) Error() string   { return fmt.Sprintf("code %d", e.code) }
+func (e *codedErr) ResultCode() int { return e.code }
+
+func TestP999NeedsAThousandSamples(t *testing.T) {
+	lat := make([]time.Duration, 1000)
+	for i := range lat {
+		lat[i] = time.Duration(i+1) * time.Microsecond
+	}
+	r := Result{latencies: lat}
+	if got := r.P999(); got != 999*time.Microsecond {
+		t.Fatalf("P999 = %v, want 999µs", got)
+	}
+	// Below 1000 samples nearest-rank collapses P999 onto the max.
+	small := Result{latencies: lat[:100]}
+	if got := small.P999(); got != 100*time.Microsecond {
+		t.Fatalf("small-sample P999 = %v, want the max (100µs)", got)
+	}
+}
+
+func TestRunCodeBreakdown(t *testing.T) {
+	res := Run(4, 100, func(i int) error {
+		switch {
+		case i%10 == 0:
+			return &codedErr{code: 2302}
+		case i%10 == 1:
+			return &codedErr{code: 2502}
+		case i%10 == 2:
+			return errors.New("transport")
+		default:
+			return nil
+		}
+	})
+	if res.Errors != 30 {
+		t.Fatalf("errors = %d, want 30", res.Errors)
+	}
+	want := map[int]uint64{0: 70, 2302: 10, 2502: 10}
+	if len(res.CodeCounts) != len(want) {
+		t.Fatalf("CodeCounts = %v, want %v", res.CodeCounts, want)
+	}
+	for code, n := range want {
+		if res.CodeCounts[code] != n {
+			t.Fatalf("CodeCounts[%d] = %d, want %d", code, res.CodeCounts[code], n)
+		}
+	}
+	// Wrapped coded errors must still be counted.
+	res = Run(1, 1, func(int) error {
+		return fmt.Errorf("attempt failed: %w", &codedErr{code: 2400})
+	})
+	if res.CodeCounts[2400] != 1 {
+		t.Fatalf("wrapped code not counted: %v", res.CodeCounts)
+	}
+}
+
+func TestRunOpenLoopFiresEveryArrival(t *testing.T) {
+	var fired atomic.Uint64
+	sched := UniformSchedule(50, 100*time.Millisecond)
+	res := RunOpenLoop(sched, func(i int) (int, error) {
+		fired.Add(1)
+		if i%5 == 0 {
+			return 0, &codedErr{code: 2502}
+		}
+		return 1000, nil
+	})
+	if fired.Load() != 50 || res.Requests != 50 {
+		t.Fatalf("fired %d, result %d, want 50", fired.Load(), res.Requests)
+	}
+	if res.Errors != 10 {
+		t.Fatalf("errors = %d, want 10", res.Errors)
+	}
+	if res.CodeCounts[1000] != 40 || res.CodeCounts[2502] != 10 {
+		t.Fatalf("CodeCounts = %v", res.CodeCounts)
+	}
+	if res.OfferedRPS < 400 || res.OfferedRPS > 600 {
+		t.Fatalf("OfferedRPS = %v, want ~500", res.OfferedRPS)
+	}
+	if res.AchievedRPS <= 0 {
+		t.Fatalf("AchievedRPS = %v", res.AchievedRPS)
+	}
+	if res.P50() <= 0 {
+		t.Fatalf("P50 = %v", res.P50())
+	}
+}
+
+// TestRunOpenLoopDoesNotCoordinate: a stalled request must not delay later
+// arrivals (the open-loop property), and the stall must appear in the tail.
+func TestRunOpenLoopDoesNotCoordinate(t *testing.T) {
+	stall := 300 * time.Millisecond
+	sched := UniformSchedule(20, 50*time.Millisecond)
+	start := time.Now()
+	res := RunOpenLoop(sched, func(i int) (int, error) {
+		if i == 0 {
+			time.Sleep(stall) // a create stuck behind the Drop backlog
+		}
+		return 1000, nil
+	})
+	elapsed := time.Since(start)
+	// Closed-loop with one worker would take 20 stalls; open-loop takes ~one.
+	if elapsed > stall+200*time.Millisecond {
+		t.Fatalf("arrivals coordinated with the stalled request: elapsed %v", elapsed)
+	}
+	if res.Percentile(100) < stall {
+		t.Fatalf("stall missing from tail: max latency %v < %v", res.Percentile(100), stall)
+	}
+	if res.P50() >= stall {
+		t.Fatalf("stall leaked into the median: P50 = %v", res.P50())
+	}
+}
+
+func TestRunOpenLoopLatencyFromScheduledInstant(t *testing.T) {
+	// Two arrivals scheduled at the same instant: the dispatcher fires them
+	// back to back, and the second's latency must include any dispatch lag
+	// rather than starting from its actual send.
+	res := RunOpenLoop([]time.Duration{0, 0, 0}, func(i int) (int, error) {
+		time.Sleep(10 * time.Millisecond)
+		return 1000, nil
+	})
+	if res.Requests != 3 || res.Errors != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Percentile(100) < 10*time.Millisecond {
+		t.Fatalf("max latency %v < the handler's own 10ms", res.Percentile(100))
+	}
+	if res.OfferedRPS != 0 {
+		t.Fatalf("zero-horizon schedule OfferedRPS = %v, want 0", res.OfferedRPS)
+	}
+}
+
+func TestRunOpenLoopEmptySchedule(t *testing.T) {
+	res := RunOpenLoop(nil, func(int) (int, error) { return 0, nil })
+	if res.Requests != 0 || res.OfferedRPS != 0 || res.AchievedRPS != 0 {
+		t.Fatalf("empty schedule result = %+v", res)
+	}
+}
+
+func TestUniformSchedule(t *testing.T) {
+	s := UniformSchedule(5, 400*time.Millisecond)
+	want := []time.Duration{0, 100 * time.Millisecond, 200 * time.Millisecond,
+		300 * time.Millisecond, 400 * time.Millisecond}
+	if !slices.Equal(s, want) {
+		t.Fatalf("schedule = %v, want %v", s, want)
+	}
+	if got := UniformSchedule(1, time.Second); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single-arrival schedule = %v", got)
+	}
+	if UniformSchedule(0, time.Second) != nil {
+		t.Fatal("n=0 should return nil")
+	}
+}
+
+func TestDropCatchScheduleShape(t *testing.T) {
+	s := DropCatchSchedule{
+		Lead:          100 * time.Millisecond,
+		FastInterval:  100 * time.Millisecond,
+		FastRetries:   5,
+		BackoffFactor: 2,
+		Horizon:       10 * time.Second,
+	}
+	drop := 1 * time.Second
+	offs := s.Offsets(drop)
+	if !slices.IsSorted(offs) {
+		t.Fatalf("offsets not ascending: %v", offs)
+	}
+	if offs[0] != drop-s.Lead {
+		t.Fatalf("first attempt at %v, want %v", offs[0], drop-s.Lead)
+	}
+	// The fast phase: attempts 1..5 spaced exactly FastInterval.
+	for i := 1; i <= s.FastRetries; i++ {
+		if got := offs[i] - offs[i-1]; got != s.FastInterval {
+			t.Fatalf("fast gap %d = %v, want %v", i, got, s.FastInterval)
+		}
+	}
+	// Backoff phase: strictly widening gaps.
+	for i := s.FastRetries + 2; i < len(offs); i++ {
+		if offs[i]-offs[i-1] <= offs[i-1]-offs[i-2] {
+			t.Fatalf("backoff not widening at %d: %v", i, offs)
+		}
+	}
+	// Nothing beyond the horizon, and the tail gets reasonably close to it.
+	limit := drop + s.Horizon
+	if last := offs[len(offs)-1]; last > limit || last < limit/2 {
+		t.Fatalf("last attempt %v, horizon limit %v", last, limit)
+	}
+}
+
+func TestDropCatchScheduleClamps(t *testing.T) {
+	// Lead longer than the drop offset: first attempt clamps to zero.
+	s := DropCatchSchedule{Lead: time.Hour, Horizon: time.Second}
+	offs := s.Offsets(500 * time.Millisecond)
+	if offs[0] != 0 {
+		t.Fatalf("first attempt = %v, want 0", offs[0])
+	}
+	// Pathological factor and zero interval still terminate (defaults kick
+	// in) and always yield at least one attempt.
+	s = DropCatchSchedule{BackoffFactor: 0.1, Horizon: time.Minute}
+	offs = s.Offsets(0)
+	if len(offs) == 0 || len(offs) > 100 {
+		t.Fatalf("degenerate schedule has %d attempts", len(offs))
+	}
+	// Zero horizon: the schedule is just the pre-drop shot.
+	s = DropCatchSchedule{Lead: 50 * time.Millisecond}
+	offs = s.Offsets(time.Second)
+	if len(offs) != 1 {
+		t.Fatalf("zero-horizon schedule = %v, want one attempt", offs)
+	}
+	if s.Aggressiveness() != 10 {
+		t.Fatalf("default aggressiveness = %v, want 10/s", s.Aggressiveness())
+	}
+}

@@ -380,6 +380,14 @@ func splitName(name string) (label string, tld model.TLD, err error) {
 	return label, t, nil
 }
 
+// CheckName validates a domain name's syntax and TLD without taking any
+// lock, so protocol front ends can reject garbage before charging
+// rate-limit budget (an invalid-name create must never cost a token).
+func CheckName(name string) error {
+	_, _, err := splitName(name)
+	return err
+}
+
 // Available reports whether name could be created right now.
 func (s *Store) Available(name string) (bool, error) {
 	if _, _, err := splitName(name); err != nil {

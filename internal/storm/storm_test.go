@@ -1,0 +1,328 @@
+package storm
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"dropzero/internal/epp"
+	"dropzero/internal/loadgen"
+	"dropzero/internal/model"
+	"dropzero/internal/registry"
+	"dropzero/internal/simtime"
+)
+
+// stormFixture is a self-hosted registry + EPP server with nNames contested
+// names seeded pendingDelete and a Drop callback that purges them.
+type stormFixture struct {
+	store *registry.Store
+	srv   *epp.Server
+	addr  string
+	creds map[int]string
+	names []string
+	drop  func(name string) error
+}
+
+func newStormFixture(t testing.TB, nNames int, accreds []int, cfg epp.ServerConfig) *stormFixture {
+	t.Helper()
+	day := simtime.Day{Year: 2018, Month: time.March, Dom: 8}
+	clock := simtime.NewSimClock(day.At(18, 59, 0))
+	store := registry.NewStoreWithShards(clock, 8)
+	creds := make(map[int]string)
+	for _, a := range accreds {
+		store.AddRegistrar(model.Registrar{IANAID: a, Name: fmt.Sprintf("Accred %d", a)})
+		creds[a] = fmt.Sprintf("tok-%d", a)
+	}
+	names := make([]string, nNames)
+	for i := range names {
+		names[i] = fmt.Sprintf("contested%03d.com", i)
+		updated := day.AddDays(-35).At(6, 30, i)
+		if _, err := store.SeedAt(names[i], accreds[0], updated.AddDate(-2, 0, 0), updated,
+			updated.AddDate(0, 0, -30), model.StatusPendingDelete, day); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cfg.Credentials == nil {
+		cfg.Credentials = creds
+	}
+	srv := epp.NewServer(store, clock, cfg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	runner := registry.NewDropRunner(store, registry.DropConfig{StartHour: 19, BaseRatePerSec: 10000})
+	sched := runner.Schedule(day, rand.New(rand.NewSource(1)))
+	if len(sched) != nNames {
+		t.Fatalf("scheduled %d deletions, want %d", len(sched), nNames)
+	}
+	byName := make(map[string]registry.Scheduled, len(sched))
+	for _, sc := range sched {
+		byName[sc.Name] = sc
+	}
+	clock.Set(day.At(19, 0, 0))
+	return &stormFixture{
+		store: store, srv: srv, addr: addr.String(), creds: creds, names: names,
+		drop: func(name string) error {
+			_, err := runner.Apply(byName[name])
+			return err
+		},
+	}
+}
+
+func spreadOffsets(n int, base, step time.Duration) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = base + time.Duration(i)*step
+	}
+	return out
+}
+
+// TestStormFCFSOneWinnerPerName races two services (one compliant, one
+// abusive) over TCP against a live Drop: every dropped name must be won
+// exactly once, the registry must agree with every ack, and the report must
+// carry the full fairness and latency breakdown. Run under -race in CI.
+func TestStormFCFSOneWinnerPerName(t *testing.T) {
+	accredsA := []int{1000, 1001, 1002}
+	accredsB := []int{2000, 2001}
+	fx := newStormFixture(t, 12, append(append([]int{}, accredsA...), accredsB...), epp.ServerConfig{})
+
+	sched := loadgen.DropCatchSchedule{
+		Lead:         60 * time.Millisecond,
+		FastInterval: 15 * time.Millisecond,
+		FastRetries:  30,
+		Horizon:      2 * time.Second,
+	}
+	rep, err := Run(Config{
+		Dial:        func() (*epp.Client, error) { return epp.Dial(fx.addr) },
+		Credential:  func(a int) string { return fx.creds[a] },
+		Names:       fx.names,
+		DropOffsets: spreadOffsets(len(fx.names), 100*time.Millisecond, 20*time.Millisecond),
+		Drop:        fx.drop,
+		Profiles: []ClientProfile{
+			{Service: "CatcherA", Accreditations: accredsA, Sessions: 6, Schedule: sched,
+				Compliant: true, PerDomainInFlight: 2},
+			{Service: "CatcherB", Accreditations: accredsB, Sessions: 4, Schedule: sched,
+				PerDomainInFlight: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.DropErrors) != 0 {
+		t.Fatalf("drop errors: %v", rep.DropErrors)
+	}
+	if len(rep.Winners) != len(fx.names) {
+		t.Fatalf("%d names won, want %d (unclaimed: %v)", len(rep.Winners), len(fx.names), rep.Unclaimed)
+	}
+	if len(rep.MultiAcks) != 0 {
+		t.Fatalf("names acked more than once: %v", rep.MultiAcks)
+	}
+	if err := rep.VerifyWins(fx.store); err != nil {
+		t.Fatalf("registry disagrees with acks: %v", err)
+	}
+	if len(rep.Unclaimed) != 0 {
+		t.Fatalf("unclaimed names: %v", rep.Unclaimed)
+	}
+	// Fairness accounting must cover every win, by accreditation and by
+	// service.
+	total := 0
+	for _, n := range rep.WinsByAccreditation {
+		total += n
+	}
+	if total != len(fx.names) {
+		t.Fatalf("accreditation wins sum to %d, want %d", total, len(fx.names))
+	}
+	if rep.WinsByService["CatcherA"]+rep.WinsByService["CatcherB"] != len(fx.names) {
+		t.Fatalf("service wins %v don't cover all names", rep.WinsByService)
+	}
+	// Latency and rate accounting.
+	if rep.Creates.Requests == 0 || rep.Creates.P999() <= 0 {
+		t.Fatalf("create stats empty: %+v", rep.Creates)
+	}
+	if rep.OfferedRPS <= 0 || rep.AchievedRPS <= 0 {
+		t.Fatalf("offered %v achieved %v", rep.OfferedRPS, rep.AchievedRPS)
+	}
+	if rep.Creates.CodeCounts[epp.CodeOK] != uint64(len(fx.names)) {
+		t.Fatalf("code breakdown %v: want %d OK acks", rep.Creates.CodeCounts, len(fx.names))
+	}
+	delays := rep.WinDelays()
+	if len(delays) != len(fx.names) {
+		t.Fatalf("%d win delays, want %d", len(delays), len(fx.names))
+	}
+	// Re-registration delay must be storm-scale (sub-second), not
+	// horizon-scale: the fast-retry burst straddles each drop instant.
+	if max := delays[len(delays)-1]; max > time.Second {
+		t.Fatalf("slowest re-registration took %v", max)
+	}
+}
+
+// TestStormCompliantStopsOnRateLimit pins the two client behaviours the
+// report distinguishes: a compliant profile abandons a name at the first
+// 2502, an abusive one keeps hammering through the push-back.
+func TestStormCompliantStopsOnRateLimit(t *testing.T) {
+	// Burst 1 and a negligible refill: the first create burns the token
+	// (objectExists on a never-dropping name), the second answers 2502.
+	fx := newStormFixture(t, 1, []int{1000, 2000}, epp.ServerConfig{
+		CreateBurst: 1, CreateRate: 1e-9,
+	})
+	sched := loadgen.DropCatchSchedule{
+		FastInterval: 5 * time.Millisecond,
+		FastRetries:  20,
+		Horizon:      200 * time.Millisecond,
+	}
+	rep, err := Run(Config{
+		Dial:       func() (*epp.Client, error) { return epp.Dial(fx.addr) },
+		Credential: func(a int) string { return fx.creds[a] },
+		Names:      fx.names,
+		// No Drop callback: the name stays registered, every allowed create
+		// answers objectExists, and the token bucket still gets charged.
+		DropOffsets: []time.Duration{10 * time.Millisecond},
+		Profiles: []ClientProfile{
+			{Service: "polite", Accreditations: []int{1000}, Schedule: sched,
+				Compliant: true, PerDomainInFlight: 1},
+			{Service: "abusive", Accreditations: []int{2000}, Schedule: sched,
+				PerDomainInFlight: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var polite, abusive ProfileReport
+	for _, p := range rep.Profiles {
+		switch p.Service {
+		case "polite":
+			polite = p
+		case "abusive":
+			abusive = p
+		}
+	}
+	if polite.RateLimited < 1 {
+		t.Fatalf("polite profile never saw 2502: %+v", polite)
+	}
+	if polite.Attempts > 4 {
+		t.Fatalf("polite profile kept hammering after 2502: %+v", polite)
+	}
+	if polite.Settled == 0 {
+		t.Fatalf("polite profile settled nothing: %+v", polite)
+	}
+	if abusive.RateLimited < 5 || abusive.Attempts <= polite.Attempts {
+		t.Fatalf("abusive profile did not push through 2502: %+v", abusive)
+	}
+	if len(rep.Winners) != 0 {
+		t.Fatalf("nothing dropped, but wins recorded: %v", rep.Winners)
+	}
+	if rep.Creates.CodeCounts[epp.CodeRateLimited] != polite.RateLimited+abusive.RateLimited {
+		t.Fatalf("code breakdown %v disagrees with profile counts", rep.Creates.CodeCounts)
+	}
+}
+
+// TestServerCloseDuringStorm closes the server mid-storm: the storm must
+// return promptly (no hang, failures counted as errors), every create acked
+// before the close must be durably in the store, and the server must drain
+// its connection handlers without leaking goroutines. Run under -race in CI.
+func TestServerCloseDuringStorm(t *testing.T) {
+	accreds := []int{1000, 1001, 2000}
+	fx := newStormFixture(t, 30, accreds, epp.ServerConfig{})
+	before := runtime.NumGoroutine()
+
+	sched := loadgen.DropCatchSchedule{
+		Lead:         20 * time.Millisecond,
+		FastInterval: 10 * time.Millisecond,
+		FastRetries:  60,
+		Horizon:      2 * time.Second,
+	}
+	closed := make(chan struct{})
+	go func() {
+		defer close(closed)
+		time.Sleep(150 * time.Millisecond)
+		fx.srv.Close()
+	}()
+	rep, err := Run(Config{
+		Dial:        func() (*epp.Client, error) { return epp.Dial(fx.addr) },
+		Credential:  func(a int) string { return fx.creds[a] },
+		Names:       fx.names,
+		DropOffsets: spreadOffsets(len(fx.names), 50*time.Millisecond, 10*time.Millisecond),
+		Drop:        fx.drop,
+		Profiles: []ClientProfile{
+			{Service: "CatcherA", Accreditations: accreds, Sessions: 6, Schedule: sched},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-closed
+
+	// Acks issued before the close are binding: the registry must hold
+	// every one of them. (Multi-acks would also surface here.)
+	if err := rep.VerifyWins(fx.store); err != nil {
+		t.Fatalf("acked create lost across Close: %v", err)
+	}
+	// The storm saw the close as transport errors, not a hang.
+	if rep.Creates.Errors == 0 {
+		t.Fatalf("server closed mid-storm but no attempt failed: %+v", rep.Creates)
+	}
+	// Drained: handler goroutines are gone once Close has returned.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines not drained: %d -> %d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStormInProcTransport runs the same engine over Server.ConnectInProc —
+// the transport the benchmarks use to take the kernel out of the picture.
+func TestStormInProcTransport(t *testing.T) {
+	accreds := []int{1000, 2000}
+	fx := newStormFixture(t, 4, accreds, epp.ServerConfig{})
+	sched := loadgen.DropCatchSchedule{
+		Lead:         20 * time.Millisecond,
+		FastInterval: 10 * time.Millisecond,
+		FastRetries:  40,
+		Horizon:      2 * time.Second,
+	}
+	rep, err := Run(Config{
+		Dial:        func() (*epp.Client, error) { return fx.srv.ConnectInProc(), nil },
+		Credential:  func(a int) string { return fx.creds[a] },
+		Names:       fx.names,
+		DropOffsets: spreadOffsets(len(fx.names), 40*time.Millisecond, 15*time.Millisecond),
+		Drop:        fx.drop,
+		Profiles: []ClientProfile{
+			{Service: "CatcherA", Accreditations: accreds, Sessions: 4, Schedule: sched},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Winners) != len(fx.names) || len(rep.MultiAcks) != 0 {
+		t.Fatalf("winners %d multi %v", len(rep.Winners), rep.MultiAcks)
+	}
+	if err := rep.VerifyWins(fx.store); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStormConfigValidation(t *testing.T) {
+	dial := func() (*epp.Client, error) { return nil, nil }
+	if _, err := Run(Config{Dial: dial, Names: []string{"a.com"}}); err == nil {
+		t.Fatal("mismatched offsets accepted")
+	}
+	if _, err := Run(Config{Dial: dial}); err == nil {
+		t.Fatal("empty storm accepted")
+	}
+	_, err := Run(Config{
+		Dial: dial, Names: []string{"a.com"}, DropOffsets: []time.Duration{0},
+		Profiles: []ClientProfile{{Service: "x"}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "accreditations") {
+		t.Fatalf("profile without accreditations accepted: %v", err)
+	}
+}
