@@ -22,9 +22,35 @@ import (
 	"io"
 	"log"
 	"os"
+	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
 )
+
+// Artifact is the emitted JSON document: the parsed results stamped with
+// the environment they were measured in, so two artifacts are only compared
+// when their toolchain and core count actually match.
+type Artifact struct {
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	GitSHA     string   `json:"git_sha,omitempty"`
+	Results    []Result `json:"results"`
+}
+
+// gitSHA resolves the commit being measured: CI's GITHUB_SHA when present,
+// otherwise the working tree's HEAD, otherwise empty (e.g. piped output
+// outside any checkout — the artifact is still valid, just unpinned).
+func gitSHA() string {
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
 
 // Result is one parsed benchmark line. NsPerOp and AllocsPerOp are broken
 // out because they are the two metrics the repo tracks PR over PR; all
@@ -106,10 +132,16 @@ func main() {
 	if len(results) == 0 {
 		log.Fatal("no benchmark results found in input")
 	}
+	art := Artifact{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GitSHA:     gitSHA(),
+		Results:    results,
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
+	if err := enc.Encode(art); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: %d results\n", len(results))
+	fmt.Fprintf(os.Stderr, "benchjson: %d results (%s, GOMAXPROCS=%d)\n", len(results), art.GoVersion, art.GOMAXPROCS)
 }

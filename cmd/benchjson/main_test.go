@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -54,5 +56,40 @@ func TestParseLineRejectsNonBenchLines(t *testing.T) {
 		if _, ok := parseLine(line); ok {
 			t.Errorf("parseLine(%q) accepted, want rejected", line)
 		}
+	}
+}
+
+func TestArtifactStampsEnvironment(t *testing.T) {
+	var results []Result
+	input := "BenchmarkX 	       5	  11 ns/op\n"
+	if err := parse(strings.NewReader(input), &results); err != nil {
+		t.Fatal(err)
+	}
+	art := Artifact{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GitSHA:     gitSHA(),
+		Results:    results,
+	}
+	if art.GoVersion == "" || art.GOMAXPROCS < 1 {
+		t.Fatalf("environment stamp empty: %+v", art)
+	}
+	data, err := json.Marshal(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Artifact
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.GoVersion != art.GoVersion || back.GOMAXPROCS != art.GOMAXPROCS || len(back.Results) != 1 {
+		t.Fatalf("round trip mangled artifact: %+v", back)
+	}
+}
+
+func TestGitSHAPrefersEnv(t *testing.T) {
+	t.Setenv("GITHUB_SHA", "deadbeefcafe")
+	if got := gitSHA(); got != "deadbeefcafe" {
+		t.Fatalf("gitSHA with GITHUB_SHA set = %q", got)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux served by -debug
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -33,6 +34,7 @@ import (
 	"dropzero/internal/rdap"
 	"dropzero/internal/registrars"
 	"dropzero/internal/registry"
+	"dropzero/internal/repl"
 	"dropzero/internal/safebrowsing"
 	"dropzero/internal/simtime"
 	"dropzero/internal/whois"
@@ -57,11 +59,23 @@ func main() {
 	dataDir := flag.String("datadir", "dropserve-data", "durability directory (WAL + snapshots); registry state is recovered from it on start (empty = memory only)")
 	durability := flag.String("durability", "async", "journal mode: off, async (group-commit fsync in the background) or sync (fsync before every EPP ack)")
 	snapshotEvery := flag.Duration("snapshot-every", 5*time.Minute, "interval between background registry snapshots")
+	replListen := flag.String("listen-replication", "", "replication listen address: stream snapshot + WAL to followers (requires a journal)")
+	replicateFrom := flag.String("replicate-from", "", "run as a read replica of the primary at this replication address (requires -datadir; EPP is read-only until SIGUSR1 promotes)")
+	syncFollowers := flag.Int("sync-followers", 0, "semi-synchronous replication: EPP acks additionally wait for this many follower acknowledgements (primary only)")
 	flag.Parse()
 
 	mode, err := journal.ParseMode(*durability)
 	if err != nil {
 		log.Fatal(err)
+	}
+	isReplica := *replicateFrom != ""
+	if isReplica {
+		if *dataDir == "" {
+			log.Fatal("-replicate-from requires -datadir (the replica's local shipped-log directory)")
+		}
+		if *replListen != "" {
+			log.Fatal("-listen-replication and -replicate-from are mutually exclusive")
+		}
 	}
 
 	clock := simtime.RealClock{}
@@ -69,37 +83,85 @@ func main() {
 	dir := registrars.BuildDirectory(rng)
 	store := registry.NewStoreWithShards(clock, *shards)
 
-	// Durability: recover whatever the data directory holds before seeding,
-	// then attach the journal so every mutation from here on is logged.
-	var jnl *journal.Journal
-	var recovered journal.Recovery
-	if *dataDir != "" && mode != journal.ModeOff {
+	// Durability and replication roles. A replica never opens the journal
+	// for writing: its data directory belongs to the follower's shipped log
+	// (byte-identical to the primary's segments), recovered locally on start
+	// and promotable to a writing journal on SIGUSR1. A primary recovers the
+	// directory, attaches the journal, and optionally streams it.
+	// jnlVar tracks the live writing journal across promotion for the
+	// snapshotter and the debug vars.
+	var (
+		jnl       *journal.Journal
+		recovered journal.Recovery
+		jnlVar    atomic.Pointer[journal.Journal]
+		follower  *repl.Follower
+		source    *repl.Source
+		promoted  bool
+	)
+	if isReplica {
+		follower, err = repl.NewFollower(store, repl.FollowerConfig{
+			Dir:  *dataDir,
+			Addr: *replicateFrom,
+			Logf: log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("replication: %v", err)
+		}
+		follower.Start()
+		fmt.Printf("replica: following %s from seq %d (promote with SIGUSR1)\n", *replicateFrom, follower.AppliedSeq())
+	} else if *dataDir != "" && mode != journal.ModeOff {
 		jnl, recovered, err = journal.Open(store, journal.Options{Dir: *dataDir, Mode: mode})
 		if err != nil {
 			log.Fatalf("journal: %v", err)
 		}
 		store.SetJournal(jnl)
+		jnlVar.Store(jnl)
 		if !recovered.Fresh() {
 			fmt.Printf("recovered %d domains from %s (snapshot seq %d, %d WAL records replayed)\n",
 				store.Count(), *dataDir, recovered.SnapshotSeq, recovered.ReplayedRecords)
 		}
+	} else if *replListen != "" {
+		log.Fatal("-listen-replication requires a journal (-datadir plus -durability async or sync)")
 	}
 
-	for _, r := range dir.Registrars() {
-		store.AddRegistrar(r)
-	}
-	if recovered.Fresh() {
-		seedPopulation(store, dir, rng, *population, clock.Now())
+	// Only a primary originates mutations; a replica's registrars and
+	// population arrive through the replication stream.
+	if !isReplica {
+		for _, r := range dir.Registrars() {
+			store.AddRegistrar(r)
+		}
+		if recovered.Fresh() {
+			seedPopulation(store, dir, rng, *population, clock.Now())
+		}
 	}
 
-	poll := epp.NewPollQueue(clock, 0)
-	store.SetObserver(poll)
+	// Replication source: after seeding (bulk history ships via snapshot +
+	// segment reuse, not per-record acks), before EPP opens. With
+	// -sync-followers the store's journal is swapped for the chained
+	// journal+quorum waiter, so an EPP ack means "fsynced here AND applied
+	// and fsynced on N followers" — the zero-acked-loss failover contract.
+	if *replListen != "" {
+		source = repl.NewSource(jnl, repl.SourceConfig{SyncFollowers: *syncFollowers, Logf: log.Printf})
+		listen("replication", *replListen, source.Listen)
+		defer source.Close()
+		if *syncFollowers > 0 {
+			store.SetJournal(&repl.SyncJournal{J: jnl, S: source})
+			fmt.Printf("semi-sync: EPP acks wait for %d follower acknowledgement(s)\n", *syncFollowers)
+		}
+	}
+
+	var poll *epp.PollQueue
+	if !isReplica {
+		poll = epp.NewPollQueue(clock, 0)
+		store.SetObserver(poll)
+	}
 	eppSrv := epp.NewServer(store, clock, epp.ServerConfig{
 		Credentials: dir.Credentials(),
 		CreateBurst: 20,
 		CreateRate:  5,
 		Verbose:     true,
 		Poll:        poll,
+		ReadOnly:    isReplica,
 	})
 	listen("EPP", *eppAddr, eppSrv.Listen)
 	defer eppSrv.Close()
@@ -129,7 +191,8 @@ func main() {
 	defer zoneSrv.Close()
 
 	if *debugAddr != "" {
-		publishDebugVars(store, eppSrv, rdapSrv, whoisSrv, scopeSrv, jnl)
+		publishDebugVars(store, eppSrv, rdapSrv, whoisSrv, scopeSrv, &jnlVar)
+		publishReplVars(source, follower)
 		ln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
 			log.Fatalf("debug: %v", err)
@@ -153,10 +216,13 @@ func main() {
 		dir.Credential(dir.Accreditations(registrars.Svc1API)[0]))
 
 	// Background snapshotter: periodic consistent full-store snapshots bound
-	// the WAL replay a restart pays, without ever stopping the world.
+	// the WAL replay a restart pays, without ever stopping the world. It
+	// reads the journal through jnlVar so a replica — which starts with no
+	// writing journal — begins snapshotting the moment promotion installs
+	// one.
 	snapStop := make(chan struct{})
 	snapDone := make(chan struct{})
-	if jnl != nil {
+	if jnl != nil || isReplica {
 		go func() {
 			defer close(snapDone)
 			t := time.NewTicker(*snapshotEvery)
@@ -164,15 +230,19 @@ func main() {
 			for {
 				select {
 				case <-t.C:
+					j := jnlVar.Load()
+					if j == nil {
+						continue // replica: the shipped log is the history
+					}
 					// Async mode acknowledges mutations before they are
 					// durable, so a poisoned WAL (disk full, IO error) is
 					// invisible to EPP clients; surface it here instead of
 					// only at Close. The snapshot still runs — it persists
 					// the current state directly, independent of the log.
-					if err := jnl.Err(); err != nil {
+					if err := j.Err(); err != nil {
 						log.Printf("journal: WAL failed, new mutations are NOT durable: %v", err)
 					}
-					if err := jnl.Snapshot(nil); err != nil {
+					if err := j.Snapshot(nil); err != nil {
 						log.Printf("snapshot: %v", err)
 					}
 				case <-snapStop:
@@ -185,19 +255,43 @@ func main() {
 	}
 
 	// Keep the lifecycle engine ticking so seeded domains progress through
-	// expiration while the server runs.
+	// expiration while the server runs. A replica's lifecycle is driven by
+	// the primary's mutation stream — ticking locally would fork history —
+	// so the ticker is a no-op until promotion.
 	lc := registry.NewLifecycle(store, registry.DefaultLifecycleConfig())
 	ticker := time.NewTicker(30 * time.Second)
 	defer ticker.Stop()
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1)
 	for {
 		select {
 		case <-ticker.C:
+			if isReplica && !promoted {
+				continue
+			}
 			if n := lc.Tick(clock.Now()); n > 0 {
 				log.Printf("lifecycle: %d transitions", n)
 			}
 		case s := <-sig:
+			if s == syscall.SIGUSR1 {
+				// Promotion drill: finish applying the durable shipped log,
+				// re-open the local directory as a writing journal, lift the
+				// EPP read-only gate. The operator fences the old primary.
+				if !isReplica || promoted {
+					log.Printf("SIGUSR1: not an unpromoted replica; ignoring")
+					continue
+				}
+				pj, err := follower.Promote(journal.Options{Dir: *dataDir, Mode: mode})
+				if err != nil {
+					log.Fatalf("promote: %v", err)
+				}
+				jnl = pj
+				jnlVar.Store(pj)
+				promoted = true
+				eppSrv.SetReadOnly(false)
+				log.Printf("promoted to primary at seq %d; EPP writes enabled", pj.LastSeq())
+				continue
+			}
 			log.Printf("%v: shutting down", s)
 			// Stop the only mutating surface first and drain its in-flight
 			// sessions, then flush and close the journal so every
@@ -210,7 +304,38 @@ func main() {
 				em.Conns, em.Commands, em.Codes)
 			close(snapStop)
 			<-snapDone
+			// Replication state in the shutdown summary: role, position,
+			// peak lag — the numbers a post-mortem of a Drop window wants.
+			if source != nil {
+				sm := source.Metrics()
+				log.Printf("replication: role=primary followers=%d min_acked_seq=%d shipped=%d records (%d bytes) snapshots_sent=%d connects=%d",
+					sm.Followers, sm.MinAckedSeq, sm.ShippedRecords, sm.ShippedBytes, sm.SnapshotsSent, sm.Connects)
+				source.Close()
+			}
+			if follower != nil {
+				role := "replica"
+				if promoted {
+					role = "promoted-primary"
+				}
+				fm := follower.Metrics()
+				log.Printf("replication: role=%s applied_seq=%d primary_seq=%d peak_lag=%d records / %v reconnects=%d snapshots=%d",
+					role, fm.AppliedSeq, fm.PrimarySeq, fm.PeakSeqLag, fm.PeakTimeLag, fm.Reconnects, fm.Snapshots)
+				if err := follower.Err(); err != nil {
+					log.Printf("replication: terminal error: %v", err)
+				}
+				if !promoted {
+					if err := follower.Close(); err != nil {
+						log.Printf("replication: close: %v", err)
+					}
+				}
+			}
 			if jnl != nil {
+				// Surface a poisoned WAL explicitly before the close line: in
+				// async mode this is the only place a quiet-exit run reports
+				// that acknowledged mutations were never made durable.
+				if err := jnl.Err(); err != nil {
+					log.Printf("journal: WAL error, recent mutations may NOT be durable: %v", err)
+				}
 				m := jnl.Metrics()
 				if err := jnl.Close(); err != nil {
 					log.Printf("journal: close: %v", err)
@@ -237,7 +362,7 @@ func main() {
 // under a single expvar map, so `curl /debug/vars` shows shard count, live
 // domain population, request totals and cache hit ratios alongside the
 // standard memstats — handy when reading a pprof contention profile.
-func publishDebugVars(store *registry.Store, eppSrv *epp.Server, rdapSrv *rdap.Server, whoisSrv *whois.Server, scopeSrv *dropscope.Server, jnl *journal.Journal) {
+func publishDebugVars(store *registry.Store, eppSrv *epp.Server, rdapSrv *rdap.Server, whoisSrv *whois.Server, scopeSrv *dropscope.Server, jnlVar *atomic.Pointer[journal.Journal]) {
 	surface := func(requests uint64, cache gencache.Counters) map[string]any {
 		return map[string]any{
 			"requests":    requests,
@@ -267,7 +392,7 @@ func publishDebugVars(store *registry.Store, eppSrv *epp.Server, rdapSrv *rdap.S
 			"whois": surface(wm.Requests, wm.Cache),
 			"scope": surface(sm.Requests, sm.Cache),
 		}
-		if jnl != nil {
+		if jnl := jnlVar.Load(); jnl != nil {
 			jm := jnl.Metrics()
 			walErr := ""
 			if err := jnl.Err(); err != nil {
@@ -283,6 +408,46 @@ func publishDebugVars(store *registry.Store, eppSrv *epp.Server, rdapSrv *rdap.S
 		}
 		return vars
 	}))
+}
+
+// publishReplVars exposes replication counters as repl_source / repl_follower
+// expvars, whichever matches this process's role. The follower map carries
+// the lag gauges a dashboard polls during a Drop: how far behind the replica
+// is in records and in time, plus the worst it has been.
+func publishReplVars(source *repl.Source, follower *repl.Follower) {
+	if source != nil {
+		expvar.Publish("repl_source", expvar.Func(func() any {
+			m := source.Metrics()
+			return map[string]any{
+				"followers":       m.Followers,
+				"min_acked_seq":   m.MinAckedSeq,
+				"shipped_records": m.ShippedRecords,
+				"shipped_bytes":   m.ShippedBytes,
+				"snapshots_sent":  m.SnapshotsSent,
+				"connects":        m.Connects,
+			}
+		}))
+	}
+	if follower != nil {
+		expvar.Publish("repl_follower", expvar.Func(func() any {
+			m := follower.Metrics()
+			lag := follower.LagResult()
+			return map[string]any{
+				"applied_seq":      m.AppliedSeq,
+				"primary_seq":      m.PrimarySeq,
+				"seq_lag":          m.SeqLag,
+				"peak_seq_lag":     m.PeakSeqLag,
+				"peak_time_lag_ms": float64(m.PeakTimeLag) / float64(time.Millisecond),
+				"time_lag_p50_ms":  float64(lag.P50()) / float64(time.Millisecond),
+				"time_lag_p99_ms":  float64(lag.P99()) / float64(time.Millisecond),
+				"records":          m.Records,
+				"batches":          m.Batches,
+				"snapshots":        m.Snapshots,
+				"reconnects":       m.Reconnects,
+				"log_bytes":        m.LogBytes,
+			}
+		}))
+	}
 }
 
 // logSurface prints one surface's request count and cache effectiveness,

@@ -37,6 +37,7 @@ const (
 	CodeObjectExists    = 2302
 	CodeObjectNotFound  = 2303
 	CodeStatusProhibits = 2304
+	CodePolicyViolation = 2308
 	CodeRateLimited     = 2502
 	CodeCommandFailed   = 2400
 )

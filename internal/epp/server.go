@@ -7,6 +7,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"dropzero/internal/model"
 	"dropzero/internal/registry"
@@ -30,6 +31,11 @@ type ServerConfig struct {
 	// also be installed as the registry store's Observer so lifecycle and
 	// Drop events reach sponsors.
 	Poll *PollQueue
+	// ReadOnly starts the server with mutating commands (create, renew,
+	// update, delete, transfer) rejected with CodePolicyViolation. This is
+	// the replica stance: reads are served locally, writes belong to the
+	// primary. Flipped at runtime via SetReadOnly — promotion lifts it.
+	ReadOnly bool
 }
 
 // Server serves the registry over the EPP-like protocol.
@@ -39,6 +45,7 @@ type Server struct {
 	cfg      ServerConfig
 	limiter  *Limiter
 	counters *serverCounters
+	readOnly atomic.Bool
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -57,8 +64,18 @@ func NewServer(store *registry.Store, clock simtime.Clock, cfg ServerConfig) *Se
 	if cfg.CreateBurst > 0 && cfg.CreateRate > 0 {
 		s.limiter = NewLimiter(clock, cfg.CreateBurst, cfg.CreateRate)
 	}
+	s.readOnly.Store(cfg.ReadOnly)
 	return s
 }
+
+// SetReadOnly flips the mutating-command gate at runtime: a replica serves
+// with it set, and promotion to primary clears it. Commands already past
+// the gate are unaffected — on a replica there are none, because the gate
+// was up before the listener.
+func (s *Server) SetReadOnly(v bool) { s.readOnly.Store(v) }
+
+// ReadOnly reports whether mutating commands are currently rejected.
+func (s *Server) ReadOnly() bool { return s.readOnly.Load() }
 
 func (s *Server) logf(format string, args ...any) {
 	switch {
@@ -217,17 +234,17 @@ func (s *Server) handle(sess *session, req *Request, resp *Response) {
 	case CmdInfo:
 		s.requireLogin(sess, resp, func() { s.handleInfo(sess, req, resp) })
 	case CmdCreate:
-		s.requireLogin(sess, resp, func() { s.handleCreate(sess, req, resp) })
+		s.requireWritable(sess, resp, func() { s.handleCreate(sess, req, resp) })
 	case CmdRenew:
-		s.requireLogin(sess, resp, func() { s.handleRenew(sess, req, resp) })
+		s.requireWritable(sess, resp, func() { s.handleRenew(sess, req, resp) })
 	case CmdUpdate:
-		s.requireLogin(sess, resp, func() { s.handleUpdate(sess, req, resp) })
+		s.requireWritable(sess, resp, func() { s.handleUpdate(sess, req, resp) })
 	case CmdDelete:
-		s.requireLogin(sess, resp, func() { s.handleDelete(sess, req, resp) })
+		s.requireWritable(sess, resp, func() { s.handleDelete(sess, req, resp) })
 	case CmdPoll:
 		s.requireLogin(sess, resp, func() { s.handlePoll(sess, req, resp) })
 	case CmdTransfer:
-		s.requireLogin(sess, resp, func() { s.handleTransfer(sess, req, resp) })
+		s.requireWritable(sess, resp, func() { s.handleTransfer(sess, req, resp) })
 	default:
 		resp.Code, resp.Msg = CodeUnknownCommand, fmt.Sprintf("unknown command %q", req.Cmd)
 	}
@@ -251,6 +268,7 @@ const (
 	msgAuthorization   = "authorization error"
 	msgBadAuthInfo     = "invalid authorization information"
 	msgStatusProhibits = "object status prohibits operation"
+	msgReadOnly        = "data management policy violation; server is a read-only replica, direct writes to the primary"
 )
 
 // resultMsg maps a store failure to its interned message; codes without a
@@ -277,6 +295,19 @@ func (s *Server) requireLogin(sess *session, resp *Response, fn func()) {
 		return
 	}
 	fn()
+}
+
+// requireWritable gates mutating commands: login first, then the read-only
+// check, so a replica still authenticates sessions (check/info/poll need
+// them) but refuses writes with an unambiguous, machine-actionable code.
+func (s *Server) requireWritable(sess *session, resp *Response, fn func()) {
+	s.requireLogin(sess, resp, func() {
+		if s.readOnly.Load() {
+			resp.Code, resp.Msg = CodePolicyViolation, msgReadOnly
+			return
+		}
+		fn()
+	})
 }
 
 func (s *Server) handleLogin(sess *session, req *Request, resp *Response) {

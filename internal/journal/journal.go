@@ -149,6 +149,13 @@ type Journal struct {
 	snapMu  sync.Mutex
 	keepAll bool
 
+	// retMu guards the replication retain floors: each streaming follower
+	// connection registers the position it still needs, and segment pruning
+	// after a snapshot never removes records above the lowest floor.
+	retMu    sync.Mutex
+	retained map[uint64]uint64
+	retNext  uint64
+
 	lastSnapUnix atomic.Int64 // 0 = no snapshot yet this process
 	replayed     atomic.Uint64
 }
@@ -163,35 +170,58 @@ func Open(store *registry.Store, o Options) (*Journal, Recovery, error) {
 	if err := o.defaults(); err != nil {
 		return nil, rec, err
 	}
-	if err := os.MkdirAll(o.Dir, 0o777); err != nil {
-		return nil, rec, fmt.Errorf("journal: %w", err)
-	}
-
-	sf, err := loadLatestSnapshot(o.Dir)
+	rec, last, hadSnap, err := recoverDir(store, o.Dir)
 	if err != nil {
 		return nil, rec, err
+	}
+	w, err := newWAL(o.Dir, last, o.SyncEvery, o.SyncInterval, o.SegmentBytes, o.Mode == ModeAsync)
+	if err != nil {
+		return nil, rec, err
+	}
+
+	j := &Journal{store: store, w: w, mode: o.Mode, now: o.Now, keepAll: o.KeepAll}
+	j.replayed.Store(uint64(rec.ReplayedRecords))
+	if hadSnap {
+		j.lastSnapUnix.Store(o.Now().Unix())
+	}
+	return j, rec, nil
+}
+
+// recoverDir rebuilds dir's durable state into store: restore the newest
+// valid snapshot, replay the WAL tail, truncate a torn final write. It
+// returns what was reconstructed plus the highest recovered sequence
+// number, and does not open the log for writing — Open layers the writer on
+// top, Replay (the follower path) stops here.
+func recoverDir(store *registry.Store, dir string) (rec Recovery, last uint64, hadSnap bool, err error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return rec, 0, false, fmt.Errorf("journal: %w", err)
+	}
+
+	sf, err := loadLatestSnapshot(dir)
+	if err != nil {
+		return rec, 0, false, err
 	}
 	var after uint64
 	if sf != nil {
 		if err := store.RestoreSnapshot(sf.State); err != nil {
-			return nil, rec, err
+			return rec, 0, false, err
 		}
 		after = sf.Seq
 		rec.SnapshotSeq = sf.Seq
 		rec.AppState = sf.AppState
 	}
 
-	res, err := scanDir(o.Dir, after)
+	res, err := scanDir(dir, after)
 	if err != nil {
-		return nil, rec, err
+		return rec, 0, false, err
 	}
-	if names, firstSeqs, lerr := listSegments(o.Dir); lerr == nil && len(firstSeqs) > 0 && firstSeqs[0] > after+1 {
-		return nil, rec, fmt.Errorf("journal: gap between snapshot (seq %d) and oldest segment %s", after, names[0])
+	if names, firstSeqs, lerr := listSegments(dir); lerr == nil && len(firstSeqs) > 0 && firstSeqs[0] > after+1 {
+		return rec, 0, false, fmt.Errorf("journal: gap between snapshot (seq %d) and oldest segment %s", after, names[0])
 	}
 	for _, r := range res.records {
 		if r.Mutation != nil {
 			if err := store.Apply(*r.Mutation); err != nil {
-				return nil, rec, fmt.Errorf("journal: replay seq %d: %w", r.Seq, err)
+				return rec, 0, false, fmt.Errorf("journal: replay seq %d: %w", r.Seq, err)
 			}
 		} else {
 			rec.AppRecords = append(rec.AppRecords, r.App)
@@ -201,32 +231,52 @@ func Open(store *registry.Store, o Options) (*Journal, Recovery, error) {
 	if res.tornFile != "" {
 		info, err := os.Stat(res.tornFile)
 		if err != nil {
-			return nil, rec, fmt.Errorf("journal: %w", err)
+			return rec, 0, false, fmt.Errorf("journal: %w", err)
 		}
 		rec.TornBytes = info.Size() - res.tornAt
 		if err := os.Truncate(res.tornFile, res.tornAt); err != nil {
-			return nil, rec, fmt.Errorf("journal: truncate torn tail: %w", err)
+			return rec, 0, false, fmt.Errorf("journal: truncate torn tail: %w", err)
 		}
 	}
 
-	last := res.lastSeq
+	last = res.lastSeq
 	if after > last {
 		// The snapshot is newer than the durable log tail (an async-mode
 		// crash lost buffered records the snapshot already covered). The
 		// snapshot is the state of record; the sequence continues from it.
 		last = after
 	}
-	w, err := newWAL(o.Dir, last, o.SyncEvery, o.SyncInterval, o.SegmentBytes, o.Mode == ModeAsync)
-	if err != nil {
-		return nil, rec, err
-	}
+	return rec, last, sf != nil, nil
+}
 
-	j := &Journal{store: store, w: w, mode: o.Mode, now: o.Now, keepAll: o.KeepAll}
-	j.replayed.Store(uint64(rec.ReplayedRecords))
-	if sf != nil {
-		j.lastSnapUnix.Store(o.Now().Unix())
+// Replay rebuilds dir's durable state into store without opening the log
+// for writing. This is how a restarting follower resumes: recover the local
+// shipped log exactly as a primary would (snapshot, tail, torn-write
+// truncation), then reconnect and ask the primary for records after the
+// returned Recovery's position (LastSeq). The store must be empty.
+func Replay(store *registry.Store, dir string) (Recovery, uint64, error) {
+	rec, last, _, err := recoverDir(store, dir)
+	return rec, last, err
+}
+
+// OpenExisting opens dir's journal for writing with no recovery pass: the
+// caller guarantees store already reflects every record ≤ lastSeq. This is
+// the promotion path — a replica that finished applying its durable shipped
+// log takes over the write role, and re-running recovery against its live,
+// serving store (RestoreSnapshot demands an empty one) is neither possible
+// nor needed. Appends continue at lastSeq+1 in a fresh segment.
+func OpenExisting(store *registry.Store, o Options, lastSeq uint64) (*Journal, error) {
+	if err := o.defaults(); err != nil {
+		return nil, err
 	}
-	return j, rec, nil
+	if err := os.MkdirAll(o.Dir, 0o777); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	w, err := newWAL(o.Dir, lastSeq, o.SyncEvery, o.SyncInterval, o.SegmentBytes, o.Mode == ModeAsync)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{store: store, w: w, mode: o.Mode, now: o.Now, keepAll: o.KeepAll}, nil
 }
 
 // Append implements registry.Journal: it frames the mutation into the WAL
@@ -234,15 +284,25 @@ func Open(store *registry.Store, o Options) (*Journal, Recovery, error) {
 // after releasing its locks. Async mode returns nil — durability follows
 // within SyncInterval.
 func (j *Journal) Append(m registry.Mutation) func() error {
+	_, wait := j.AppendMutation(m)
+	return wait
+}
+
+// AppendMutation is Append exposed with the assigned sequence number, for
+// callers that need to correlate a mutation with its WAL position — the
+// semi-sync replication wrapper waits for follower acknowledgement of
+// exactly this sequence. The wait function follows Append's contract: nil
+// in async mode, group-commit waiter in sync mode.
+func (j *Journal) AppendMutation(m registry.Mutation) (uint64, func() error) {
 	body, err := appendMutation(nil, &m)
 	if err != nil {
-		return func() error { return err }
+		return 0, func() error { return err }
 	}
-	_, wait := j.w.append(recMutation, body)
+	seq, wait := j.w.append(recMutation, body)
 	if j.mode == ModeSync {
-		return wait
+		return seq, wait
 	}
-	return nil
+	return seq, nil
 }
 
 // AppendApp journals an opaque application record (the simulation driver's
@@ -265,6 +325,56 @@ func (j *Journal) Sync() error {
 // LastSeq returns the sequence number of the most recently appended record
 // (durable or not).
 func (j *Journal) LastSeq() uint64 { return j.w.lastSeq() }
+
+// DurableSeq returns the highest sequence number known fsynced. Replication
+// ships only records ≤ this horizon, so a follower can never hold a record
+// the primary would lose in a crash.
+func (j *Journal) DurableSeq() uint64 { return j.w.durableSeq() }
+
+// WatchDurable registers for durable-horizon advances: the returned channel
+// receives a (coalesced) notification after every group commit, and cancel
+// unregisters it. This is how a replication source tails the live log
+// without polling — it wakes exactly when new durable bytes exist.
+func (j *Journal) WatchDurable() (<-chan struct{}, func()) { return j.w.watchDurable() }
+
+// Dir returns the journal's data directory, the one TailReader reads
+// segment files from.
+func (j *Journal) Dir() string { return j.w.dir }
+
+// Retain pins records with sequence numbers greater than seq against
+// segment pruning until the returned release is called. A replication
+// source holds a floor per streaming follower so a snapshot landing
+// mid-stream cannot delete segments the follower is still reading.
+// Snapshot files themselves are not pinned — only segments.
+func (j *Journal) Retain(seq uint64) (release func()) {
+	j.retMu.Lock()
+	if j.retained == nil {
+		j.retained = make(map[uint64]uint64)
+	}
+	id := j.retNext
+	j.retNext++
+	j.retained[id] = seq
+	j.retMu.Unlock()
+	return func() {
+		j.retMu.Lock()
+		delete(j.retained, id)
+		j.retMu.Unlock()
+	}
+}
+
+// retainFloor returns the lowest registered retain position, or ^0 when no
+// follower holds one.
+func (j *Journal) retainFloor() uint64 {
+	j.retMu.Lock()
+	defer j.retMu.Unlock()
+	floor := ^uint64(0)
+	for _, seq := range j.retained {
+		if seq < floor {
+			floor = seq
+		}
+	}
+	return floor
+}
 
 // Err returns the WAL's sticky IO failure, or nil while the log is healthy.
 // Async mode acknowledges mutations before they are durable, so once the
@@ -317,7 +427,11 @@ func (j *Journal) Snapshot(appState []byte) error {
 		return err
 	}
 	if !j.keepAll {
-		if err := pruneAfterSnapshot(j.w.dir, seq); err != nil {
+		segSeq := seq
+		if floor := j.retainFloor(); floor < segSeq {
+			segSeq = floor
+		}
+		if err := pruneAfterSnapshot(j.w.dir, seq, segSeq); err != nil {
 			return fmt.Errorf("journal: prune: %w", err)
 		}
 	}

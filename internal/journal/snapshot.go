@@ -138,17 +138,23 @@ func readSnapshot(path string) (*snapshotFile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("journal: read snapshot: %w", err)
 	}
+	return decodeSnapshotBytes(data, filepath.Base(path))
+}
+
+// decodeSnapshotBytes verifies and decodes one snapshot file image; name
+// labels errors (a file's base name, or "shipped" for replicated bytes).
+func decodeSnapshotBytes(data []byte, name string) (*snapshotFile, error) {
 	if len(data) < len(snapMagic)+snapFooter || string(data[:len(snapMagic)]) != snapMagic {
-		return nil, fmt.Errorf("journal: snapshot %s: bad header", filepath.Base(path))
+		return nil, fmt.Errorf("journal: snapshot %s: bad header", name)
 	}
 	body := data[:len(data)-snapFooter]
 	want := binary.LittleEndian.Uint32(data[len(data)-snapFooter:])
 	if crc32.ChecksumIEEE(body) != want {
-		return nil, fmt.Errorf("journal: snapshot %s: CRC mismatch", filepath.Base(path))
+		return nil, fmt.Errorf("journal: snapshot %s: CRC mismatch", name)
 	}
 	var sf snapshotFile
 	if err := gob.NewDecoder(strings.NewReader(string(body[len(snapMagic):]))).Decode(&sf); err != nil {
-		return nil, fmt.Errorf("journal: snapshot %s: %w", filepath.Base(path), err)
+		return nil, fmt.Errorf("journal: snapshot %s: %w", name, err)
 	}
 	return &sf, nil
 }
@@ -182,18 +188,22 @@ func loadLatestSnapshot(dir string) (*snapshotFile, error) {
 	return nil, nil
 }
 
-// pruneAfterSnapshot removes snapshots older than seq and every WAL segment
-// fully covered by the snapshot at seq: a segment is removable when its
-// successor's first record is still ≤ seq+1, meaning no record after seq
-// lives in it. The current append segment is never covered by construction
-// (its records are newer than any snapshot).
-func pruneAfterSnapshot(dir string, seq uint64) error {
+// pruneAfterSnapshot removes snapshots older than snapSeq and every WAL
+// segment fully covered by position segSeq: a segment is removable when its
+// successor's first record is still ≤ segSeq+1, meaning no record after
+// segSeq lives in it. The current append segment is never covered by
+// construction (its records are newer than any snapshot). segSeq is
+// normally snapSeq, lowered to the replication retain floor while followers
+// are mid-stream — they read records from the segment files directly, so
+// segments must outlive the snapshot that supersedes them for state
+// rebuilding.
+func pruneAfterSnapshot(dir string, snapSeq, segSeq uint64) error {
 	snapNames, snapSeqs, err := listSnapshots(dir)
 	if err != nil {
 		return err
 	}
 	for i, name := range snapNames {
-		if snapSeqs[i] < seq {
+		if snapSeqs[i] < snapSeq {
 			if err := os.Remove(filepath.Join(dir, name)); err != nil {
 				return err
 			}
@@ -204,11 +214,70 @@ func pruneAfterSnapshot(dir string, seq uint64) error {
 		return err
 	}
 	for i := 0; i+1 < len(segNames); i++ {
-		if firstSeqs[i+1] <= seq+1 {
+		if firstSeqs[i+1] <= segSeq+1 {
 			if err := os.Remove(filepath.Join(dir, segNames[i])); err != nil {
 				return err
 			}
 		}
 	}
 	return syncDir(dir)
+}
+
+// LatestSnapshotPath returns dir's newest snapshot file and its sequence
+// number, with ok=false when the directory holds none. The replication
+// source streams this file's raw bytes to a fresh follower; it relies on
+// POSIX unlink semantics (an opened file survives a concurrent prune), so
+// callers open the path before doing anything slow.
+func LatestSnapshotPath(dir string) (path string, seq uint64, ok bool, err error) {
+	names, seqs, err := listSnapshots(dir)
+	if err != nil {
+		return "", 0, false, fmt.Errorf("journal: list snapshots: %w", err)
+	}
+	if len(names) == 0 {
+		return "", 0, false, nil
+	}
+	i := len(names) - 1
+	return filepath.Join(dir, names[i]), seqs[i], true, nil
+}
+
+// DecodeSnapshot verifies and decodes a raw snapshot file image (as shipped
+// over replication), returning the WAL sequence it covers and the registry
+// state to restore.
+func DecodeSnapshot(data []byte) (seq uint64, state registry.SnapshotState, err error) {
+	sf, err := decodeSnapshotBytes(data, "shipped")
+	if err != nil {
+		return 0, registry.SnapshotState{}, err
+	}
+	return sf.Seq, sf.State, nil
+}
+
+// WriteRawSnapshot installs a raw snapshot file image into dir under its
+// canonical name, with the same temp-fsync-rename dance writeSnapshot uses.
+// A follower persists the shipped snapshot this way so its own restart can
+// recover locally instead of re-fetching.
+func WriteRawSnapshot(dir string, seq uint64, data []byte) error {
+	final := filepath.Join(dir, snapName(seq))
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	defer os.Remove(tmp)
+	_, werr := f.Write(data)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("journal: write snapshot: %w", werr)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("journal: publish snapshot: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("journal: sync dir: %w", err)
+	}
+	return nil
 }

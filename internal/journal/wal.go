@@ -68,6 +68,13 @@ type wal struct {
 	stop     chan struct{}
 	flusherWG sync.WaitGroup
 
+	// watchers are replication sources waiting for the durable horizon to
+	// advance. Each gets a buffered channel poked (non-blocking, coalescing)
+	// after every group commit and at close, so a tailing source wakes per
+	// commit burst instead of polling.
+	watchers map[uint64]chan struct{}
+	watchID  uint64
+
 	bytes  atomic.Uint64 // total frame bytes handed to the OS
 	fsyncs atomic.Uint64
 
@@ -286,6 +293,46 @@ func (w *wal) flushLocked() {
 	}
 	w.syncing = false
 	w.cond.Broadcast()
+	w.notifyWatchersLocked()
+}
+
+// notifyWatchersLocked pokes every registered durable watcher without
+// blocking; a full buffer means a wake-up is already pending. Caller holds
+// mu.
+func (w *wal) notifyWatchersLocked() {
+	for _, ch := range w.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// durableSeq returns the highest fsynced sequence number.
+func (w *wal) durableSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.durable
+}
+
+// watchDurable registers a durable-advance watcher; cancel unregisters it.
+// The channel is also poked at close so watchers re-check state and notice
+// the log is gone.
+func (w *wal) watchDurable() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	w.mu.Lock()
+	if w.watchers == nil {
+		w.watchers = make(map[uint64]chan struct{})
+	}
+	id := w.watchID
+	w.watchID++
+	w.watchers[id] = ch
+	w.mu.Unlock()
+	return ch, func() {
+		w.mu.Lock()
+		delete(w.watchers, id)
+		w.mu.Unlock()
+	}
 }
 
 // flusher is the async-mode background goroutine: group commit on a timer,
@@ -358,6 +405,7 @@ func (w *wal) close() error {
 		}
 		w.f = nil
 	}
+	w.notifyWatchersLocked()
 	w.mu.Unlock()
 	return err
 }

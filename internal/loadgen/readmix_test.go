@@ -1,0 +1,94 @@
+package loadgen
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunMixProportionsAndDeterminism pins the weighted schedule: class
+// counts match the weights exactly over whole cycles, and the sequence is a
+// pure function of the request index — two runs observe identical
+// class-per-index assignments.
+func TestRunMixProportionsAndDeterminism(t *testing.T) {
+	const total = 4000 // weight sum 4 divides it: exact proportions
+	record := func() ([]int32, []MixItem) {
+		classes := make([]int32, total)
+		items := []MixItem{
+			{Name: "rdap", Weight: 3, Fn: func(i int) error { classes[i] = 1; return nil }},
+			{Name: "whois", Weight: 1, Fn: func(i int) error { classes[i] = 2; return nil }},
+		}
+		return classes, items
+	}
+	classes1, items1 := record()
+	res, err := RunMix(8, total, items1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Combined.Requests != total || res.Combined.Errors != 0 {
+		t.Fatalf("combined = %+v", res.Combined)
+	}
+	if got := res.PerItem["rdap"].Requests; got != total*3/4 {
+		t.Errorf("rdap requests = %d, want %d", got, total*3/4)
+	}
+	if got := res.PerItem["whois"].Requests; got != total/4 {
+		t.Errorf("whois requests = %d, want %d", got, total/4)
+	}
+	// Smoothness: within every cycle of 4, exactly one whois request.
+	for c := 0; c < 8; c++ {
+		whois := 0
+		for i := c * 4; i < c*4+4; i++ {
+			if classes1[i] == 2 {
+				whois++
+			}
+		}
+		if whois != 1 {
+			t.Fatalf("cycle %d: %d whois requests, want 1 (schedule not smooth)", c, whois)
+		}
+	}
+	classes2, items2 := record()
+	if _, err := RunMix(3, total, items2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range classes1 {
+		if classes1[i] != classes2[i] {
+			t.Fatalf("request %d classed %d then %d: schedule depends on worker timing", i, classes1[i], classes2[i])
+		}
+	}
+}
+
+// TestRunMixErrorsPerItem checks errors are attributed to the class that
+// produced them.
+func TestRunMixErrorsPerItem(t *testing.T) {
+	var fails atomic.Uint64
+	items := []MixItem{
+		{Name: "good", Weight: 1, Fn: func(int) error { return nil }},
+		{Name: "bad", Weight: 1, Fn: func(int) error { fails.Add(1); return fmt.Errorf("boom") }},
+	}
+	res, err := RunMix(4, 1000, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerItem["good"].Errors != 0 {
+		t.Errorf("good class reported %d errors", res.PerItem["good"].Errors)
+	}
+	if got := res.PerItem["bad"].Errors; got != fails.Load() {
+		t.Errorf("bad class errors = %d, want %d", got, fails.Load())
+	}
+	if res.Combined.Errors != fails.Load() {
+		t.Errorf("combined errors = %d, want %d", res.Combined.Errors, fails.Load())
+	}
+}
+
+// TestRunMixValidation rejects malformed workloads.
+func TestRunMixValidation(t *testing.T) {
+	if _, err := RunMix(1, 10, nil); err == nil {
+		t.Error("empty mix accepted")
+	}
+	if _, err := RunMix(1, 10, []MixItem{{Name: "x", Weight: 0, Fn: func(int) error { return nil }}}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := RunMix(1, 10, []MixItem{{Name: "x", Weight: 1}}); err == nil {
+		t.Error("nil Fn accepted")
+	}
+}

@@ -2,6 +2,7 @@ package registry
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"dropzero/internal/model"
@@ -145,24 +146,45 @@ func waitJournal(wait func() error) error {
 // It is not part of the serving API: records must be applied in their
 // original order, single-goroutine, before the store receives traffic.
 func (s *Store) Apply(m Mutation) error {
-	switch m.Kind {
-	case MutAddRegistrar:
+	if m.Kind == MutAddRegistrar {
 		s.regMu.Lock()
 		s.registrars[m.Registrar.IANAID] = m.Registrar
 		s.bumpGen()
 		s.regMu.Unlock()
 		return nil
+	}
+	sh := s.shardOf(m.Name)
+	sh.mu.Lock()
+	ev, isPurge, err := s.applyDomainLocked(sh, &m)
+	if err != nil {
+		sh.mu.Unlock()
+		return err
+	}
+	if isPurge {
+		day := simtime.DayOf(ev.Time)
+		s.delMu.Lock()
+		s.deletions[day] = append(s.deletions[day], ev)
+		s.delMu.Unlock()
+	}
+	s.bumpGen()
+	sh.mu.Unlock()
+	return nil
+}
 
+// applyDomainLocked replays one domain-shard mutation with sh's write lock
+// held. It performs the in-shard state change only: the caller owns the
+// generation bump, and for purges the deletion-archive append (the event is
+// returned) — split out so ApplyBatch can amortise those across a batch
+// while Apply keeps the one-record semantics.
+func (s *Store) applyDomainLocked(sh *shard, m *Mutation) (ev model.DeletionEvent, isPurge bool, err error) {
+	switch m.Kind {
 	case MutCreate, MutSeed:
 		_, tld, err := splitName(m.Name)
 		if err != nil {
-			return fmt.Errorf("registry: replay %v %q: %w", m.Kind, m.Name, err)
+			return ev, false, fmt.Errorf("registry: replay %v %q: %w", m.Kind, m.Name, err)
 		}
-		sh := s.shardOf(m.Name)
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
 		if _, taken := sh.domains[m.Name]; taken {
-			return fmt.Errorf("registry: replay %v: %w: %q", m.Kind, ErrExists, m.Name)
+			return ev, false, fmt.Errorf("registry: replay %v: %w: %q", m.Kind, ErrExists, m.Name)
 		}
 		d := &model.Domain{
 			ID:          m.ID,
@@ -188,16 +210,12 @@ func (s *Store) Apply(m Mutation) error {
 		if cur := s.nextID.Load(); m.ID > cur {
 			s.nextID.Store(m.ID)
 		}
-		s.bumpGen()
-		return nil
+		return ev, false, nil
 
 	case MutTouch, MutRenew, MutTransfer, MutSetState:
-		sh := s.shardOf(m.Name)
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
 		d, ok := sh.domains[m.Name]
 		if !ok {
-			return fmt.Errorf("registry: replay %v: %w: %q", m.Kind, ErrNotFound, m.Name)
+			return ev, false, fmt.Errorf("registry: replay %v: %w: %q", m.Kind, ErrNotFound, m.Name)
 		}
 		sh.dueRemove(d)
 		switch m.Kind {
@@ -220,18 +238,14 @@ func (s *Store) Apply(m Mutation) error {
 			d.DeleteDay = m.DeleteDay
 		}
 		sh.dueAdd(d)
-		s.bumpGen()
-		return nil
+		return ev, false, nil
 
 	case MutPurge:
-		sh := s.shardOf(m.Name)
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
 		d, ok := sh.domains[m.Name]
 		if !ok {
-			return fmt.Errorf("registry: replay purge: %w: %q", ErrNotFound, m.Name)
+			return ev, false, fmt.Errorf("registry: replay purge: %w: %q", ErrNotFound, m.Name)
 		}
-		ev := model.DeletionEvent{
+		ev = model.DeletionEvent{
 			DomainID: d.ID,
 			Name:     d.Name,
 			TLD:      d.TLD,
@@ -242,14 +256,113 @@ func (s *Store) Apply(m Mutation) error {
 		delete(sh.domains, m.Name)
 		delete(sh.byID, d.ID)
 		delete(sh.authInfo, m.Name)
-		day := simtime.DayOf(m.Time)
-		s.delMu.Lock()
-		s.deletions[day] = append(s.deletions[day], ev)
-		s.delMu.Unlock()
-		s.bumpGen()
+		return ev, true, nil
+	}
+	return ev, false, fmt.Errorf("registry: replay: unknown mutation kind %d", m.Kind)
+}
+
+// ApplyBatch replays a contiguous run of mutation records — a replication
+// batch, typically one primary group commit — acquiring each touched shard's
+// lock once instead of once per record. This is the replica apply hot path:
+// lock acquisitions and due-index work dominate per-record Apply cost, and a
+// Drop-second burst lands hundreds of records in one batch.
+//
+// Equivalence with applying the records one at a time through Apply:
+//
+//   - Same-name records hash to the same shard, so their relative order is
+//     preserved inside that shard's group.
+//   - The generation counter advances by the group size inside each shard's
+//     critical section, so the batch ends at exactly the generation the
+//     primary had after the same records — the property that makes a
+//     replica's ETags comparable to the primary's.
+//   - Deletion-archive order is observable (the archive is rank-ordered per
+//     day), so purge events are collected with their batch positions and
+//     appended in original record order.
+//   - MutAddRegistrar commits under the registrar lock, not a shard lock; it
+//     acts as a barrier — pending groups flush, the record applies inline —
+//     preserving its position in the stream.
+//
+// What batching gives up is mid-batch cross-shard atomicity: a concurrent
+// reader can observe one shard's group applied while another's is pending,
+// a state the primary never exposed under that generation. Each domain is
+// always at a prefix-consistent point of its own history, the window closes
+// when the batch's remaining bumps land (invalidating any cache entry built
+// inside it), and batch boundaries are group-commit boundaries — the same
+// transient read-your-replica caveat every asynchronous replica has.
+//
+// An error mid-batch leaves the batch partially applied. Errors here mean
+// the record stream is not a faithful log of a store's history (replication
+// transport corruption, a diverged follower); the caller must treat the
+// store as poisoned, not retry.
+func (s *Store) ApplyBatch(ms []Mutation) error {
+	if len(ms) <= 1 {
+		if len(ms) == 1 {
+			return s.Apply(ms[0])
+		}
 		return nil
 	}
-	return fmt.Errorf("registry: replay: unknown mutation kind %d", m.Kind)
+	type purgeEv struct {
+		idx int
+		ev  model.DeletionEvent
+	}
+	var (
+		groups  = make([][]int, len(s.shards))
+		touched []uint64
+		purges  []purgeEv
+	)
+	flush := func() error {
+		for _, si := range touched {
+			sh := &s.shards[si]
+			idxs := groups[si]
+			sh.mu.Lock()
+			for _, i := range idxs {
+				ev, isPurge, err := s.applyDomainLocked(sh, &ms[i])
+				if err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				if isPurge {
+					purges = append(purges, purgeEv{i, ev})
+				}
+			}
+			// One add covering the whole group, inside the critical section:
+			// a reader blocked on this shard wakes to a generation that
+			// already covers everything it can now see, never a generation
+			// from the middle of the group.
+			s.gen.Add(uint64(len(idxs)))
+			sh.mu.Unlock()
+			groups[si] = groups[si][:0]
+		}
+		touched = touched[:0]
+		if len(purges) > 0 {
+			sort.Slice(purges, func(a, b int) bool { return purges[a].idx < purges[b].idx })
+			s.delMu.Lock()
+			for _, p := range purges {
+				day := simtime.DayOf(p.ev.Time)
+				s.deletions[day] = append(s.deletions[day], p.ev)
+			}
+			s.delMu.Unlock()
+			purges = purges[:0]
+		}
+		return nil
+	}
+	for i := range ms {
+		if ms[i].Kind == MutAddRegistrar {
+			if err := flush(); err != nil {
+				return err
+			}
+			if err := s.Apply(ms[i]); err != nil {
+				return err
+			}
+			continue
+		}
+		si := s.shardIndex(ms[i].Name)
+		if len(groups[si]) == 0 {
+			touched = append(touched, si)
+		}
+		groups[si] = append(groups[si], i)
+	}
+	return flush()
 }
 
 // SnapshotDomain is one registration in a store snapshot, paired with its

@@ -197,6 +197,12 @@ func normalizeShardCount(n int) int {
 // The hash is fixed for the life of the store: a registration never changes
 // shards, whatever lifecycle state it is in.
 func (s *Store) shardOf(name string) *shard {
+	return &s.shards[s.shardIndex(name)]
+}
+
+// shardIndex is shardOf as an index, for callers that group work by shard
+// (ApplyBatch) rather than locking one.
+func (s *Store) shardIndex(name string) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -206,7 +212,7 @@ func (s *Store) shardOf(name string) *shard {
 		h ^= uint64(name[i])
 		h *= prime64
 	}
-	return &s.shards[h&s.mask]
+	return h & s.mask
 }
 
 // ShardCount reports how many shards the store was built with.

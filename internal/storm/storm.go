@@ -119,7 +119,16 @@ type Report struct {
 	Unclaimed []string
 	// DropErrors are failures applying the Drop itself.
 	DropErrors []error
+	// ReplicationLag, when the storm ran against a replicated primary,
+	// holds a follower's per-batch time-lag samples (how stale replica
+	// reads were while the create burst raged) with the same percentile
+	// machinery as create latencies. Attached by the harness from
+	// repl.Follower.LagResult after the run; nil for unreplicated storms.
+	ReplicationLag *loadgen.Result
 }
+
+// AttachReplicationLag records a follower's lag distribution on the report.
+func (r *Report) AttachReplicationLag(lag loadgen.Result) { r.ReplicationLag = &lag }
 
 // WinDelays returns every win's re-registration delay, ascending — the
 // sample the delay-CDF figures are drawn from.
