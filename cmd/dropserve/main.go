@@ -27,6 +27,7 @@ import (
 	"dropzero/internal/dns"
 	"dropzero/internal/dropscope"
 	"dropzero/internal/epp"
+	"dropzero/internal/feed"
 	"dropzero/internal/gencache"
 	"dropzero/internal/journal"
 	"dropzero/internal/model"
@@ -62,6 +63,8 @@ func main() {
 	replListen := flag.String("listen-replication", "", "replication listen address: stream snapshot + WAL to followers (requires a journal)")
 	replicateFrom := flag.String("replicate-from", "", "run as a read replica of the primary at this replication address (requires -datadir; EPP is read-only until SIGUSR1 promotes)")
 	syncFollowers := flag.Int("sync-followers", 0, "semi-synchronous replication: EPP acks additionally wait for this many follower acknowledgements (primary only)")
+	feedRing := flag.Int("feed-ring", 4<<20, "event-feed delta ring capacity in bytes; a cursor that falls off the ring is redirected to the full list")
+	feedQueue := flag.Int("feed-queue", 64, "event-feed per-subscriber queue length; a subscriber that overflows it is moved to cursor catch-up")
 	flag.Parse()
 
 	mode, err := journal.ParseMode(*durability)
@@ -124,6 +127,24 @@ func main() {
 		log.Fatal("-listen-replication requires a journal (-datadir plus -durability async or sync)")
 	}
 
+	// Event feed: the hub consumes the store's mutation stream through a
+	// journal tap and maintains pre-rendered delta segments for the
+	// pending-delete list's /deltas and /events endpoints. Primary only — a
+	// replica's mutations arrive through the shipped log, which bypasses the
+	// journal hook. The baseline is primed from the recovered state; the
+	// seeding below streams through the tap like any other mutation.
+	var hub *feed.Hub
+	if !isReplica {
+		hub = feed.NewHub(feed.Options{RingBytes: *feedRing, QueueLen: *feedQueue})
+		defer hub.Close()
+		hub.PrimeFromStore(store)
+		if jnl != nil {
+			store.SetJournal(feed.Tap{Inner: jnl, Hub: hub})
+		} else {
+			store.SetJournal(hub)
+		}
+	}
+
 	// Only a primary originates mutations; a replica's registrars and
 	// population arrive through the replication stream.
 	if !isReplica {
@@ -145,7 +166,7 @@ func main() {
 		listen("replication", *replListen, source.Listen)
 		defer source.Close()
 		if *syncFollowers > 0 {
-			store.SetJournal(&repl.SyncJournal{J: jnl, S: source})
+			store.SetJournal(feed.Tap{Inner: &repl.SyncJournal{J: jnl, S: source}, Hub: hub})
 			fmt.Printf("semi-sync: EPP acks wait for %d follower acknowledgement(s)\n", *syncFollowers)
 		}
 	}
@@ -175,6 +196,9 @@ func main() {
 	defer whoisSrv.Close()
 
 	scopeSrv := dropscope.NewServer(store)
+	if hub != nil {
+		scopeSrv.AttachFeed(hub)
+	}
 	listen("pending-delete list", *scopeAddr, scopeSrv.Listen)
 	defer scopeSrv.Close()
 
@@ -191,7 +215,7 @@ func main() {
 	defer zoneSrv.Close()
 
 	if *debugAddr != "" {
-		publishDebugVars(store, eppSrv, rdapSrv, whoisSrv, scopeSrv, &jnlVar)
+		publishDebugVars(store, eppSrv, rdapSrv, whoisSrv, scopeSrv, hub, &jnlVar)
 		publishReplVars(source, follower)
 		ln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
@@ -350,6 +374,13 @@ func main() {
 			if sm.WriteErrors > 0 {
 				log.Printf("pending-delete list: %d failed body writes", sm.WriteErrors)
 			}
+			if hub != nil {
+				fm := hub.Metrics()
+				lag := hub.FanoutLag()
+				log.Printf("feed: %d records in %d batches (%d ops), %d subscribers served, slow_drops=%d resumes=%d resets=%d, fan-out lag p50=%v p99=%v",
+					fm.Records, fm.Batches, fm.Ops, fm.SubscribersTotal,
+					fm.SlowDrops, fm.Resumes, fm.Resets, lag.P50(), lag.P99())
+			}
 			if err := oracle.ServeErr(); err != nil {
 				log.Printf("oracle: serve error: %v", err)
 			}
@@ -362,7 +393,7 @@ func main() {
 // under a single expvar map, so `curl /debug/vars` shows shard count, live
 // domain population, request totals and cache hit ratios alongside the
 // standard memstats — handy when reading a pprof contention profile.
-func publishDebugVars(store *registry.Store, eppSrv *epp.Server, rdapSrv *rdap.Server, whoisSrv *whois.Server, scopeSrv *dropscope.Server, jnlVar *atomic.Pointer[journal.Journal]) {
+func publishDebugVars(store *registry.Store, eppSrv *epp.Server, rdapSrv *rdap.Server, whoisSrv *whois.Server, scopeSrv *dropscope.Server, hub *feed.Hub, jnlVar *atomic.Pointer[journal.Journal]) {
 	surface := func(requests uint64, cache gencache.Counters) map[string]any {
 		return map[string]any{
 			"requests":    requests,
@@ -391,6 +422,35 @@ func publishDebugVars(store *registry.Store, eppSrv *epp.Server, rdapSrv *rdap.S
 			"rdap":  surface(rm.Requests, rm.Cache),
 			"whois": surface(wm.Requests, wm.Cache),
 			"scope": surface(sm.Requests, sm.Cache),
+		}
+		if hub != nil {
+			fm := hub.Metrics()
+			lag := hub.FanoutLag()
+			vars["feed"] = map[string]any{
+				"cursor":            fm.Cursor,
+				"records":           fm.Records,
+				"batches":           fm.Batches,
+				"ops":               fm.Ops,
+				"subscribers":       fm.Subscribers,
+				"subscribers_total": fm.SubscribersTotal,
+				"slow_drops":        fm.SlowDrops,
+				"resumes":           fm.Resumes,
+				"resets":            fm.Resets,
+				"delta_requests":    fm.DeltaRequests,
+				"full_requests":     fm.FullRequests,
+				"event_requests":    fm.EventRequests,
+				"ring_segments":     fm.RingSegments,
+				"ring_bytes":        fm.RingBytes,
+				"pending":           fm.Pending,
+				"cache_hits":        fm.Cache.Hits,
+				"cache_miss":        fm.Cache.Misses,
+				// Live fan-out lag: mutation append instant to subscriber
+				// receipt, the number a drop-catcher's dashboard watches.
+				"fanout_lag_p50_ms":  float64(lag.P50()) / float64(time.Millisecond),
+				"fanout_lag_p99_ms":  float64(lag.P99()) / float64(time.Millisecond),
+				"fanout_lag_p999_ms": float64(lag.P999()) / float64(time.Millisecond),
+				"fanout_deliveries":  lag.Requests,
+			}
 		}
 		if jnl := jnlVar.Load(); jnl != nil {
 			jm := jnl.Metrics()

@@ -14,16 +14,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"dropzero/internal/epp"
+	"dropzero/internal/feed"
 	"dropzero/internal/model"
 	"dropzero/internal/registrars"
 	"dropzero/internal/registry"
@@ -45,16 +50,17 @@ func main() {
 	burst := flag.Float64("burst", 20, "per-accreditation create token burst")
 	rate := flag.Float64("rate", 5, "per-accreditation create token refill per second")
 	seed := flag.Int64("seed", 1, "ecosystem seed")
+	subscribers := flag.Int("subscribers", 16, "live event-feed subscribers riding along with the storm (0 = no feed)")
 	verbose := flag.Bool("v", false, "print the per-profile attempt breakdown")
 	flag.Parse()
 
-	if err := run(*nNames, *services, *transport, *scale, *dropSpacing, *dropStart, *burst, *rate, *seed, *verbose); err != nil {
+	if err := run(*nNames, *services, *transport, *scale, *dropSpacing, *dropStart, *burst, *rate, *seed, *subscribers, *verbose); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(nNames int, services, transport string, scale float64,
-	dropSpacing, dropStart time.Duration, burst, rate float64, seed int64, verbose bool) error {
+	dropSpacing, dropStart time.Duration, burst, rate float64, seed int64, subscribers int, verbose bool) error {
 	day := simtime.Day{Year: 2018, Month: time.March, Dom: 8}
 	clock := simtime.NewSimClock(day.At(18, 59, 0))
 	rng := rand.New(rand.NewSource(seed))
@@ -73,6 +79,52 @@ func run(nNames int, services, transport string, scale float64,
 		if _, err := store.SeedAt(names[i], sponsor, updated.AddDate(-2, 0, 0), updated,
 			updated.AddDate(0, 0, -30), model.StatusPendingDelete, day); err != nil {
 			return err
+		}
+	}
+
+	// The event-feed pool: live SSE subscribers watching the Drop through the
+	// hub while the create storm rages, so the report can print fan-out lag
+	// (mutation append to subscriber receipt) next to replication lag. The
+	// hub taps the store's journal hook; dropstorm runs memory-only, so the
+	// hub IS the journal.
+	var (
+		hub       *feed.Hub
+		subCancel context.CancelFunc
+		subWG     sync.WaitGroup
+	)
+	if subscribers > 0 {
+		hub = feed.NewHub(feed.Options{})
+		defer hub.Close()
+		hub.PrimeFromStore(store)
+		store.SetJournal(hub)
+		mux := http.NewServeMux()
+		hub.Register(mux, "")
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		feedSrv := &http.Server{Handler: mux}
+		go feedSrv.Serve(ln)
+		defer feedSrv.Close()
+		base := "http://" + ln.Addr().String()
+		ctx, cancel := context.WithCancel(context.Background())
+		subCancel = cancel
+		defer cancel()
+		for i := 0; i < subscribers; i++ {
+			sub, err := feed.Subscribe(ctx, nil, base, -1, nil)
+			if err != nil {
+				return fmt.Errorf("feed subscriber %d: %w", i, err)
+			}
+			subWG.Add(1)
+			go func() {
+				defer subWG.Done()
+				defer sub.Close()
+				for {
+					if _, err := sub.Next(); err != nil {
+						return
+					}
+				}
+			}()
 		}
 	}
 
@@ -182,6 +234,14 @@ func run(nNames int, services, transport string, scale float64,
 	if err != nil {
 		return err
 	}
+	if hub != nil {
+		// Let the last purge's broadcast land before freezing the histogram,
+		// then hang up the pool.
+		hub.Quiesce()
+		rep.AttachFanoutLag(hub.FanoutLag())
+		subCancel()
+		subWG.Wait()
+	}
 	printReport(rep, verbose)
 
 	// The FCFS audit decides the exit code.
@@ -249,6 +309,11 @@ func printReport(rep *storm.Report, verbose bool) {
 	}
 	if lag := rep.ReplicationLag; lag != nil {
 		fmt.Printf("replication lag (%d batches) p50=%v p95=%v p99=%v peak=%v\n",
+			lag.Requests, lag.P50().Round(time.Microsecond), lag.P95().Round(time.Microsecond),
+			lag.P99().Round(time.Microsecond), lag.Percentile(100).Round(time.Microsecond))
+	}
+	if lag := rep.FanoutLag; lag != nil {
+		fmt.Printf("fan-out lag (%d deliveries) p50=%v p95=%v p99=%v peak=%v\n",
 			lag.Requests, lag.P50().Round(time.Microsecond), lag.P95().Round(time.Microsecond),
 			lag.P99().Round(time.Microsecond), lag.Percentile(100).Round(time.Microsecond))
 	}

@@ -15,15 +15,26 @@
 //     23-hour-later pickup — the gap the paper's RDAP-timestamp method and
 //     minimum-envelope model close.
 //
-//     go run ./examples/zonediff
+// For contrast, the same run is observed through the registry's event feed
+// (the pending-delete list's /deltas and /events endpoints): a live SSE
+// subscriber sees every purge and every re-registration as an individual
+// timestamped operation, pushed within milliseconds of the commit — the
+// resolution the zone-diff methodology structurally cannot reach.
+//
+//	go run ./examples/zonediff
 package main
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"net/http"
 	"time"
 
+	"dropzero/internal/dropscope"
+	"dropzero/internal/feed"
 	"dropzero/internal/model"
 	"dropzero/internal/names"
 	"dropzero/internal/registrars"
@@ -68,6 +79,22 @@ func main() {
 		dropping = append(dropping, name)
 	}
 
+	// The replacement channel: the event feed taps the store's mutation
+	// stream and serves cursor-addressed delta segments plus an SSE push
+	// endpoint from the pending-delete list server.
+	hub := feed.NewHub(feed.Options{})
+	defer hub.Close()
+	hub.PrimeFromStore(store)
+	store.SetJournal(hub)
+	scopeSrv := dropscope.NewServer(store)
+	scopeSrv.AttachFeed(hub)
+	scopeAddr, err := scopeSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer scopeSrv.Close()
+	feedBase := "http://" + scopeAddr.String()
+
 	// Zone access program: fetch today's snapshot over HTTP.
 	zoneSrv := zonefile.NewServer(store)
 	addr, err := zoneSrv.Listen("127.0.0.1:0")
@@ -86,6 +113,18 @@ func main() {
 	dayBefore := snapshot()
 	fmt.Printf("zone snapshot before the Drop: %d delegated names\n", len(dayBefore))
 	fmt.Printf("(the %d pendingDelete names are already gone from the zone)\n\n", len(dropping))
+
+	// A live subscriber attaches before the Drop: its cursor marks the last
+	// generation it has seen, and everything after arrives as pushed deltas.
+	hub.Quiesce()
+	preDrop := hub.Cursor()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sub, err := feed.Subscribe(ctx, nil, feedBase, int64(preDrop), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Close()
 
 	// The Drop, with a market deciding re-registrations.
 	clock.Set(day.At(19, 0, 0))
@@ -116,6 +155,49 @@ func main() {
 	}
 	fmt.Printf("ground truth: %d deletions; %d caught at 0 s, %d re-registered later\n\n",
 		len(events), caught0s, caughtLate)
+
+	// What the event feed saw: drain the live subscriber until its cursor
+	// reaches the hub's, then pull the same window as one delta fetch and
+	// count operations.
+	hub.Quiesce()
+	target := hub.Cursor()
+	batches, pushed := 0, 0
+	for sub.Cursor() < target {
+		ev, err := sub.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		batches++
+		pushed += ev.Records
+	}
+	resp, err := http.Get(fmt.Sprintf("%s/deltas?since=%d", feedBase, preDrop))
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ops, err := feed.ParseOps(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var purges, catches int
+	for _, op := range ops {
+		switch op.Kind {
+		case feed.OpPurge:
+			purges++
+		case feed.OpRereg:
+			catches++
+		}
+	}
+	fmt.Printf("event feed (live SSE from cursor %d): %d ops pushed in %d batches\n",
+		preDrop, pushed, batches)
+	fmt.Printf("  %d '!' purge ops and %d '*' re-registration ops, in commit order,\n", purges, catches)
+	fmt.Println("  each batch stamped at millisecond resolution — the drop-catch race is")
+	fmt.Println("  directly observable, no daily snapshot diffing required.")
+	fmt.Println()
 
 	// Next day's snapshot and the diff — all the prior-work channel sees.
 	clock.Set(day.Next().At(8, 0, 0))

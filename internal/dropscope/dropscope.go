@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dropzero/internal/feed"
 	"dropzero/internal/gencache"
 	"dropzero/internal/registry"
 	"dropzero/internal/simtime"
@@ -66,6 +67,7 @@ var csvContentType = []string{"text/csv"}
 type Server struct {
 	store *registry.Store
 	http  *http.Server
+	mux   *http.ServeMux
 	ln    net.Listener
 
 	serveErr  atomic.Value // error from the background http.Serve
@@ -93,8 +95,16 @@ func NewServer(store *registry.Store) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/pendingdelete", s.handleList)
+	s.mux = mux
 	s.http = &http.Server{Handler: mux}
 	return s
+}
+
+// AttachFeed mounts hub's streaming endpoints (/deltas, /deltas/full,
+// /events) on this server's mux, next to the daily list. Call during
+// startup, before the server takes traffic.
+func (s *Server) AttachFeed(hub *feed.Hub) {
+	hub.Register(s.mux, "")
 }
 
 // Handler exposes the HTTP handler for tests.
@@ -305,17 +315,38 @@ func ParseDay(s string) (simtime.Day, error) {
 // Client downloads pending-delete lists. It remembers each day's ETag and
 // parsed entries, revalidates with If-None-Match, and reuses the parsed list
 // on 304 Not Modified — repeated fetches of an unchanged day cost neither a
-// body transfer nor a re-parse.
+// body transfer nor a re-parse. A 200 is additionally diffed per deletion-day
+// segment against the previous body: consecutive publications share four of
+// their five days, and an unchanged day's bytes reuse the already-parsed
+// entries instead of re-parsing the whole list.
+//
+// Clients that can hold a cursor can skip the daily body entirely: SyncDeltas
+// maintains a local mirror of the server's pending-delete set by applying
+// O(changes) deltas from the /deltas endpoint, and MirrorWindow renders the
+// same five-day window from it.
 type Client struct {
 	base *url.URL
 	http *http.Client
 
-	mu    sync.Mutex
-	cache map[simtime.Day]*clientCached
+	mu     sync.Mutex
+	cache  map[simtime.Day]*clientCached // by list start day
+	days   map[simtime.Day]*dayCached    // by deletion day
+	mirror *feed.Mirror                  // lazily created by SyncDeltas
+
+	segReused atomic.Uint64
+	segParsed atomic.Uint64
 }
 
 type clientCached struct {
 	etag    string
+	entries []Entry
+}
+
+// dayCached is one deletion day's slice of the last list body: the raw CSV
+// bytes (the identity check) and their parsed entries (what an unchanged
+// day reuses).
+type dayCached struct {
+	raw     []byte
 	entries []Entry
 }
 
@@ -328,7 +359,19 @@ func NewClient(baseURL string, httpClient *http.Client) (*Client, error) {
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 30 * time.Second}
 	}
-	return &Client{base: u, http: httpClient, cache: make(map[simtime.Day]*clientCached)}, nil
+	return &Client{
+		base:  u,
+		http:  httpClient,
+		cache: make(map[simtime.Day]*clientCached),
+		days:  make(map[simtime.Day]*dayCached),
+	}, nil
+}
+
+// SegmentCounters reports how many per-day segments of 200 responses were
+// reused from the previous parse versus parsed fresh — the regression
+// signal for the sliding-window fast path.
+func (c *Client) SegmentCounters() (reused, parsed uint64) {
+	return c.segReused.Load(), c.segParsed.Load()
 }
 
 // Fetch downloads the list published for day.
@@ -357,7 +400,11 @@ func (c *Client) Fetch(ctx context.Context, day simtime.Day) ([]Entry, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("dropscope: HTTP %d for %s", resp.StatusCode, u.String())
 	}
-	entries, err := ParseList(resp.Body)
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("dropscope: read list: %w", err)
+	}
+	entries, err := c.assembleBody(day, body)
 	if err != nil {
 		return entries, err
 	}
@@ -367,6 +414,153 @@ func (c *Client) Fetch(ctx context.Context, day simtime.Day) ([]Entry, error) {
 		c.mu.Unlock()
 	}
 	return entries, nil
+}
+
+// assembleBody turns a 200 list body into entries, reusing the parsed
+// entries of every deletion-day segment whose bytes are unchanged since the
+// previous fetch. The body is sorted by (deleteDay, name), so each day's
+// lines are one contiguous chunk and chunk identity is a byte comparison.
+func (c *Client) assembleBody(start simtime.Day, body []byte) ([]Entry, error) {
+	chunks := splitDayChunks(body)
+	entries := make([]Entry, 0, 64)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ch := range chunks {
+		if dc := c.days[ch.day]; dc != nil && bytes.Equal(dc.raw, ch.raw) {
+			c.segReused.Add(1)
+			entries = append(entries, dc.entries...)
+			continue
+		}
+		c.segParsed.Add(1)
+		parsed, err := ParseList(bytes.NewReader(ch.raw))
+		if err != nil {
+			return entries, err
+		}
+		c.days[ch.day] = &dayCached{raw: ch.raw, entries: parsed}
+		entries = append(entries, parsed...)
+	}
+	// Days the window has slid past can never byte-match again.
+	for d := range c.days {
+		if d.Before(start) {
+			delete(c.days, d)
+		}
+	}
+	return entries, nil
+}
+
+// dayChunk is the contiguous run of list lines sharing one deletion day.
+type dayChunk struct {
+	day simtime.Day
+	raw []byte
+}
+
+// splitDayChunks slices a list body into per-deletion-day chunks without
+// parsing: each line ends ",YYYY-MM-DD" and the body is day-ordered. Lines
+// that do not look like that land in a chunk with a zero day, which never
+// byte-matches a cached segment and falls through to the real CSV parser
+// (where any malformation is reported).
+func splitDayChunks(body []byte) []dayChunk {
+	var chunks []dayChunk
+	var curDay simtime.Day
+	start := 0
+	lineStart := 0
+	flush := func(end int) {
+		if end > start {
+			chunks = append(chunks, dayChunk{day: curDay, raw: body[start:end]})
+		}
+		start = end
+	}
+	for i := 0; i < len(body); i++ {
+		if body[i] != '\n' {
+			continue
+		}
+		line := body[lineStart:i]
+		var day simtime.Day
+		if j := bytes.LastIndexByte(line, ','); j >= 0 {
+			if d, err := ParseDay(string(line[j+1:])); err == nil {
+				day = d
+			}
+		}
+		if lineStart == 0 {
+			curDay = day
+		} else if day != curDay {
+			flush(lineStart)
+			curDay = day
+		}
+		lineStart = i + 1
+	}
+	flush(len(body))
+	if lineStart < len(body) {
+		// Trailing bytes without a newline: keep them so the parser sees
+		// (and reports) the truncation.
+		chunks = append(chunks, dayChunk{raw: body[lineStart:]})
+	}
+	return chunks
+}
+
+// feedBase is the client's base URL in the string form the feed helpers
+// expect (no trailing slash, no path).
+func (c *Client) feedBase() string {
+	return strings.TrimSuffix(c.base.String(), "/")
+}
+
+// SyncDeltas advances the client's delta cursor: the first call fetches the
+// full list from /deltas/full, later calls apply only the changes since the
+// cursor from /deltas. Returns the cursor the mirror is now consistent
+// with. The mirror is shared state behind the same client; MirrorWindow
+// renders windows from it.
+func (c *Client) SyncDeltas(ctx context.Context) (uint64, error) {
+	c.mu.Lock()
+	if c.mirror == nil {
+		c.mirror = feed.NewMirror()
+	}
+	m := c.mirror
+	c.mu.Unlock()
+	return feed.SyncDeltas(ctx, c.http, c.feedBase(), m)
+}
+
+// Cursor returns the delta cursor, 0 before the first SyncDeltas.
+func (c *Client) Cursor() uint64 {
+	c.mu.Lock()
+	m := c.mirror
+	c.mu.Unlock()
+	if m == nil {
+		return 0
+	}
+	return m.Cursor()
+}
+
+// MirrorWindow returns the pending-delete entries for the LookaheadDays
+// window starting at day, rendered from the delta-maintained mirror — the
+// same entries (and, via RenderEntries, the same bytes) a Fetch of that day
+// returns, without transferring or parsing a list body.
+func (c *Client) MirrorWindow(day simtime.Day) []Entry {
+	c.mu.Lock()
+	m := c.mirror
+	c.mu.Unlock()
+	if m == nil {
+		return nil
+	}
+	items := m.Window(day, LookaheadDays)
+	entries := make([]Entry, len(items))
+	for i, it := range items {
+		entries[i] = Entry{Name: it.Name, DeleteDay: it.Day}
+	}
+	return entries
+}
+
+// RenderEntries renders entries in the server's list CSV format, for
+// byte-identical comparisons between fetched and delta-derived windows.
+func RenderEntries(entries []Entry) []byte {
+	var buf bytes.Buffer
+	cw := csv.NewWriter(&buf)
+	for _, e := range entries {
+		if err := cw.Write([]string{e.Name, e.DeleteDay.String()}); err != nil {
+			panic(err) // csv.Writer cannot fail writing to a bytes.Buffer
+		}
+	}
+	cw.Flush()
+	return buf.Bytes()
 }
 
 // ParseList decodes a CSV pending-delete list.

@@ -1,0 +1,242 @@
+package dropscope
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dropzero/internal/feed"
+	"dropzero/internal/model"
+	"dropzero/internal/registry"
+	"dropzero/internal/simtime"
+)
+
+// TestFetchReusesUnchangedDaySegments is the sliding-window regression
+// test: when consecutive publications share four of their five days, a 200
+// must re-parse only the day that actually changed, not the whole body.
+func TestFetchReusesUnchangedDaySegments(t *testing.T) {
+	store, client, day := newEnv(t)
+	for i := 0; i < 8; i++ {
+		seedPending(t, store, fmt.Sprintf("seg%d.com", i), day.AddDays(i))
+	}
+	ctx := context.Background()
+
+	if _, err := client.Fetch(ctx, day); err != nil {
+		t.Fatal(err)
+	}
+	reused, parsed := client.SegmentCounters()
+	if reused != 0 || parsed != LookaheadDays {
+		t.Fatalf("first fetch: reused=%d parsed=%d, want 0/%d", reused, parsed, LookaheadDays)
+	}
+
+	// The window slides by one day, nothing else changed: four shared days
+	// reuse their parsed entries, only the new trailing day parses.
+	if _, err := client.Fetch(ctx, day.Next()); err != nil {
+		t.Fatal(err)
+	}
+	reused, parsed = client.SegmentCounters()
+	if reused != LookaheadDays-1 || parsed != LookaheadDays+1 {
+		t.Fatalf("slid fetch: reused=%d parsed=%d, want %d/%d",
+			reused, parsed, LookaheadDays-1, LookaheadDays+1)
+	}
+
+	// A refetch of an unchanged day takes the 304 path: no body, no
+	// segment work at all.
+	if _, err := client.Fetch(ctx, day.Next()); err != nil {
+		t.Fatal(err)
+	}
+	if r2, p2 := client.SegmentCounters(); r2 != reused || p2 != parsed {
+		t.Fatalf("304 refetch touched segments: reused=%d parsed=%d", r2, p2)
+	}
+
+	// One day mutates: exactly that segment re-parses, the rest reuse.
+	seedPending(t, store, "newcomer.com", day.AddDays(3))
+	got, err := client.Fetch(ctx, day.Next())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, p3 := client.SegmentCounters()
+	if r3 != reused+LookaheadDays-1 || p3 != parsed+1 {
+		t.Fatalf("after mutation: reused=%d parsed=%d, want %d/%d",
+			r3, p3, reused+LookaheadDays-1, parsed+1)
+	}
+	found := false
+	for _, e := range got {
+		found = found || e.Name == "newcomer.com"
+	}
+	if !found {
+		t.Fatal("mutated day's new entry missing from reassembled list")
+	}
+}
+
+// TestFetchSegmentReuseMatchesFreshParse: the reassembled entries must be
+// exactly what a from-scratch parse of the same body produces, for every
+// window position.
+func TestFetchSegmentReuseMatchesFreshParse(t *testing.T) {
+	store, client, day := newEnv(t)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 30; i++ {
+		seedPending(t, store, fmt.Sprintf("mix%d.com", i), day.AddDays(rng.Intn(8)))
+	}
+	fresh, _, _ := newEnvClient(t, store)
+	ctx := context.Background()
+	for d := 0; d < 4; d++ {
+		when := day.AddDays(d)
+		got, err := client.Fetch(ctx, when)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.Fetch(ctx, when)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(RenderEntries(got)) != string(RenderEntries(want)) {
+			t.Fatalf("day %v: segment-reused entries diverge from fresh parse", when)
+		}
+		// Mutate between windows so reuse and re-parse interleave.
+		seedPending(t, store, fmt.Sprintf("mut%d.com", d), when.AddDays(2))
+	}
+}
+
+// newEnvClient returns an extra independent client over the same store.
+func newEnvClient(t *testing.T, store *registry.Store) (*Client, *Server, simtime.Day) {
+	t.Helper()
+	day := simtime.Day{Year: 2018, Month: time.January, Dom: 10}
+	srv := NewServer(store)
+	hc := httptest.NewServer(srv.Handler())
+	t.Cleanup(hc.Close)
+	client, err := NewClient(hc.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, srv, day
+}
+
+// TestClientDeltaCursorDifferential is the tentpole's client-side
+// acceptance test at the dropscope layer: a client holding a delta cursor
+// (joining at an arbitrary generation) must render every published window
+// byte-identically to the server's own /pendingdelete body at every
+// checkpoint generation, across seeds, Drop days and re-registration flaps.
+func TestClientDeltaCursorDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			day := simtime.Day{Year: 2018, Month: time.January, Dom: 10}
+			clock := simtime.NewSimClock(day.At(9, 0, 0))
+			store := registry.NewStore(clock)
+			store.AddRegistrar(model.Registrar{IANAID: 1000})
+
+			hub := feed.NewHub(feed.Options{})
+			defer hub.Close()
+			hub.PrimeFromStore(store)
+			store.SetJournal(hub)
+
+			scope := NewServer(store)
+			scope.AttachFeed(hub)
+			ts := httptest.NewServer(scope.Handler())
+			defer ts.Close()
+
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 25; i++ {
+				seedPending(t, store, fmt.Sprintf("s%d-%d.com", seed, i), day.AddDays(rng.Intn(4)))
+			}
+			for i := 0; i < 15; i++ {
+				updated := day.AddDays(-30).At(8, 0, 0)
+				if _, err := store.SeedAt(fmt.Sprintf("a%d-%d.com", seed, i), 1000,
+					updated.AddDate(-1, 0, 0), updated, updated.AddDate(1, 0, 0),
+					model.StatusActive, simtime.Day{}); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			ctx := context.Background()
+			var clients []*Client
+			addClient := func() {
+				c, err := NewClient(ts.URL, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := c.SyncDeltas(ctx); err != nil {
+					t.Fatal(err)
+				}
+				clients = append(clients, c)
+			}
+			addClient() // joins after initial seeding
+
+			serverBody := func(when simtime.Day) string {
+				resp, err := http.Get(ts.URL + "/pendingdelete?date=" + when.String())
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resp.Body.Close()
+				b, err := io.ReadAll(resp.Body)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return string(b)
+			}
+			checkpoint := func(stage string, when simtime.Day) {
+				hub.Quiesce()
+				for i, c := range clients {
+					if _, err := c.SyncDeltas(ctx); err != nil {
+						t.Fatal(err)
+					}
+					got := string(RenderEntries(c.MirrorWindow(when)))
+					if want := serverBody(when); got != want {
+						t.Fatalf("%s: client %d window %v diverges:\ncursor-applied:\n%s\nserver:\n%s",
+							stage, i, when, got, want)
+					}
+				}
+			}
+			checkpoint("initial", day)
+
+			runner := registry.NewDropRunner(store, registry.DefaultDropConfig())
+			var purged []string
+			for d := 0; d < 4; d++ {
+				when := day.AddDays(d)
+				clock.Set(when.At(10, 0, 0))
+
+				for i := 0; i < 3; i++ {
+					name := fmt.Sprintf("a%d-%d.com", seed, rng.Intn(15))
+					// Repeated marks of the same name only move its day.
+					if err := store.MarkPendingDelete(name, clock.Now(), when.AddDays(1+rng.Intn(2))); err != nil {
+						t.Fatal(err)
+					}
+				}
+				checkpoint("marks", when)
+
+				events, err := runner.Run(when, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, ev := range events {
+					purged = append(purged, ev.Name)
+				}
+				checkpoint("drop", when)
+
+				// Re-registration flap: caught at the drop, immediately
+				// deleted again by its new owner.
+				for i := 0; i < 2 && len(purged) > 0; i++ {
+					name := purged[len(purged)-1]
+					purged = purged[:len(purged)-1]
+					if _, err := store.CreateAt(name, 1000, 1, clock.Now()); err != nil {
+						t.Fatal(err)
+					}
+					if i == 0 {
+						if err := store.MarkPendingDelete(name, clock.Now(), when.AddDays(1)); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				checkpoint("reregs", when)
+
+				addClient() // a new client joins at this arbitrary generation
+				checkpoint("joined", when.Next())
+			}
+		})
+	}
+}

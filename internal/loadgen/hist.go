@@ -1,0 +1,174 @@
+package loadgen
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Hist is a fixed-size latency histogram: ~12 KB of counters regardless of
+// how many observations land in it, so a 10k-subscriber × long-horizon run
+// records hundreds of millions of latencies without holding a sample slice
+// per worker. Bucket layout:
+//
+//   - exact region: 1 µs-wide buckets from 0 up to ~1 ms (1024 buckets), so
+//     percentiles below a millisecond are exact to the microsecond;
+//   - log region above: 16 sub-buckets per power of two (≤6.25 % relative
+//     width) across 32 octaves, reaching ~25 days;
+//   - one overflow bucket beyond that.
+//
+// A percentile read returns the lower bound of the bucket holding the
+// nearest-rank observation, clamped into [min, max] (both tracked exactly),
+// so it is within one bucket width of the exact nearest-rank value and the
+// extremes (rank 1, rank n) are exact.
+//
+// The zero value is ready to use. Record is safe for concurrent use (atomic
+// counters); Merge and the read side are safe against concurrent Record but
+// see a live, possibly mid-update view — quiesce writers first when an exact
+// snapshot matters.
+type Hist struct {
+	n      uint64
+	max    int64 // ns, exact
+	minP1  int64 // min+1 ns; 0 = no observation yet
+	counts [histBuckets]uint64
+}
+
+const (
+	histExactBuckets = 1024 // 1 µs buckets: exact below ~1.024 ms
+	histSubBits      = 4    // 16 sub-buckets per octave above
+	histOctaves      = 32   // top bucket lower bound ≈ 2^41 µs ≈ 25 days
+	histFirstOctave  = 10   // log2(histExactBuckets)
+	histBuckets      = histExactBuckets + histOctaves<<histSubBits + 1
+)
+
+// histIndex maps a duration to its bucket.
+func histIndex(d time.Duration) int {
+	if d < 0 {
+		d = 0
+	}
+	us := uint64(d) / uint64(time.Microsecond)
+	if us < histExactBuckets {
+		return int(us)
+	}
+	e := bits.Len64(us) - 1
+	if e >= histFirstOctave+histOctaves {
+		return histBuckets - 1
+	}
+	sub := (us >> uint(e-histSubBits)) & (1<<histSubBits - 1)
+	return histExactBuckets + (e-histFirstOctave)<<histSubBits + int(sub)
+}
+
+// histValue returns the lower bound of bucket idx.
+func histValue(idx int) time.Duration {
+	if idx < histExactBuckets {
+		return time.Duration(idx) * time.Microsecond
+	}
+	k := idx - histExactBuckets
+	e := k>>histSubBits + histFirstOctave
+	sub := uint64(k & (1<<histSubBits - 1))
+	lo := (1<<histSubBits + sub) << uint(e-histSubBits)
+	return time.Duration(lo) * time.Microsecond
+}
+
+// histWidth returns the width of bucket idx — the error bound Percentile
+// promises relative to exact nearest-rank. Exported to tests via the
+// differential test in hist_test.go.
+func histWidth(idx int) time.Duration {
+	if idx < histExactBuckets {
+		return time.Microsecond
+	}
+	if idx == histBuckets-1 {
+		return histValue(idx) // overflow: width is unbounded, report the floor
+	}
+	return histValue(idx+1) - histValue(idx)
+}
+
+// Record adds one observation. Negative durations clamp to zero.
+func (h *Hist) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	atomic.AddUint64(&h.counts[histIndex(d)], 1)
+	atomic.AddUint64(&h.n, 1)
+	ns := int64(d)
+	for {
+		cur := atomic.LoadInt64(&h.max)
+		if ns <= cur || atomic.CompareAndSwapInt64(&h.max, cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := atomic.LoadInt64(&h.minP1)
+		if (cur != 0 && ns+1 >= cur) || atomic.CompareAndSwapInt64(&h.minP1, cur, ns+1) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() uint64 { return atomic.LoadUint64(&h.n) }
+
+// Merge folds o's observations into h. Both histograms must be quiescent.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.n += o.n
+	if o.max > h.max {
+		h.max = o.max
+	}
+	if o.minP1 != 0 && (h.minP1 == 0 || o.minP1 < h.minP1) {
+		h.minP1 = o.minP1
+	}
+}
+
+// Percentile returns the p-th percentile for p in (0, 100], nearest-rank
+// semantics as documented on Result.Percentile, within one bucket width of
+// the exact sample value. Rank 1 and rank n (so P100) are exact.
+func (h *Hist) Percentile(p float64) time.Duration {
+	n := atomic.LoadUint64(&h.n)
+	if n == 0 || p <= 0 || p > 100 {
+		return 0
+	}
+	rank := uint64(p/100*float64(n) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	min := time.Duration(atomic.LoadInt64(&h.minP1) - 1)
+	max := time.Duration(atomic.LoadInt64(&h.max))
+	if rank <= 1 {
+		return min
+	}
+	if rank >= n {
+		return max
+	}
+	var cum uint64
+	for i := range h.counts {
+		c := atomic.LoadUint64(&h.counts[i])
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			v := histValue(i)
+			if v < min {
+				v = min
+			}
+			if v > max {
+				v = max
+			}
+			return v
+		}
+	}
+	return max
+}
+
+// Snapshot wraps the histogram's current contents as a Result so callers get
+// the standard percentile accessors. The Result shares the histogram: it is
+// a live view, not a copy, and Requests is the count at call time.
+func (h *Hist) Snapshot() Result {
+	return Result{Requests: h.Count(), hist: h}
+}

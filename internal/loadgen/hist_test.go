@@ -1,0 +1,146 @@
+package loadgen
+
+import (
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+)
+
+// exactPercentile is the pre-histogram reference implementation: nearest
+// rank over the sorted sample.
+func exactPercentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 || p <= 0 || p > 100 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// TestHistDifferentialVsExact is the satellite's contract: for arbitrary
+// samples the histogram percentile is within one bucket width of the exact
+// nearest-rank percentile, and exact to the microsecond below 1 ms.
+func TestHistDifferentialVsExact(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		samples := make([]time.Duration, 5000)
+		for i := range samples {
+			switch i % 3 {
+			case 0: // sub-millisecond: the exact region
+				samples[i] = time.Duration(rng.Intn(1_000_000))
+			case 1: // serving-path range
+				samples[i] = time.Duration(rng.Intn(50_000_000))
+			default: // heavy tail
+				samples[i] = time.Duration(rng.Int63n(int64(10 * time.Second)))
+			}
+		}
+		r := Collect(slices.Clone(samples), 0, 0, nil)
+		sorted := slices.Clone(samples)
+		slices.Sort(sorted)
+		for _, p := range []float64{1, 10, 25, 50, 75, 90, 95, 99, 99.9, 100} {
+			exact := exactPercentile(sorted, p)
+			got := r.Percentile(p)
+			tol := histWidth(histIndex(exact))
+			if got > exact || got < exact-tol {
+				t.Errorf("seed %d: Percentile(%v) = %v, exact %v, tolerance %v",
+					seed, p, got, exact, tol)
+			}
+		}
+	}
+}
+
+func TestHistExactRegionIsMicrosecondExact(t *testing.T) {
+	var samples []time.Duration
+	for us := 1; us <= 1000; us++ {
+		samples = append(samples, time.Duration(us)*time.Microsecond)
+	}
+	r := Collect(samples, 0, 0, nil)
+	for _, p := range []float64{10, 50, 90, 99} {
+		want := time.Duration(int(p/100*1000+0.5)) * time.Microsecond
+		if got := r.Percentile(p); got != want {
+			t.Errorf("Percentile(%v) = %v, want exactly %v", p, got, want)
+		}
+	}
+}
+
+func TestHistBucketGeometry(t *testing.T) {
+	// Every bucket's value must lie in the bucket, indices must be monotone
+	// in the value, and log-region widths must stay ≤6.25 % of the floor.
+	for idx := 0; idx < histBuckets-1; idx++ {
+		v := histValue(idx)
+		if got := histIndex(v); got != idx {
+			t.Fatalf("histIndex(histValue(%d)) = %d", idx, got)
+		}
+		if idx >= histExactBuckets {
+			if w := histWidth(idx); float64(w) > 0.0625*float64(v)+1 {
+				t.Fatalf("bucket %d width %v exceeds 6.25%% of floor %v", idx, w, v)
+			}
+		}
+	}
+	if histIndex(time.Duration(1<<62)) != histBuckets-1 {
+		t.Fatalf("huge duration must land in the overflow bucket")
+	}
+	if histIndex(-time.Second) != 0 {
+		t.Fatalf("negative duration must clamp to bucket 0")
+	}
+}
+
+func TestHistMergeMatchesCombinedCollect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := make([]time.Duration, 1000)
+	b := make([]time.Duration, 1500)
+	for i := range a {
+		a[i] = time.Duration(rng.Intn(200_000_000))
+	}
+	for i := range b {
+		b[i] = time.Duration(rng.Intn(200_000_000))
+	}
+	ha, hb := &Hist{}, &Hist{}
+	for _, d := range a {
+		ha.Record(d)
+	}
+	for _, d := range b {
+		hb.Record(d)
+	}
+	ha.Merge(hb)
+	both := Collect(append(slices.Clone(a), b...), 0, 0, nil)
+	if ha.Count() != both.Requests {
+		t.Fatalf("merged count %d, want %d", ha.Count(), both.Requests)
+	}
+	for _, p := range []float64{1, 50, 99, 100} {
+		if got, want := ha.Percentile(p), both.Percentile(p); got != want {
+			t.Errorf("merged Percentile(%v) = %v, combined = %v", p, got, want)
+		}
+	}
+}
+
+func TestHistConcurrentRecord(t *testing.T) {
+	h := &Hist{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Duration(w*1000+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	if got := h.Percentile(100); got != 7999*time.Microsecond {
+		t.Fatalf("max = %v, want 7.999ms", got)
+	}
+	if got := h.Percentile(0.0001); got > time.Microsecond {
+		t.Fatalf("near-min percentile = %v", got)
+	}
+}

@@ -8,7 +8,6 @@ package loadgen
 
 import (
 	"errors"
-	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,23 +23,27 @@ type Result struct {
 	// does). Successful requests are counted under code 0 by Run; RunOpenLoop
 	// counts them under the code its fn reports. Nil when nothing was coded.
 	CodeCounts map[int]uint64
-	// latencies holds every request's duration, sorted ascending. Populated
-	// only by Run; a zero Result reports zero percentiles.
-	latencies []time.Duration
+	// hist holds the latency distribution as a fixed-bucket histogram (see
+	// Hist), so a run's memory footprint is independent of its request
+	// count. A zero Result reports zero percentiles.
+	hist *Hist
 }
 
 // Collect assembles a Result from raw observations recorded by an external
 // driver (the storm harness runs its own dispatcher but reports through this
-// package's percentile machinery). latencies is consumed: it is sorted in
-// place and retained.
+// package's percentile machinery). The samples are folded into a histogram;
+// the slice is not retained.
 func Collect(latencies []time.Duration, errs uint64, elapsed time.Duration, codes map[int]uint64) Result {
-	slices.Sort(latencies)
+	h := &Hist{}
+	for _, d := range latencies {
+		h.Record(d)
+	}
 	return Result{
 		Requests:   uint64(len(latencies)),
 		Errors:     errs,
 		Elapsed:    elapsed,
 		CodeCounts: codes,
-		latencies:  latencies,
+		hist:       h,
 	}
 }
 
@@ -71,24 +74,19 @@ func (r Result) RPS() float64 {
 }
 
 // Percentile returns the p-th percentile request latency for p in (0, 100].
-// Semantics are nearest-rank over the recorded durations: the value returned
-// is always an observed latency (rank ⌈p/100·n⌋ in the sorted sample, no
-// interpolation), so sparse tails report a real request rather than a blend
-// of two. With fewer than 100/(100-p) samples the top percentiles collapse
-// onto the sample maximum — P999 needs ≥1000 requests to resolve.
+// Semantics are nearest-rank over the recorded durations (rank ⌈p/100·n⌋, no
+// interpolation), read from the fixed-bucket histogram: the value is the
+// bucket floor of the nearest-rank observation, clamped into [min, max] —
+// exact to the microsecond below 1 ms and within 6.25 % above (see Hist).
+// With fewer than 100/(100-p) samples the top percentiles collapse onto the
+// sample maximum, which is tracked exactly — P999 needs ≥1000 requests to
+// resolve, and Percentile(100) is always the true maximum.
 // Out-of-range p or an empty run reports zero.
 func (r Result) Percentile(p float64) time.Duration {
-	if len(r.latencies) == 0 || p <= 0 || p > 100 {
+	if r.hist == nil {
 		return 0
 	}
-	rank := int(p/100*float64(len(r.latencies))+0.5) - 1
-	if rank < 0 {
-		rank = 0
-	}
-	if rank >= len(r.latencies) {
-		rank = len(r.latencies) - 1
-	}
-	return r.latencies[rank]
+	return r.hist.Percentile(p)
 }
 
 // P50 is the median request latency.
@@ -109,8 +107,8 @@ func (r Result) P999() time.Duration { return r.Percentile(99.9) }
 // Run issues total requests through fn from workers concurrent goroutines.
 // fn receives the request's global index (0..total-1) so callers can vary
 // the target per request. workers and total are clamped to at least 1.
-// Every request's latency is recorded (per worker, merged after the run), so
-// Result reports percentiles as well as throughput.
+// Every request's latency is recorded (into one shared histogram — Record is
+// atomic), so Result reports percentiles as well as throughput.
 func Run(workers, total int, fn func(i int) error) Result {
 	if workers < 1 {
 		workers = 1
@@ -120,25 +118,23 @@ func Run(workers, total int, fn func(i int) error) Result {
 	}
 	var next, errs atomic.Uint64
 	var wg sync.WaitGroup
-	perWorker := make([][]time.Duration, workers)
+	hist := &Hist{}
 	perWorkerCodes := make([]map[int]uint64, workers)
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			lat := make([]time.Duration, 0, total/workers+1)
 			codes := make(map[int]uint64)
 			for {
 				i := next.Add(1) - 1
 				if i >= uint64(total) {
-					perWorker[w] = lat
 					perWorkerCodes[w] = codes
 					return
 				}
 				t0 := time.Now()
 				err := fn(int(i))
-				lat = append(lat, time.Since(t0))
+				hist.Record(time.Since(t0))
 				if err != nil {
 					errs.Add(1)
 				}
@@ -150,17 +146,12 @@ func Run(workers, total int, fn func(i int) error) Result {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	all := make([]time.Duration, 0, total)
-	for _, lat := range perWorker {
-		all = append(all, lat...)
-	}
-	slices.Sort(all)
 	return Result{
 		Requests:   uint64(total),
 		Errors:     errs.Load(),
 		Elapsed:    elapsed,
 		CodeCounts: mergeCodes(perWorkerCodes),
-		latencies:  all,
+		hist:       hist,
 	}
 }
 

@@ -40,22 +40,33 @@ func TestPercentileNearestRank(t *testing.T) {
 	for i := range lat {
 		lat[i] = time.Duration(i+1) * time.Millisecond
 	}
-	r := Result{latencies: lat}
+	r := Collect(lat, 0, 0, nil)
 	cases := []struct {
 		p    float64
-		want time.Duration
+		want time.Duration // exact nearest-rank value
 	}{
 		{50, 50 * time.Millisecond},
 		{95, 95 * time.Millisecond},
 		{99, 99 * time.Millisecond},
-		{100, 100 * time.Millisecond},
-		{1, 1 * time.Millisecond},
-		{0, 0},
-		{101, 0},
 	}
 	for _, c := range cases {
-		if got := r.Percentile(c.p); got != c.want {
-			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		got := r.Percentile(c.p)
+		// The histogram promises the exact nearest-rank value within one
+		// bucket width (here the log region: ≤6.25 % of the value).
+		if tol := histWidth(histIndex(c.want)); got < c.want-tol || got > c.want {
+			t.Errorf("Percentile(%v) = %v, want %v within %v", c.p, got, c.want, tol)
+		}
+	}
+	// The extremes are tracked exactly, not bucketed.
+	if got := r.Percentile(100); got != 100*time.Millisecond {
+		t.Errorf("Percentile(100) = %v, want exact max 100ms", got)
+	}
+	if got := r.Percentile(1); got != 1*time.Millisecond {
+		t.Errorf("Percentile(1) = %v, want exact min 1ms", got)
+	}
+	for _, p := range []float64{0, 101} {
+		if got := r.Percentile(p); got != 0 {
+			t.Errorf("Percentile(%v) = %v, want 0", p, got)
 		}
 	}
 	if got := (Result{}).P99(); got != 0 {

@@ -100,8 +100,10 @@ func RunOpenLoop(offsets []time.Duration, fn func(i int) (code int, err error)) 
 		}
 	}
 	maxLag := slices.Max(lags)
-	sorted := slices.Clone(lats)
-	slices.Sort(sorted)
+	hist := &Hist{}
+	for _, d := range lats {
+		hist.Record(d)
+	}
 
 	res := OpenLoopResult{
 		Result: Result{
@@ -109,7 +111,7 @@ func RunOpenLoop(offsets []time.Duration, fn func(i int) (code int, err error)) 
 			Errors:     errs,
 			Elapsed:    elapsed,
 			CodeCounts: codeCounts,
-			latencies:  sorted,
+			hist:       hist,
 		},
 		MaxLag: maxLag,
 	}

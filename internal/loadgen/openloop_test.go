@@ -19,12 +19,12 @@ func TestP999NeedsAThousandSamples(t *testing.T) {
 	for i := range lat {
 		lat[i] = time.Duration(i+1) * time.Microsecond
 	}
-	r := Result{latencies: lat}
+	r := Collect(slices.Clone(lat), 0, 0, nil)
 	if got := r.P999(); got != 999*time.Microsecond {
 		t.Fatalf("P999 = %v, want 999µs", got)
 	}
 	// Below 1000 samples nearest-rank collapses P999 onto the max.
-	small := Result{latencies: lat[:100]}
+	small := Collect(lat[:100], 0, 0, nil)
 	if got := small.P999(); got != 100*time.Microsecond {
 		t.Fatalf("small-sample P999 = %v, want the max (100µs)", got)
 	}

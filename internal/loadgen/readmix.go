@@ -2,7 +2,6 @@ package loadgen
 
 import (
 	"fmt"
-	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -73,9 +72,16 @@ func RunMix(workers, total int, items []MixItem) (MixResult, error) {
 		cycle[slot] = uint8(best)
 	}
 
-	durs := make([]time.Duration, total)
 	errs := make([]error, total)
 	classOf := func(i int) int { return int(cycle[i%weightSum]) }
+
+	// Per-class and combined histograms, recorded directly from the workers
+	// (Record is atomic): the run's footprint no longer grows with total.
+	perHist := make([]*Hist, len(items))
+	for c := range perHist {
+		perHist[c] = &Hist{}
+	}
+	combined := &Hist{}
 
 	var next atomic.Uint64
 	var wg sync.WaitGroup
@@ -89,22 +95,25 @@ func RunMix(workers, total int, items []MixItem) (MixResult, error) {
 				if i >= uint64(total) {
 					return
 				}
+				c := classOf(int(i))
 				t0 := time.Now()
-				errs[i] = items[classOf(int(i))].Fn(int(i))
-				durs[i] = time.Since(t0)
+				errs[i] = items[c].Fn(int(i))
+				d := time.Since(t0)
+				perHist[c].Record(d)
+				combined.Record(d)
 			}
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	// Fold the flat observation arrays into per-class and combined Results.
-	perLat := make([][]time.Duration, len(items))
+	// Fold the error array into per-class tallies.
+	perN := make([]uint64, len(items))
 	perErrs := make([]uint64, len(items))
 	perCodes := make([]map[int]uint64, len(items))
 	for i := 0; i < total; i++ {
 		c := classOf(i)
-		perLat[c] = append(perLat[c], durs[i])
+		perN[c]++
 		if errs[i] != nil {
 			perErrs[c]++
 		}
@@ -118,22 +127,33 @@ func RunMix(workers, total int, items []MixItem) (MixResult, error) {
 	out := MixResult{PerItem: make(map[string]Result, len(items))}
 	var totalErrs uint64
 	for c, it := range items {
-		r := Collect(perLat[c], perErrs[c], elapsed, perCodes[c])
+		r := Result{
+			Requests:   perN[c],
+			Errors:     perErrs[c],
+			Elapsed:    elapsed,
+			CodeCounts: perCodes[c],
+			hist:       perHist[c],
+		}
 		// Same-named items merge observations rather than clobbering.
 		if prev, ok := out.PerItem[it.Name]; ok {
-			merged := append(prev.latencies, r.latencies...)
-			slices.Sort(merged)
+			prev.hist.Merge(r.hist)
 			r = Result{
 				Requests:   prev.Requests + r.Requests,
 				Errors:     prev.Errors + r.Errors,
 				Elapsed:    elapsed,
 				CodeCounts: mergeCodes([]map[int]uint64{prev.CodeCounts, r.CodeCounts}),
-				latencies:  merged,
+				hist:       prev.hist,
 			}
 		}
 		out.PerItem[it.Name] = r
 		totalErrs += perErrs[c]
 	}
-	out.Combined = Collect(durs, totalErrs, elapsed, mergeCodes(perCodes))
+	out.Combined = Result{
+		Requests:   uint64(total),
+		Errors:     totalErrs,
+		Elapsed:    elapsed,
+		CodeCounts: mergeCodes(perCodes),
+		hist:       combined,
+	}
 	return out, nil
 }

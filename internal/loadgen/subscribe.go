@@ -1,0 +1,134 @@
+package loadgen
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one delivered event batch as seen by a subscriber stream. Sent is
+// the producer-side instant embedded in the event (the store-mutation
+// receipt), so receipt-minus-Sent is the end-to-end fan-out latency.
+type Event struct {
+	Sent    time.Time
+	Records int  // mutation records covered by the batch
+	Resumed bool // delivered through a slow-consumer catch-up
+	Reset   bool // stream lost ring coverage; consumer refetched the full list
+}
+
+// EventStream is one live subscription. Next blocks for the next event batch
+// and returns io.EOF (or any error) when the stream ends; Close must unblock
+// a concurrent Next. internal/feed's Subscriber implements it over SSE.
+type EventStream interface {
+	Next() (Event, error)
+	Close() error
+}
+
+// SubscribeResult reports one RunSubscribe run. The embedded Result's
+// latency distribution is the per-batch fan-out lag: client receipt instant
+// minus the producer-side Sent instant, across every stream.
+type SubscribeResult struct {
+	Result
+	Streams       int    // streams requested
+	Connected     int    // streams that opened successfully
+	ConnectErrors uint64 // open() failures
+	Batches       uint64 // event batches received across all streams
+	Records       uint64 // mutation records covered by those batches
+	Resumed       uint64 // batches delivered via slow-consumer catch-up
+	Resets        uint64 // streams that lost ring coverage and resynced fully
+	StreamErrors  uint64 // streams ended by an error other than io.EOF/Close
+}
+
+// RunSubscribe opens streams concurrent event subscriptions via open and
+// consumes them for window, recording each batch's fan-out lag into one
+// shared fixed-bucket histogram — 10k+ streams cost 10k goroutines but a
+// single ~12 KB latency structure. After window elapses every stream is
+// closed; a Next unblocked by Close (or returning io.EOF) ends its stream
+// without counting as an error.
+func RunSubscribe(streams int, window time.Duration, open func(i int) (EventStream, error)) SubscribeResult {
+	if streams < 1 {
+		streams = 1
+	}
+	res := SubscribeResult{Streams: streams}
+	hist := &Hist{}
+	var (
+		connectErrs, batches, records, resumed, resets, streamErrs atomic.Uint64
+		connected                                                  atomic.Int64
+		closed                                                     atomic.Bool
+
+		mu   sync.Mutex
+		live []EventStream
+	)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := open(i)
+			if err != nil {
+				connectErrs.Add(1)
+				return
+			}
+			connected.Add(1)
+			mu.Lock()
+			if closed.Load() {
+				mu.Unlock()
+				st.Close()
+				return
+			}
+			live = append(live, st)
+			mu.Unlock()
+			for {
+				ev, err := st.Next()
+				if err != nil {
+					// The window closing the stream under a blocked read is
+					// the normal exit; only pre-shutdown failures count.
+					if !errors.Is(err, io.EOF) && !closed.Load() {
+						streamErrs.Add(1)
+					}
+					return
+				}
+				batches.Add(1)
+				records.Add(uint64(ev.Records))
+				if ev.Resumed {
+					resumed.Add(1)
+				}
+				if ev.Reset {
+					resets.Add(1)
+					continue // no Sent instant: a resync, not a delivery
+				}
+				if !ev.Sent.IsZero() {
+					hist.Record(time.Since(ev.Sent))
+				}
+			}
+		}(i)
+	}
+
+	timer := time.NewTimer(window)
+	<-timer.C
+	closed.Store(true)
+	mu.Lock()
+	for _, st := range live {
+		st.Close()
+	}
+	mu.Unlock()
+	wg.Wait()
+
+	res.Result = Result{
+		Requests: hist.Count(),
+		Elapsed:  time.Since(start),
+		hist:     hist,
+	}
+	res.Connected = int(connected.Load())
+	res.ConnectErrors = connectErrs.Load()
+	res.Batches = batches.Load()
+	res.Records = records.Load()
+	res.Resumed = resumed.Load()
+	res.Resets = resets.Load()
+	res.StreamErrors = streamErrs.Load()
+	res.Errors = res.ConnectErrors + res.StreamErrors
+	return res
+}

@@ -125,10 +125,19 @@ type Report struct {
 	// machinery as create latencies. Attached by the harness from
 	// repl.Follower.LagResult after the run; nil for unreplicated storms.
 	ReplicationLag *loadgen.Result
+	// FanoutLag, when a feed subscriber pool rode along with the storm, holds
+	// the event hub's per-delivery fan-out lag (mutation append instant to
+	// subscriber receipt) — how stale a drop-catcher watching the push feed
+	// was while the create burst raged. Attached by the harness from
+	// feed.Hub.FanoutLag after the run; nil when no pool was attached.
+	FanoutLag *loadgen.Result
 }
 
 // AttachReplicationLag records a follower's lag distribution on the report.
 func (r *Report) AttachReplicationLag(lag loadgen.Result) { r.ReplicationLag = &lag }
+
+// AttachFanoutLag records the event feed's delivery-lag distribution.
+func (r *Report) AttachFanoutLag(lag loadgen.Result) { r.FanoutLag = &lag }
 
 // WinDelays returns every win's re-registration delay, ascending — the
 // sample the delay-CDF figures are drawn from.
