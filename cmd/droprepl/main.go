@@ -120,11 +120,13 @@ func run(domains, writers, creates int, verbose bool) error {
 		f.Start()
 		return f, fstore, nil
 	}
+	started1 := time.Now()
 	f1, fstore1, err := newReplica(1)
 	if err != nil {
 		return err
 	}
 	defer f1.Close()
+	started2 := time.Now()
 	f2, fstore2, err := newReplica(2)
 	if err != nil {
 		return err
@@ -132,10 +134,15 @@ func run(domains, writers, creates int, verbose bool) error {
 	defer f2.Close()
 	replicas := []*repl.Follower{f1, f2}
 	rstores := []*registry.Store{fstore1, fstore2}
-	for _, f := range replicas {
+	// Time-to-first-serve: replica cold start to fully caught up (snapshot
+	// bootstrap + batch catch-up) — the window in which a hot spare is not
+	// yet one.
+	for i, f := range replicas {
 		if err := waitApplied(f, jnl.LastSeq()); err != nil {
 			return err
 		}
+		ttfs := time.Since([]time.Time{started1, started2}[i])
+		log.Printf("replica %d time-to-first-serve: %v (bootstrapped to seq %d)", i+1, ttfs.Round(time.Millisecond), f.AppliedSeq())
 	}
 	log.Printf("primary + 2 replicas caught up at seq %d", jnl.LastSeq())
 

@@ -120,8 +120,13 @@ func main() {
 		store.SetJournal(jnl)
 		jnlVar.Store(jnl)
 		if !recovered.Fresh() {
-			fmt.Printf("recovered %d domains from %s (snapshot seq %d, %d WAL records replayed)\n",
-				store.Count(), *dataDir, recovered.SnapshotSeq, recovered.ReplayedRecords)
+			t := recovered.Timings
+			fmt.Printf("recovered %d domains from %s (snapshot seq %d, %d WAL records replayed) in %v\n",
+				store.Count(), *dataDir, recovered.SnapshotSeq, recovered.ReplayedRecords, t.Total.Round(time.Millisecond))
+			fmt.Printf("recovery phases: snapshot read %v + decode %v + install %v (%d bytes), WAL replay %v (%.0f records/sec)\n",
+				t.SnapshotRead.Round(time.Millisecond), t.SnapshotDecode.Round(time.Millisecond),
+				t.SnapshotInstall.Round(time.Millisecond), recovered.SnapshotBytes,
+				t.Replay.Round(time.Millisecond), recovered.ReplayRPS())
 		}
 	} else if *replListen != "" {
 		log.Fatal("-listen-replication requires a journal (-datadir plus -durability async or sync)")
@@ -464,6 +469,8 @@ func publishDebugVars(store *registry.Store, eppSrv *epp.Server, rdapSrv *rdap.S
 				"wal_error":                 walErr,
 				"snapshot_age_seconds":      jm.SnapshotAgeSeconds,
 				"recovery_replayed_records": jm.RecoveryReplayedRecords,
+				"recovery_seconds":          jm.RecoverySeconds,
+				"recovery_replay_rps":       jm.RecoveryReplayRPS,
 			}
 		}
 		return vars

@@ -22,13 +22,27 @@ import (
 //	id uvarint · registrarID varint
 //	created/updated/expiry/time: unix-seconds varint + nanos uvarint
 //	status u8 · deleteDay (year varint, month u8, dom u8) · rank varint
-//	registrar gob blob (uvarint-len + bytes; MutAddRegistrar only, rare)
+//	registrar fields (wireAddRegistrarBin only; see below)
 //
 // Times round-trip as instants: the zero time.Time encodes as its Unix
 // second (-62135596800) and decodes back to a value for which IsZero()
 // holds, preserving the "zero means keep / none" sentinels the registry
 // records use. Decoding is defensive everywhere — the torn-write fuzz test
 // feeds this arbitrary bytes and a panic would be a recovery bug.
+//
+// MutAddRegistrar originally carried its registrar as a length-prefixed gob
+// blob; gob cannot be told apart from the binary layout by sniffing, so the
+// binary form claims a fresh wire kind byte instead of reusing kind 1. New
+// appends always write wireAddRegistrarBin; the decoder accepts both
+// spellings forever, keeping pre-upgrade segments replayable while the
+// append and replay hot paths never touch encoding/gob.
+
+// wireAddRegistrarBin is the on-wire kind byte of a MutAddRegistrar record
+// whose registrar payload uses the hand-rolled binary codec (IANAID varint,
+// then name, the six contact strings and the service URL, each
+// uvarint-len-prefixed). Outside the valid MutKind range, never to be
+// reused for a future kind.
+const wireAddRegistrarBin byte = 0x41
 
 // appendUvarint/appendVarint wrap binary's append helpers for symmetry.
 func appendTime(b []byte, t time.Time) []byte {
@@ -41,9 +55,28 @@ func appendString(b []byte, s string) []byte {
 	return append(b, s...)
 }
 
+// appendRegistrar serialises r after b with the same varint/string
+// primitives as the mutation fields. Shared by the WAL codec and the v2
+// snapshot's meta section.
+func appendRegistrar(b []byte, r *model.Registrar) []byte {
+	b = binary.AppendVarint(b, int64(r.IANAID))
+	b = appendString(b, r.Name)
+	b = appendString(b, r.Contact.Org)
+	b = appendString(b, r.Contact.Email)
+	b = appendString(b, r.Contact.Street)
+	b = appendString(b, r.Contact.City)
+	b = appendString(b, r.Contact.Country)
+	b = appendString(b, r.Contact.Phone)
+	return appendString(b, r.Service)
+}
+
 // appendMutation serialises m after b.
 func appendMutation(b []byte, m *registry.Mutation) ([]byte, error) {
-	b = append(b, byte(m.Kind))
+	k := byte(m.Kind)
+	if m.Kind == registry.MutAddRegistrar {
+		k = wireAddRegistrarBin
+	}
+	b = append(b, k)
 	b = appendString(b, m.Name)
 	b = binary.AppendUvarint(b, m.ID)
 	b = binary.AppendVarint(b, int64(m.RegistrarID))
@@ -56,12 +89,7 @@ func appendMutation(b []byte, m *registry.Mutation) ([]byte, error) {
 	b = appendTime(b, m.Time)
 	b = binary.AppendVarint(b, int64(m.Rank))
 	if m.Kind == registry.MutAddRegistrar {
-		var reg bytes.Buffer
-		if err := gob.NewEncoder(&reg).Encode(m.Registrar); err != nil {
-			return nil, fmt.Errorf("encode registrar: %w", err)
-		}
-		b = binary.AppendUvarint(b, uint64(reg.Len()))
-		b = append(b, reg.Bytes()...)
+		b = appendRegistrar(b, &m.Registrar)
 	}
 	return b, nil
 }
@@ -128,6 +156,27 @@ func (d *decoder) time() (time.Time, error) {
 	return time.Unix(sec, int64(nsec)).UTC(), nil
 }
 
+func (d *decoder) registrar() (model.Registrar, error) {
+	var r model.Registrar
+	id, err := d.varint()
+	if err != nil {
+		return r, err
+	}
+	r.IANAID = int(id)
+	fields := []*string{
+		&r.Name,
+		&r.Contact.Org, &r.Contact.Email, &r.Contact.Street,
+		&r.Contact.City, &r.Contact.Country, &r.Contact.Phone,
+		&r.Service,
+	}
+	for _, f := range fields {
+		if *f, err = d.str(); err != nil {
+			return r, err
+		}
+	}
+	return r, nil
+}
+
 // decodeMutation parses one mutation payload. It never panics on malformed
 // input; any structural problem comes back as an error.
 func decodeMutation(b []byte) (registry.Mutation, error) {
@@ -138,7 +187,12 @@ func decodeMutation(b []byte) (registry.Mutation, error) {
 	if err != nil {
 		return m, err
 	}
-	m.Kind = registry.MutKind(kind)
+	binReg := kind == wireAddRegistrarBin
+	if binReg {
+		m.Kind = registry.MutAddRegistrar
+	} else {
+		m.Kind = registry.MutKind(kind)
+	}
 	if m.Name, err = d.str(); err != nil {
 		return m, err
 	}
@@ -186,12 +240,19 @@ func decodeMutation(b []byte) (registry.Mutation, error) {
 	}
 	m.Rank = int(rank)
 	if m.Kind == registry.MutAddRegistrar {
-		blob, err := d.str()
-		if err != nil {
-			return m, err
-		}
-		if err := gob.NewDecoder(bytes.NewReader([]byte(blob))).Decode(&m.Registrar); err != nil {
-			return m, fmt.Errorf("journal: decode registrar: %w", err)
+		if binReg {
+			if m.Registrar, err = d.registrar(); err != nil {
+				return m, err
+			}
+		} else {
+			// Pre-upgrade segment: the registrar rode as a gob blob.
+			blob, err := d.str()
+			if err != nil {
+				return m, err
+			}
+			if err := gob.NewDecoder(bytes.NewReader([]byte(blob))).Decode(&m.Registrar); err != nil {
+				return m, fmt.Errorf("journal: decode registrar: %w", err)
+			}
 		}
 	}
 	if len(d.b) != 0 {

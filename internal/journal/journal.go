@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dropzero/internal/par"
 	"dropzero/internal/registry"
 )
 
@@ -87,6 +88,10 @@ type Options struct {
 	// the history at any sequence point, not only after the newest
 	// snapshot.
 	KeepAll bool
+	// RecoveryParallelism bounds the worker count for snapshot restore,
+	// WAL replay and snapshot encoding: ≤ 0 means GOMAXPROCS, 1 forces the
+	// sequential paths (the differential-test baseline).
+	RecoveryParallelism int
 }
 
 func (o *Options) defaults() error {
@@ -111,11 +116,30 @@ func (o *Options) defaults() error {
 	return nil
 }
 
+// RecoveryTimings breaks down where recovery wall-clock went, for startup
+// logging: restart time is the margin a registrar has before the next Drop,
+// so it is reported, not guessed.
+type RecoveryTimings struct {
+	// SnapshotRead is the snapshot file read.
+	SnapshotRead time.Duration
+	// SnapshotDecode is verification: the framing+CRC validation pass (v2)
+	// or the gob decode (v1).
+	SnapshotDecode time.Duration
+	// SnapshotInstall is decoding and installing the state into the store.
+	SnapshotInstall time.Duration
+	// Replay is the WAL tail replay.
+	Replay time.Duration
+	// Total is the whole recovery pass, including directory scans.
+	Total time.Duration
+}
+
 // Recovery reports what Open reconstructed from the data directory.
 type Recovery struct {
 	// SnapshotSeq is the WAL sequence number of the loaded snapshot (0 when
 	// recovery started from an empty log).
 	SnapshotSeq uint64
+	// SnapshotBytes is the loaded snapshot's file size (0 when none).
+	SnapshotBytes int64
 	// ReplayedRecords counts WAL records applied on top of the snapshot.
 	ReplayedRecords int
 	// AppState is the application checkpoint blob from the loaded snapshot,
@@ -127,6 +151,8 @@ type Recovery struct {
 	// TornBytes is how many bytes of torn final write were truncated away
 	// (0 for a clean log).
 	TornBytes int64
+	// Timings is the recovery phase breakdown.
+	Timings RecoveryTimings
 }
 
 // Fresh reports whether the data directory held no durable state at all —
@@ -134,6 +160,15 @@ type Recovery struct {
 // record.
 func (r Recovery) Fresh() bool {
 	return r.SnapshotSeq == 0 && r.ReplayedRecords == 0
+}
+
+// ReplayRPS returns the WAL replay throughput in records per second, 0
+// when nothing was replayed.
+func (r Recovery) ReplayRPS() float64 {
+	if r.ReplayedRecords == 0 || r.Timings.Replay <= 0 {
+		return 0
+	}
+	return float64(r.ReplayedRecords) / r.Timings.Replay.Seconds()
 }
 
 // Journal is an open write-ahead journal bound to one store. It implements
@@ -158,6 +193,13 @@ type Journal struct {
 
 	lastSnapUnix atomic.Int64 // 0 = no snapshot yet this process
 	replayed     atomic.Uint64
+
+	// workers bounds snapshot-encode parallelism (Options.RecoveryParallelism
+	// resolved); recoverySecs/recoveryRPS freeze Open's recovery cost for
+	// Metrics. All set before the journal is shared.
+	workers      int
+	recoverySecs float64
+	recoveryRPS  float64
 }
 
 // Open recovers the durable state in o.Dir into store (which must be empty
@@ -170,7 +212,8 @@ func Open(store *registry.Store, o Options) (*Journal, Recovery, error) {
 	if err := o.defaults(); err != nil {
 		return nil, rec, err
 	}
-	rec, last, hadSnap, err := recoverDir(store, o.Dir)
+	workers := par.Workers(o.RecoveryParallelism)
+	rec, last, hadSnap, err := recoverDir(store, o.Dir, workers)
 	if err != nil {
 		return nil, rec, err
 	}
@@ -179,8 +222,10 @@ func Open(store *registry.Store, o Options) (*Journal, Recovery, error) {
 		return nil, rec, err
 	}
 
-	j := &Journal{store: store, w: w, mode: o.Mode, now: o.Now, keepAll: o.KeepAll}
+	j := &Journal{store: store, w: w, mode: o.Mode, now: o.Now, keepAll: o.KeepAll, workers: workers}
 	j.replayed.Store(uint64(rec.ReplayedRecords))
+	j.recoverySecs = rec.Timings.Total.Seconds()
+	j.recoveryRPS = rec.ReplayRPS()
 	if hadSnap {
 		j.lastSnapUnix.Store(o.Now().Unix())
 	}
@@ -188,74 +233,71 @@ func Open(store *registry.Store, o Options) (*Journal, Recovery, error) {
 }
 
 // recoverDir rebuilds dir's durable state into store: restore the newest
-// valid snapshot, replay the WAL tail, truncate a torn final write. It
-// returns what was reconstructed plus the highest recovered sequence
-// number, and does not open the log for writing — Open layers the writer on
-// top, Replay (the follower path) stops here.
-func recoverDir(store *registry.Store, dir string) (rec Recovery, last uint64, hadSnap bool, err error) {
+// valid snapshot, replay the WAL tail, truncate a torn final write — the
+// restore and replay pipelined across up to workers goroutines (1 keeps
+// the sequential baseline). It returns what was reconstructed plus the
+// highest recovered sequence number, and does not open the log for
+// writing — Open layers the writer on top, Replay (the follower path)
+// stops here.
+func recoverDir(store *registry.Store, dir string, workers int) (rec Recovery, last uint64, hadSnap bool, err error) {
+	t0 := time.Now()
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return rec, 0, false, fmt.Errorf("journal: %w", err)
 	}
 
-	sf, err := loadLatestSnapshot(dir)
+	sr, err := restoreLatestSnapshot(store, dir, workers)
 	if err != nil {
 		return rec, 0, false, err
 	}
-	var after uint64
-	if sf != nil {
-		if err := store.RestoreSnapshot(sf.State); err != nil {
-			return rec, 0, false, err
-		}
-		after = sf.Seq
-		rec.SnapshotSeq = sf.Seq
-		rec.AppState = sf.AppState
-	}
+	after := sr.seq
+	rec.SnapshotSeq = sr.seq
+	rec.SnapshotBytes = sr.bytes
+	rec.AppState = sr.appState
+	rec.Timings.SnapshotRead = sr.read
+	rec.Timings.SnapshotDecode = sr.decode
+	rec.Timings.SnapshotInstall = sr.install
 
-	res, err := scanDir(dir, after)
-	if err != nil {
-		return rec, 0, false, err
-	}
 	if names, firstSeqs, lerr := listSegments(dir); lerr == nil && len(firstSeqs) > 0 && firstSeqs[0] > after+1 {
 		return rec, 0, false, fmt.Errorf("journal: gap between snapshot (seq %d) and oldest segment %s", after, names[0])
 	}
-	for _, r := range res.records {
-		if r.Mutation != nil {
-			if err := store.Apply(*r.Mutation); err != nil {
-				return rec, 0, false, fmt.Errorf("journal: replay seq %d: %w", r.Seq, err)
-			}
-		} else {
-			rec.AppRecords = append(rec.AppRecords, r.App)
-		}
-		rec.ReplayedRecords++
+	tr := time.Now()
+	res, err := replayTail(store, dir, after, workers)
+	rec.ReplayedRecords = res.replayed
+	rec.AppRecords = res.appRecords
+	rec.Timings.Replay = time.Since(tr)
+	if err != nil {
+		return rec, 0, false, err
 	}
-	if res.tornFile != "" {
-		info, err := os.Stat(res.tornFile)
+	if res.scan.tornFile != "" {
+		info, err := os.Stat(res.scan.tornFile)
 		if err != nil {
 			return rec, 0, false, fmt.Errorf("journal: %w", err)
 		}
-		rec.TornBytes = info.Size() - res.tornAt
-		if err := os.Truncate(res.tornFile, res.tornAt); err != nil {
+		rec.TornBytes = info.Size() - res.scan.tornAt
+		if err := os.Truncate(res.scan.tornFile, res.scan.tornAt); err != nil {
 			return rec, 0, false, fmt.Errorf("journal: truncate torn tail: %w", err)
 		}
 	}
 
-	last = res.lastSeq
+	last = res.scan.lastSeq
 	if after > last {
 		// The snapshot is newer than the durable log tail (an async-mode
 		// crash lost buffered records the snapshot already covered). The
 		// snapshot is the state of record; the sequence continues from it.
 		last = after
 	}
-	return rec, last, sf != nil, nil
+	rec.Timings.Total = time.Since(t0)
+	return rec, last, sr.found, nil
 }
 
 // Replay rebuilds dir's durable state into store without opening the log
 // for writing. This is how a restarting follower resumes: recover the local
 // shipped log exactly as a primary would (snapshot, tail, torn-write
 // truncation), then reconnect and ask the primary for records after the
-// returned Recovery's position (LastSeq). The store must be empty.
+// returned Recovery's position (LastSeq). The store must be empty. Replay
+// always uses the parallel recovery paths (a worker per core).
 func Replay(store *registry.Store, dir string) (Recovery, uint64, error) {
-	rec, last, _, err := recoverDir(store, dir)
+	rec, last, _, err := recoverDir(store, dir, par.Workers(0))
 	return rec, last, err
 }
 
@@ -276,7 +318,7 @@ func OpenExisting(store *registry.Store, o Options, lastSeq uint64) (*Journal, e
 	if err != nil {
 		return nil, err
 	}
-	return &Journal{store: store, w: w, mode: o.Mode, now: o.Now, keepAll: o.KeepAll}, nil
+	return &Journal{store: store, w: w, mode: o.Mode, now: o.Now, keepAll: o.KeepAll, workers: par.Workers(o.RecoveryParallelism)}, nil
 }
 
 // Append implements registry.Journal: it frames the mutation into the WAL
@@ -407,23 +449,23 @@ func (j *Journal) Snapshot(appState []byte) error {
 
 	const maxAttempts = 10
 	var (
-		state    registry.SnapshotState
+		state    registry.ShardedSnapshot
 		seq      uint64
 		captured bool
 	)
 	for attempt := 1; attempt <= maxAttempts && !captured; attempt++ {
 		g1 := j.store.Generation()
 		seq = j.w.lastSeq()
-		state = j.store.CaptureSnapshot()
+		state = j.store.CaptureSnapshotSharded()
 		captured = j.store.Generation() == g1
 		if !captured && attempt < maxAttempts {
 			time.Sleep(time.Duration(attempt) * time.Millisecond)
 		}
 	}
 	if !captured {
-		state, seq = j.store.CaptureSnapshotQuiesced(j.w.lastSeq)
+		state, seq = j.store.CaptureSnapshotShardedQuiesced(j.w.lastSeq)
 	}
-	if _, err := writeSnapshot(j.w.dir, &snapshotFile{Seq: seq, AppState: appState, State: state}); err != nil {
+	if _, err := writeSnapshotV2(j.w.dir, seq, appState, &state, j.workers); err != nil {
 		return err
 	}
 	if !j.keepAll {
@@ -451,6 +493,12 @@ type Metrics struct {
 	SnapshotAgeSeconds float64
 	// RecoveryReplayedRecords is how many WAL records Open replayed.
 	RecoveryReplayedRecords uint64
+	// RecoverySeconds is how long Open's recovery pass took (0 for a journal
+	// opened without one — OpenExisting).
+	RecoverySeconds float64
+	// RecoveryReplayRPS is the WAL replay throughput of that pass in
+	// records per second.
+	RecoveryReplayRPS float64
 }
 
 // Metrics returns the current counter values.
@@ -460,6 +508,8 @@ func (j *Journal) Metrics() Metrics {
 		WALFsyncs:               j.w.fsyncs.Load(),
 		SnapshotAgeSeconds:      -1,
 		RecoveryReplayedRecords: j.replayed.Load(),
+		RecoverySeconds:         j.recoverySecs,
+		RecoveryReplayRPS:       j.recoveryRPS,
 	}
 	if ts := j.lastSnapUnix.Load(); ts != 0 {
 		m.SnapshotAgeSeconds = j.now().Sub(time.Unix(ts, 0)).Seconds()

@@ -1,0 +1,418 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"dropzero/internal/registry"
+)
+
+// WAL replay as a pipeline. Sequential replay interleaves three different
+// costs on one goroutine: segment IO + CRC, mutation decoding, and the
+// per-record store apply. They parallelise differently — framing is a
+// strict scan (sequence numbers must chain), decoding is embarrassingly
+// parallel, and applies are parallel exactly up to the store's shard
+// partition — so the replayer splits them into stages:
+//
+//	read stage    — the calling goroutine frames and CRC-checks segments
+//	                (scanFrames) and hands off batches of raw frames
+//	decode pool   — workers deserialise mutation bodies, batch-at-a-time
+//	router        — restores batch order, routes each record to its shard
+//	                by the same FNV-1a name hash the live store uses
+//	appliers      — one goroutine per min(workers, shards) shard stripes,
+//	                applying each shard's records in sequence order under
+//	                one lock acquisition per chunk (ApplyShardSequence)
+//
+// Why the result is byte-identical to sequential replay: two records
+// touching the same name hash to the same shard, so their relative order
+// is preserved end-to-end (the router emits in global order, chunks of one
+// shard go to one applier, channels are FIFO). Records on different shards
+// commuted on the live store too — they were only ever ordered by which
+// goroutine won a lock race. The generation counter advances by exactly
+// one per mutation record regardless of interleaving, the ID allocator
+// takes an atomic max, and the two globally-ordered artefacts are handled
+// out of band: deletion-archive appends are collected with their sequence
+// numbers and replayed sorted after the last applier drains, and
+// MutAddRegistrar (registrar-lock records, a handful per history) is a
+// full barrier — every queued chunk flushes and is acknowledged before the
+// record applies inline.
+//
+// Errors anywhere poison the store (some records applied, some not); Open
+// discards the store on error, so partial application is unobservable.
+
+// rawFrame is one framed WAL record as read off a segment. body aliases
+// the segment's read buffer and may be retained: each segment is read into
+// a fresh allocation that stays alive as long as any frame references it.
+type rawFrame struct {
+	seg  string
+	seq  uint64
+	typ  byte
+	body []byte
+}
+
+// frameScan is what walking the on-disk log yields besides the frames: the
+// highest good sequence number and — when the final segment ends in a torn
+// write — the file and offset recovery must truncate at before the log is
+// appended to again.
+type frameScan struct {
+	lastSeq  uint64
+	tornFile string
+	tornAt   int64
+}
+
+// scanFrames walks every segment in dir in order, invoking emit for each
+// frame with sequence number strictly greater than after. This is the one
+// framing implementation: corruption in any segment but the last is fatal
+// (those were fsynced before their successors existed), while a malformed
+// frame in the last segment is the torn tail of an interrupted write —
+// scanning stops at the last whole record and the torn offset is reported
+// for truncation. A gap between segments is tolerable only when every
+// missing record is ≤ after, i.e. covered by the snapshot recovery already
+// loaded (the legitimate async-crash artefact); any gap reaching past the
+// snapshot is data loss and stays fatal. An emit error aborts the scan.
+func scanFrames(dir string, after uint64, emit func(rawFrame) error) (frameScan, error) {
+	var fs frameScan
+	names, firstSeqs, err := listSegments(dir)
+	if err != nil {
+		return fs, fmt.Errorf("journal: list segments: %w", err)
+	}
+	fs.lastSeq = after
+	expect := uint64(0) // next expected seq; 0 = not yet anchored
+	for i, name := range names {
+		path := filepath.Join(dir, name)
+		last := i == len(names)-1
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fs, fmt.Errorf("journal: read segment: %w", err)
+		}
+		if expect == 0 {
+			expect = firstSeqs[i]
+		} else if firstSeqs[i] != expect {
+			if firstSeqs[i] > expect && firstSeqs[i] <= after+1 {
+				expect = firstSeqs[i]
+			} else {
+				return fs, fmt.Errorf("journal: segment %s starts at seq %d, want %d: missing segment", name, firstSeqs[i], expect)
+			}
+		}
+		off := 0
+		for off < len(data) {
+			rest := len(data) - off
+			if rest < frameHeader {
+				if last {
+					fs.tornFile, fs.tornAt = path, int64(off)
+					off = len(data)
+					break
+				}
+				return fs, fmt.Errorf("journal: segment %s: %d trailing bytes mid-log", name, rest)
+			}
+			ln := int64(binary.LittleEndian.Uint32(data[off:]))
+			crc := binary.LittleEndian.Uint32(data[off+4:])
+			if ln < payloadHeader || ln > maxRecordBytes || int64(rest-frameHeader) < ln {
+				if last {
+					fs.tornFile, fs.tornAt = path, int64(off)
+					off = len(data)
+					break
+				}
+				return fs, fmt.Errorf("journal: segment %s offset %d: bad record length %d", name, off, ln)
+			}
+			payload := data[off+frameHeader : off+frameHeader+int(ln)]
+			if crc32.ChecksumIEEE(payload) != crc {
+				if last {
+					fs.tornFile, fs.tornAt = path, int64(off)
+					off = len(data)
+					break
+				}
+				return fs, fmt.Errorf("journal: segment %s offset %d: CRC mismatch", name, off)
+			}
+			seq := binary.LittleEndian.Uint64(payload)
+			if seq != expect {
+				return fs, fmt.Errorf("journal: segment %s offset %d: seq %d, want %d: records out of order", name, off, seq, expect)
+			}
+			expect++
+			off += frameHeader + int(ln)
+			if seq <= after {
+				fs.lastSeq = seq
+				continue
+			}
+			if err := emit(rawFrame{seg: name, seq: seq, typ: payload[8], body: payload[payloadHeader:]}); err != nil {
+				return fs, err
+			}
+			fs.lastSeq = seq
+		}
+	}
+	return fs, nil
+}
+
+// replayResult is what replaying the WAL tail into the store yields.
+type replayResult struct {
+	appRecords [][]byte
+	replayed   int
+	scan       frameScan
+}
+
+// replayTail replays every record after `after` into the store, on up to
+// workers goroutines (1 = the plain sequential loop, the differential
+// baseline).
+func replayTail(store *registry.Store, dir string, after uint64, workers int) (replayResult, error) {
+	if workers <= 1 {
+		return replaySequential(store, dir, after)
+	}
+	return replayParallel(store, dir, after, workers)
+}
+
+func replaySequential(store *registry.Store, dir string, after uint64) (replayResult, error) {
+	var res replayResult
+	fs, err := scanFrames(dir, after, func(f rawFrame) error {
+		switch f.typ {
+		case recMutation:
+			m, err := decodeMutation(f.body)
+			if err != nil {
+				return fmt.Errorf("journal: segment %s seq %d: %w", f.seg, f.seq, err)
+			}
+			if err := store.Apply(m); err != nil {
+				return fmt.Errorf("journal: replay seq %d: %w", f.seq, err)
+			}
+		case recApp:
+			res.appRecords = append(res.appRecords, append([]byte(nil), f.body...))
+		default:
+			return fmt.Errorf("journal: segment %s seq %d: unknown record type %d", f.seg, f.seq, f.typ)
+		}
+		res.replayed++
+		return nil
+	})
+	res.scan = fs
+	return res, err
+}
+
+const (
+	// decodeBatchFrames is the read→decode handoff unit: large enough to
+	// amortise channel traffic, small enough that the pipeline fills fast.
+	decodeBatchFrames = 512
+	// applyChunkRecords is the per-shard router→applier unit; one
+	// ApplyShardSequence lock acquisition covers this many records.
+	applyChunkRecords = 512
+)
+
+// decodeBatch is a run of consecutive frames moving through the decode
+// pool. muts is parallel to frames (valid where typ == recMutation); a
+// decode failure records the failing position so the router can surface
+// the error at its ordered place, after applying everything before it.
+type decodeBatch struct {
+	idx    int
+	frames []rawFrame
+	muts   []registry.Mutation
+	errAt  int
+	err    error
+}
+
+// applyChunk is one shard's run of records in sequence order. A chunk with
+// a non-nil ack is a barrier marker: the applier acknowledges once every
+// previously queued chunk has been applied (channel FIFO makes that "once
+// it is dequeued").
+type applyChunk struct {
+	si  int
+	ms  []registry.SeqMutation
+	ack chan<- struct{}
+}
+
+type applierState struct {
+	purges []registry.ReplayPurge
+	err    error
+}
+
+func replayParallel(store *registry.Store, dir string, after uint64, workers int) (replayResult, error) {
+	nShards := store.ShardCount()
+	nAppliers := min(workers, nShards)
+
+	decodeIn := make(chan *decodeBatch, workers*2)
+	decodeOut := make(chan *decodeBatch, workers*2)
+	var decodeWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		decodeWG.Add(1)
+		go func() {
+			defer decodeWG.Done()
+			for b := range decodeIn {
+				b.muts = make([]registry.Mutation, len(b.frames))
+				b.errAt = -1
+				for i, f := range b.frames {
+					switch f.typ {
+					case recMutation:
+						m, err := decodeMutation(f.body)
+						if err != nil {
+							b.errAt, b.err = i, fmt.Errorf("journal: segment %s seq %d: %w", f.seg, f.seq, err)
+						}
+						b.muts[i] = m
+					case recApp:
+					default:
+						b.errAt, b.err = i, fmt.Errorf("journal: segment %s seq %d: unknown record type %d", f.seg, f.seq, f.typ)
+					}
+					if b.errAt >= 0 {
+						break
+					}
+				}
+				decodeOut <- b
+			}
+		}()
+	}
+	go func() {
+		decodeWG.Wait()
+		close(decodeOut)
+	}()
+
+	applyCh := make([]chan applyChunk, nAppliers)
+	appliers := make([]applierState, nAppliers)
+	var applyWG sync.WaitGroup
+	for a := 0; a < nAppliers; a++ {
+		applyCh[a] = make(chan applyChunk, 8)
+		applyWG.Add(1)
+		go func(a int) {
+			defer applyWG.Done()
+			st := &appliers[a]
+			for c := range applyCh[a] {
+				if len(c.ms) > 0 && st.err == nil {
+					purges, err := store.ApplyShardSequence(c.si, c.ms)
+					st.purges = append(st.purges, purges...)
+					if err != nil {
+						// Keep draining so the router never blocks; the
+						// store is poison either way.
+						st.err = fmt.Errorf("journal: replay: %w", err)
+					}
+				}
+				if c.ack != nil {
+					c.ack <- struct{}{}
+				}
+			}
+		}(a)
+	}
+
+	// The router restores global order across decoded batches and routes
+	// each record to its shard's applier.
+	type routerOut struct {
+		appRecords [][]byte
+		replayed   int
+		err        error
+	}
+	routerDone := make(chan routerOut, 1)
+	go func() {
+		var out routerOut
+		pend := make([][]registry.SeqMutation, nShards)
+		flushShard := func(si int) {
+			if len(pend[si]) > 0 {
+				applyCh[si%nAppliers] <- applyChunk{si: si, ms: pend[si]}
+				pend[si] = nil
+			}
+		}
+		barrier := func() {
+			for si := range pend {
+				flushShard(si)
+			}
+			ack := make(chan struct{}, nAppliers)
+			for a := 0; a < nAppliers; a++ {
+				applyCh[a] <- applyChunk{ack: ack}
+			}
+			for a := 0; a < nAppliers; a++ {
+				<-ack
+			}
+		}
+		waiting := make(map[int]*decodeBatch)
+		next := 0
+		for b := range decodeOut {
+			if out.err != nil {
+				continue // drain so decoders finish
+			}
+			waiting[b.idx] = b
+			for {
+				nb, ok := waiting[next]
+				if !ok {
+					break
+				}
+				delete(waiting, next)
+				next++
+				for i, f := range nb.frames {
+					if nb.errAt >= 0 && i == nb.errAt {
+						out.err = nb.err
+						break
+					}
+					switch f.typ {
+					case recApp:
+						out.appRecords = append(out.appRecords, append([]byte(nil), f.body...))
+					default: // recMutation, decoded
+						m := nb.muts[i]
+						if m.Kind == registry.MutAddRegistrar {
+							barrier()
+							if err := store.Apply(m); err != nil {
+								out.err = fmt.Errorf("journal: replay seq %d: %w", f.seq, err)
+							}
+						} else {
+							si := store.ShardIndexFor(m.Name)
+							pend[si] = append(pend[si], registry.SeqMutation{Seq: f.seq, M: m})
+							if len(pend[si]) >= applyChunkRecords {
+								flushShard(si)
+							}
+						}
+					}
+					if out.err != nil {
+						break
+					}
+					out.replayed++
+				}
+				if out.err != nil {
+					break
+				}
+			}
+		}
+		if out.err == nil {
+			for si := range pend {
+				flushShard(si)
+			}
+		}
+		for a := 0; a < nAppliers; a++ {
+			close(applyCh[a])
+		}
+		routerDone <- out
+	}()
+
+	// Read stage, on the calling goroutine.
+	var (
+		batch    []rawFrame
+		batchIdx int
+	)
+	fs, scanErr := scanFrames(dir, after, func(f rawFrame) error {
+		batch = append(batch, f)
+		if len(batch) >= decodeBatchFrames {
+			decodeIn <- &decodeBatch{idx: batchIdx, frames: batch}
+			batchIdx++
+			batch = nil
+		}
+		return nil
+	})
+	if len(batch) > 0 {
+		decodeIn <- &decodeBatch{idx: batchIdx, frames: batch}
+	}
+	close(decodeIn)
+
+	rout := <-routerDone
+	applyWG.Wait()
+
+	err := scanErr
+	if err == nil {
+		err = rout.err
+	}
+	var purges []registry.ReplayPurge
+	for a := range appliers {
+		if err == nil {
+			err = appliers[a].err
+		}
+		purges = append(purges, appliers[a].purges...)
+	}
+	res := replayResult{appRecords: rout.appRecords, replayed: rout.replayed, scan: fs}
+	if err != nil {
+		return res, err
+	}
+	store.AppendReplayPurges(purges)
+	return res, nil
+}

@@ -2,6 +2,7 @@ package journal
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
@@ -12,16 +13,25 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"dropzero/internal/par"
 	"dropzero/internal/registry"
 )
 
 // Snapshot files are named snap-<seq>.snap, where <seq> is the WAL sequence
 // number the captured state includes: recovery restores the snapshot, then
-// replays records with sequence numbers strictly greater. The file is a
-// short magic header, a gob stream of snapshotFile, and a CRC-32 footer
-// over everything between; it is written to a temp name, fsynced and
-// renamed, so a half-written snapshot never shadows a complete older one.
+// replays records with sequence numbers strictly greater. Every snapshot is
+// written to a temp name, fsynced and renamed, so a half-written snapshot
+// never shadows a complete older one.
+//
+// Two formats share the name scheme, told apart by their magic header. New
+// snapshots are always v2 (snapv2.go): per-shard binary sections that
+// encode and restore in parallel. This file keeps the shared naming/
+// listing/pruning machinery plus the v1 format — a single gob stream of
+// snapshotFile with a trailing CRC-32 — whose reader stays as a fallback so
+// pre-upgrade datadirs open cleanly (the writer survives only for the
+// cross-version tests and benchmarks).
 const (
 	snapMagic  = "DZSNAP1\n"
 	snapFooter = 4 // CRC-32 of the gob stream
@@ -153,39 +163,96 @@ func decodeSnapshotBytes(data []byte, name string) (*snapshotFile, error) {
 		return nil, fmt.Errorf("journal: snapshot %s: CRC mismatch", name)
 	}
 	var sf snapshotFile
-	if err := gob.NewDecoder(strings.NewReader(string(body[len(snapMagic):]))).Decode(&sf); err != nil {
+	// bytes.NewReader over the existing slice: the gob stream is read in
+	// place, not round-tripped through a snapshot-sized string copy.
+	if err := gob.NewDecoder(bytes.NewReader(body[len(snapMagic):])).Decode(&sf); err != nil {
 		return nil, fmt.Errorf("journal: snapshot %s: %w", name, err)
 	}
 	return &sf, nil
 }
 
-// loadLatestSnapshot returns the newest snapshot in dir that verifies, or
-// nil when none exists. A snapshot that fails verification is skipped in
-// favour of the next older one — it can only be the product of a crash
-// mid-write racing the rename, and the WAL still covers everything since
-// the older snapshot.
-func loadLatestSnapshot(dir string) (*snapshotFile, error) {
+// snapRestore reports what restoreLatestSnapshot installed, with the phase
+// timings recovery logging wants.
+type snapRestore struct {
+	found    bool
+	seq      uint64
+	appState []byte
+	bytes    int64
+
+	read    time.Duration // file read
+	decode  time.Duration // v2: framing+CRC validation pass · v1: gob decode
+	install time.Duration // decode-and-install into the store
+}
+
+// restoreLatestSnapshot installs the newest snapshot in dir that verifies
+// into the empty store, reading either format (v2 sectioned binary, v1
+// gob). A snapshot that fails verification is skipped in favour of the
+// next older one — it can only be the product of a crash mid-write racing
+// the rename, and the WAL still covers everything since the older
+// snapshot; because both readers fully validate before installing, the
+// store is still untouched when the fallback happens. An *install* failure
+// is fatal: the file verified, so its content disagreeing with the store
+// is data loss, and the store is part-filled.
+func restoreLatestSnapshot(store *registry.Store, dir string, workers int) (snapRestore, error) {
+	var sr snapRestore
 	names, _, err := listSnapshots(dir)
 	if err != nil {
-		return nil, fmt.Errorf("journal: list snapshots: %w", err)
+		return sr, fmt.Errorf("journal: list snapshots: %w", err)
 	}
 	var firstErr error
 	for i := len(names) - 1; i >= 0; i-- {
-		sf, err := readSnapshot(filepath.Join(dir, names[i]))
+		path := filepath.Join(dir, names[i])
+		t0 := time.Now()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("journal: read snapshot: %w", err)
+			}
+			continue
+		}
+		sr.read = time.Since(t0)
+		sr.bytes = int64(len(data))
+		if isSnapshotV2(data) {
+			t1 := time.Now()
+			sv, err := parseSnapshotV2(data, names[i])
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			sr.decode = time.Since(t1)
+			t2 := time.Now()
+			if err := installSnapshotV2(store, sv, workers); err != nil {
+				return sr, err
+			}
+			sr.install = time.Since(t2)
+			sr.found, sr.seq, sr.appState = true, sv.meta.seq, sv.meta.appState
+			return sr, nil
+		}
+		t1 := time.Now()
+		sf, err := decodeSnapshotBytes(data, names[i])
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
 			continue
 		}
-		return sf, nil
+		sr.decode = time.Since(t1)
+		t2 := time.Now()
+		if err := store.RestoreSnapshot(sf.State); err != nil {
+			return sr, err
+		}
+		sr.install = time.Since(t2)
+		sr.found, sr.seq, sr.appState = true, sf.Seq, sf.AppState
+		return sr, nil
 	}
 	if firstErr != nil && len(names) > 0 {
 		// Every snapshot present is broken: that is not a crash artefact
 		// (rename is atomic), it is data loss. Refuse to guess.
-		return nil, firstErr
+		return snapRestore{}, firstErr
 	}
-	return nil, nil
+	return snapRestore{}, nil
 }
 
 // pruneAfterSnapshot removes snapshots older than snapSeq and every WAL
@@ -240,15 +307,26 @@ func LatestSnapshotPath(dir string) (path string, seq uint64, ok bool, err error
 	return filepath.Join(dir, names[i]), seqs[i], true, nil
 }
 
-// DecodeSnapshot verifies and decodes a raw snapshot file image (as shipped
-// over replication), returning the WAL sequence it covers and the registry
-// state to restore.
-func DecodeSnapshot(data []byte) (seq uint64, state registry.SnapshotState, err error) {
+// RestoreShippedSnapshot verifies a raw snapshot file image (as shipped
+// over replication), installs it into the empty store with a worker per
+// core and returns the WAL sequence it covers. Both formats are accepted: the source streams whatever file its
+// directory holds, so a fresh follower must read a v1 snapshot a
+// pre-upgrade primary wrote. Verification completes before the store is
+// touched; on error the store is unchanged.
+func RestoreShippedSnapshot(store *registry.Store, data []byte) (uint64, error) {
+	workers := par.Workers(0)
+	if isSnapshotV2(data) {
+		sv, err := parseSnapshotV2(data, "shipped")
+		if err != nil {
+			return 0, err
+		}
+		return sv.meta.seq, installSnapshotV2(store, sv, workers)
+	}
 	sf, err := decodeSnapshotBytes(data, "shipped")
 	if err != nil {
-		return 0, registry.SnapshotState{}, err
+		return 0, err
 	}
-	return sf.Seq, sf.State, nil
+	return sf.Seq, store.RestoreSnapshot(sf.State)
 }
 
 // WriteRawSnapshot installs a raw snapshot file image into dir under its

@@ -1,0 +1,521 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"dropzero/internal/model"
+	"dropzero/internal/par"
+	"dropzero/internal/registry"
+	"dropzero/internal/simtime"
+)
+
+// Snapshot format v2: per-shard sections with the same hand-rolled binary
+// codec as the WAL (encode.go), replacing v1's single gob stream. gob's
+// reflection and per-stream type preamble made capture and restore the
+// slowest phase of recovery; v2's sections encode and decode with plain
+// varint walks, and — the point — independently, so a worker per shard
+// parallelises both directions. Layout, little-endian:
+//
+//	magic "DZSNAP2\n"
+//	section* — u32 body length · u32 CRC-32 (IEEE) of body · body
+//
+// Every section body starts with a kind byte. The first section must be
+// the meta section (kind 1):
+//
+//	seq uvarint · gen uvarint · nextID uvarint
+//	appState: present u8 (0/1) · uvarint-len + bytes when present
+//	registrars: uvarint count · registrar fields (appendRegistrar)
+//	domainSections uvarint · deletionSections uvarint
+//
+// followed by exactly domainSections domain sections (kind 2: writer shard
+// index uvarint, domain count uvarint, then per domain name/ID/TLD/
+// registrarID/created/updated/expiry/status/deleteDay/authInfo) and
+// deletionSections deletion-archive sections (kind 3: day count uvarint,
+// then per day year varint, month u8, dom u8, event count uvarint and the
+// events in archive order). No trailing bytes.
+//
+// Readers validate structure and every section CRC *before* touching the
+// store: a torn or corrupt section fails the whole file loudly with no
+// partial restore, which lets recovery fall back to an older snapshot with
+// the store still empty. The writer-side shard split is just an encoding
+// parallelism choice — restore re-routes every domain by name hash, so a
+// snapshot written at one shard count restores at any other.
+const (
+	snapMagic2 = "DZSNAP2\n"
+	secHeader  = 8 // u32 body length + u32 CRC-32 of body
+
+	secMeta      byte = 1
+	secDomains   byte = 2
+	secDeletions byte = 3
+)
+
+// snapMeta is the decoded meta section of a v2 snapshot.
+type snapMeta struct {
+	seq              uint64
+	gen              uint64
+	nextID           uint64
+	appState         []byte // nil when the writer stored none
+	registrars       []model.Registrar
+	domainSections   int
+	deletionSections int
+}
+
+// snapBufPool recycles section encode buffers across snapshots; a section
+// is one shard's worth of domains, so buffers stabilise at store-size/
+// shard-count bytes.
+var snapBufPool = sync.Pool{New: func() any { return []byte(nil) }}
+
+func appendSection(dst, body []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(body)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(body))
+	return append(dst, body...)
+}
+
+func appendMetaSection(b []byte, seq uint64, appState []byte, st *registry.ShardedSnapshot, delSections int) []byte {
+	b = append(b, secMeta)
+	b = binary.AppendUvarint(b, seq)
+	b = binary.AppendUvarint(b, st.Gen)
+	b = binary.AppendUvarint(b, st.NextID)
+	if appState == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = binary.AppendUvarint(b, uint64(len(appState)))
+		b = append(b, appState...)
+	}
+	b = binary.AppendUvarint(b, uint64(len(st.Registrars)))
+	for i := range st.Registrars {
+		b = appendRegistrar(b, &st.Registrars[i])
+	}
+	b = binary.AppendUvarint(b, uint64(len(st.Shards)))
+	b = binary.AppendUvarint(b, uint64(delSections))
+	return b
+}
+
+func appendDomainSection(b []byte, shard int, ds []registry.SnapshotDomain) []byte {
+	b = append(b, secDomains)
+	b = binary.AppendUvarint(b, uint64(shard))
+	b = binary.AppendUvarint(b, uint64(len(ds)))
+	for i := range ds {
+		d := &ds[i].Domain
+		b = appendString(b, d.Name)
+		b = binary.AppendUvarint(b, d.ID)
+		b = appendString(b, string(d.TLD))
+		b = binary.AppendVarint(b, int64(d.RegistrarID))
+		b = appendTime(b, d.Created)
+		b = appendTime(b, d.Updated)
+		b = appendTime(b, d.Expiry)
+		b = append(b, byte(d.Status))
+		b = binary.AppendVarint(b, int64(d.DeleteDay.Year))
+		b = append(b, byte(d.DeleteDay.Month), byte(d.DeleteDay.Dom))
+		b = appendString(b, ds[i].AuthInfo)
+	}
+	return b
+}
+
+func appendDeletionsSection(b []byte, dels map[simtime.Day][]model.DeletionEvent) []byte {
+	b = append(b, secDeletions)
+	days := make([]simtime.Day, 0, len(dels))
+	for day := range dels {
+		days = append(days, day)
+	}
+	// Deterministic day order so identical states produce identical files.
+	sort.Slice(days, func(i, j int) bool {
+		a, b := days[i], days[j]
+		if a.Year != b.Year {
+			return a.Year < b.Year
+		}
+		if a.Month != b.Month {
+			return a.Month < b.Month
+		}
+		return a.Dom < b.Dom
+	})
+	b = binary.AppendUvarint(b, uint64(len(days)))
+	for _, day := range days {
+		b = binary.AppendVarint(b, int64(day.Year))
+		b = append(b, byte(day.Month), byte(day.Dom))
+		evs := dels[day]
+		b = binary.AppendUvarint(b, uint64(len(evs)))
+		for i := range evs {
+			ev := &evs[i]
+			b = binary.AppendUvarint(b, ev.DomainID)
+			b = appendString(b, ev.Name)
+			b = appendString(b, string(ev.TLD))
+			b = appendTime(b, ev.Time)
+			b = binary.AppendVarint(b, int64(ev.Rank))
+		}
+	}
+	return b
+}
+
+// writeSnapshotV2 persists st atomically into dir as a v2 snapshot and
+// returns the final path. Section bodies (one per shard, plus the deletion
+// archive) are encoded and checksummed concurrently on up to workers
+// goroutines into pooled buffers, then written in section order.
+func writeSnapshotV2(dir string, seq uint64, appState []byte, st *registry.ShardedSnapshot, workers int) (string, error) {
+	type section struct {
+		body []byte
+		crc  uint32
+	}
+	n := len(st.Shards) + 1 // + deletion archive
+	secs := par.Do(par.Workers(workers), n, func(i int) section {
+		buf := snapBufPool.Get().([]byte)[:0]
+		if i < len(st.Shards) {
+			buf = appendDomainSection(buf, i, st.Shards[i])
+		} else {
+			buf = appendDeletionsSection(buf, st.Deletions)
+		}
+		return section{body: buf, crc: crc32.ChecksumIEEE(buf)}
+	})
+
+	final := filepath.Join(dir, snapName(seq))
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return "", fmt.Errorf("journal: snapshot: %w", err)
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+
+	bw := bufio.NewWriterSize(f, 1<<20)
+	err = func() error {
+		if _, err := io.WriteString(bw, snapMagic2); err != nil {
+			return err
+		}
+		meta := appendSection(nil, appendMetaSection(nil, seq, appState, st, 1))
+		if _, err := bw.Write(meta); err != nil {
+			return err
+		}
+		var hdr [secHeader]byte
+		for i := range secs {
+			binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(secs[i].body)))
+			binary.LittleEndian.PutUint32(hdr[4:8], secs[i].crc)
+			if _, err := bw.Write(hdr[:]); err != nil {
+				return err
+			}
+			if _, err := bw.Write(secs[i].body); err != nil {
+				return err
+			}
+			snapBufPool.Put(secs[i].body)
+			secs[i].body = nil
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		return f.Sync()
+	}()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return "", fmt.Errorf("journal: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return "", fmt.Errorf("journal: publish snapshot: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return "", fmt.Errorf("journal: sync dir: %w", err)
+	}
+	return final, nil
+}
+
+// snapV2 is a parsed, CRC-verified v2 snapshot: the decoded meta section
+// plus the still-encoded domain and deletion section bodies (kind byte
+// stripped), ready for concurrent decode+install.
+type snapV2 struct {
+	meta     snapMeta
+	domains  [][]byte
+	deletion [][]byte
+}
+
+func isSnapshotV2(data []byte) bool {
+	return len(data) >= len(snapMagic2) && string(data[:len(snapMagic2)]) == snapMagic2
+}
+
+// parseSnapshotV2 validates the whole file image — framing, every section
+// CRC, the meta section's contents, the section census — without touching
+// any store. All-or-nothing by construction: install starts only after this
+// succeeds, so a torn or corrupt section can never leave a partial restore.
+func parseSnapshotV2(data []byte, name string) (*snapV2, error) {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("journal: snapshot %s: "+format, append([]any{name}, args...)...)
+	}
+	if !isSnapshotV2(data) {
+		return nil, bad("bad header")
+	}
+	sv := &snapV2{}
+	off := len(snapMagic2)
+	for off < len(data) {
+		rest := len(data) - off
+		if rest < secHeader {
+			return nil, bad("%d trailing bytes at offset %d", rest, off)
+		}
+		ln := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if ln < 1 || ln > rest-secHeader {
+			return nil, bad("bad section length %d at offset %d", ln, off)
+		}
+		body := data[off+secHeader : off+secHeader+ln]
+		if crc32.ChecksumIEEE(body) != crc {
+			return nil, bad("section CRC mismatch at offset %d", off)
+		}
+		kind := body[0]
+		first := off == len(snapMagic2)
+		switch {
+		case first:
+			if kind != secMeta {
+				return nil, bad("first section has kind %d, want meta", kind)
+			}
+			meta, err := decodeMetaSection(body[1:])
+			if err != nil {
+				return nil, bad("meta section: %w", err)
+			}
+			sv.meta = meta
+		case kind == secDomains:
+			sv.domains = append(sv.domains, body[1:])
+		case kind == secDeletions:
+			sv.deletion = append(sv.deletion, body[1:])
+		default:
+			return nil, bad("unknown section kind %d at offset %d", kind, off)
+		}
+		off += secHeader + ln
+	}
+	if off == len(snapMagic2) {
+		return nil, bad("no sections")
+	}
+	if len(sv.domains) != sv.meta.domainSections || len(sv.deletion) != sv.meta.deletionSections {
+		return nil, bad("have %d domain + %d deletion sections, meta promises %d + %d",
+			len(sv.domains), len(sv.deletion), sv.meta.domainSections, sv.meta.deletionSections)
+	}
+	return sv, nil
+}
+
+func decodeMetaSection(body []byte) (snapMeta, error) {
+	var m snapMeta
+	d := &decoder{b: body}
+	var err error
+	if m.seq, err = d.uvarint(); err != nil {
+		return m, err
+	}
+	if m.gen, err = d.uvarint(); err != nil {
+		return m, err
+	}
+	if m.nextID, err = d.uvarint(); err != nil {
+		return m, err
+	}
+	present, err := d.byte()
+	if err != nil {
+		return m, err
+	}
+	switch present {
+	case 0:
+	case 1:
+		blob, err := d.str()
+		if err != nil {
+			return m, err
+		}
+		m.appState = []byte(blob)
+	default:
+		return m, fmt.Errorf("bad appState flag %d", present)
+	}
+	nreg, err := d.uvarint()
+	if err != nil {
+		return m, err
+	}
+	for i := uint64(0); i < nreg; i++ {
+		r, err := d.registrar()
+		if err != nil {
+			return m, err
+		}
+		m.registrars = append(m.registrars, r)
+	}
+	nd, err := d.uvarint()
+	if err != nil {
+		return m, err
+	}
+	ndel, err := d.uvarint()
+	if err != nil {
+		return m, err
+	}
+	const maxSections = 1 << 20 // far beyond MaxShards; bounds a hostile count
+	if nd > maxSections || ndel > maxSections {
+		return m, fmt.Errorf("unreasonable section counts %d/%d", nd, ndel)
+	}
+	m.domainSections, m.deletionSections = int(nd), int(ndel)
+	if len(d.b) != 0 {
+		return m, fmt.Errorf("%d trailing bytes", len(d.b))
+	}
+	return m, nil
+}
+
+// installDomainSection streams one domain section into the store in chunks,
+// so a worker never materialises its whole shard before installing.
+func installDomainSection(store *registry.Store, body []byte) error {
+	d := &decoder{b: body}
+	if _, err := d.uvarint(); err != nil { // writer shard index, informational
+		return err
+	}
+	count, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	const chunkSize = 4096
+	chunk := make([]registry.SnapshotDomain, 0, min(count, chunkSize))
+	for i := uint64(0); i < count; i++ {
+		var sd registry.SnapshotDomain
+		dom := &sd.Domain
+		if dom.Name, err = d.str(); err != nil {
+			return err
+		}
+		if dom.ID, err = d.uvarint(); err != nil {
+			return err
+		}
+		tld, err := d.str()
+		if err != nil {
+			return err
+		}
+		dom.TLD = model.TLD(tld)
+		rid, err := d.varint()
+		if err != nil {
+			return err
+		}
+		dom.RegistrarID = int(rid)
+		if dom.Created, err = d.time(); err != nil {
+			return err
+		}
+		if dom.Updated, err = d.time(); err != nil {
+			return err
+		}
+		if dom.Expiry, err = d.time(); err != nil {
+			return err
+		}
+		st, err := d.byte()
+		if err != nil {
+			return err
+		}
+		dom.Status = model.Status(st)
+		year, err := d.varint()
+		if err != nil {
+			return err
+		}
+		month, err := d.byte()
+		if err != nil {
+			return err
+		}
+		dayDom, err := d.byte()
+		if err != nil {
+			return err
+		}
+		dom.DeleteDay = simtime.Day{Year: int(year), Month: time.Month(month), Dom: int(dayDom)}
+		if sd.AuthInfo, err = d.str(); err != nil {
+			return err
+		}
+		chunk = append(chunk, sd)
+		if len(chunk) == chunkSize {
+			if err := store.InstallRestoredDomains(chunk); err != nil {
+				return err
+			}
+			chunk = chunk[:0]
+		}
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("%d trailing bytes", len(d.b))
+	}
+	return store.InstallRestoredDomains(chunk)
+}
+
+func decodeDeletionsSection(body []byte) (map[simtime.Day][]model.DeletionEvent, error) {
+	d := &decoder{b: body}
+	days, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	dels := make(map[simtime.Day][]model.DeletionEvent, int(min(days, 4096)))
+	for i := uint64(0); i < days; i++ {
+		year, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		month, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		dom, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		day := simtime.Day{Year: int(year), Month: time.Month(month), Dom: int(dom)}
+		count, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		evs := dels[day]
+		for j := uint64(0); j < count; j++ {
+			var ev model.DeletionEvent
+			if ev.DomainID, err = d.uvarint(); err != nil {
+				return nil, err
+			}
+			if ev.Name, err = d.str(); err != nil {
+				return nil, err
+			}
+			tld, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			ev.TLD = model.TLD(tld)
+			if ev.Time, err = d.time(); err != nil {
+				return nil, err
+			}
+			rank, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			ev.Rank = int(rank)
+			evs = append(evs, ev)
+		}
+		dels[day] = evs
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes", len(d.b))
+	}
+	return dels, nil
+}
+
+// installSnapshotV2 decodes sv's sections and installs them into the empty
+// store on up to workers goroutines. Each worker decodes its section
+// incrementally and routes domains through InstallRestoredDomains, which
+// locks exactly the shards that section's names hash to. An error poisons
+// the store (partial install) — the caller must discard it, never retry.
+func installSnapshotV2(store *registry.Store, sv *snapV2, workers int) error {
+	store.RestoreRegistrars(sv.meta.registrars)
+	n := len(sv.domains) + len(sv.deletion)
+	errs := par.Do(par.Workers(workers), n, func(i int) error {
+		if i < len(sv.domains) {
+			if err := installDomainSection(store, sv.domains[i]); err != nil {
+				return fmt.Errorf("domain section %d: %w", i, err)
+			}
+			return nil
+		}
+		dels, err := decodeDeletionsSection(sv.deletion[i-len(sv.domains)])
+		if err != nil {
+			return fmt.Errorf("deletion section %d: %w", i-len(sv.domains), err)
+		}
+		store.MergeRestoredDeletions(dels)
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("journal: snapshot restore: %w", err)
+		}
+	}
+	store.FinishRestore(sv.meta.gen, sv.meta.nextID)
+	return nil
+}

@@ -430,100 +430,27 @@ type scanResult struct {
 }
 
 // scanDir reads every segment in dir in order, decoding records with
-// sequence numbers strictly greater than after. Corruption in any segment
-// but the last is fatal — those segments were fsynced before their
-// successors were written, so damage there is not a crash artefact. In the
-// last segment a malformed frame is treated as the torn tail of an
-// interrupted write: scanning stops at the last whole record and the torn
-// offset is reported for truncation.
+// sequence numbers strictly greater than after into memory. The framing,
+// corruption and torn-tail rules are scanFrames's (replay.go); this
+// materialised form serves the crash-inspection helpers and tests, while
+// recovery itself streams through replayTail.
 func scanDir(dir string, after uint64) (scanResult, error) {
 	var res scanResult
-	names, firstSeqs, err := listSegments(dir)
-	if err != nil {
-		return res, fmt.Errorf("journal: list segments: %w", err)
-	}
-	res.lastSeq = after
-	expect := uint64(0) // next expected seq; 0 = not yet anchored
-	for i, name := range names {
-		path := filepath.Join(dir, name)
-		last := i == len(names)-1
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return res, fmt.Errorf("journal: read segment: %w", err)
+	fs, err := scanFrames(dir, after, func(f rawFrame) error {
+		switch f.typ {
+		case recMutation:
+			m, derr := decodeMutation(f.body)
+			if derr != nil {
+				return fmt.Errorf("journal: segment %s seq %d: %w", f.seg, f.seq, derr)
+			}
+			res.records = append(res.records, Record{Seq: f.seq, Mutation: &m})
+		case recApp:
+			res.records = append(res.records, Record{Seq: f.seq, App: append([]byte(nil), f.body...)})
+		default:
+			return fmt.Errorf("journal: segment %s seq %d: unknown record type %d", f.seg, f.seq, f.typ)
 		}
-		if expect == 0 {
-			expect = firstSeqs[i]
-		} else if firstSeqs[i] != expect {
-			// A gap between segments is tolerable only when every missing
-			// record (expect..firstSeqs[i]-1) is ≤ after, i.e. covered by the
-			// snapshot recovery already loaded. That state is a legitimate
-			// crash artefact: an async-mode crash that lost buffered records
-			// a snapshot had already captured leaves the old tail segment
-			// ending below the snapshot seq, and the post-recovery process
-			// opens its new segment at snapshot-seq+1. Any gap reaching past
-			// the snapshot is real data loss and stays fatal.
-			if firstSeqs[i] > expect && firstSeqs[i] <= after+1 {
-				expect = firstSeqs[i]
-			} else {
-				return res, fmt.Errorf("journal: segment %s starts at seq %d, want %d: missing segment", name, firstSeqs[i], expect)
-			}
-		}
-		off := 0
-		for off < len(data) {
-			rest := len(data) - off
-			if rest < frameHeader {
-				if last {
-					res.tornFile, res.tornAt = path, int64(off)
-					off = len(data)
-					break
-				}
-				return res, fmt.Errorf("journal: segment %s: %d trailing bytes mid-log", name, rest)
-			}
-			ln := int64(binary.LittleEndian.Uint32(data[off:]))
-			crc := binary.LittleEndian.Uint32(data[off+4:])
-			if ln < payloadHeader || ln > maxRecordBytes || int64(rest-frameHeader) < ln {
-				if last {
-					res.tornFile, res.tornAt = path, int64(off)
-					off = len(data)
-					break
-				}
-				return res, fmt.Errorf("journal: segment %s offset %d: bad record length %d", name, off, ln)
-			}
-			payload := data[off+frameHeader : off+frameHeader+int(ln)]
-			if crc32.ChecksumIEEE(payload) != crc {
-				if last {
-					res.tornFile, res.tornAt = path, int64(off)
-					off = len(data)
-					break
-				}
-				return res, fmt.Errorf("journal: segment %s offset %d: CRC mismatch", name, off)
-			}
-			seq := binary.LittleEndian.Uint64(payload)
-			typ := payload[8]
-			body := payload[payloadHeader:]
-			if seq != expect {
-				return res, fmt.Errorf("journal: segment %s offset %d: seq %d, want %d: records out of order", name, off, seq, expect)
-			}
-			expect++
-			off += frameHeader + int(ln)
-			if seq <= after {
-				res.lastSeq = seq
-				continue
-			}
-			switch typ {
-			case recMutation:
-				m, err := decodeMutation(body)
-				if err != nil {
-					return res, fmt.Errorf("journal: segment %s seq %d: %w", name, seq, err)
-				}
-				res.records = append(res.records, Record{Seq: seq, Mutation: &m})
-			case recApp:
-				res.records = append(res.records, Record{Seq: seq, App: append([]byte(nil), body...)})
-			default:
-				return res, fmt.Errorf("journal: segment %s seq %d: unknown record type %d", name, seq, typ)
-			}
-			res.lastSeq = seq
-		}
-	}
-	return res, nil
+		return nil
+	})
+	res.lastSeq, res.tornFile, res.tornAt = fs.lastSeq, fs.tornFile, fs.tornAt
+	return res, err
 }

@@ -207,8 +207,14 @@ func (s *Store) applyDomainLocked(sh *shard, m *Mutation) (ev model.DeletionEven
 			sh.authInfo[m.Name] = deriveAuthInfo(d.ID, m.Name)
 		}
 		sh.dueAdd(d)
-		if cur := s.nextID.Load(); m.ID > cur {
-			s.nextID.Store(m.ID)
+		// Atomic-max, not load-then-store: parallel replay applies shards
+		// concurrently, and a plain racing store could leave the allocator
+		// below the highest replayed ID.
+		for {
+			cur := s.nextID.Load()
+			if m.ID <= cur || s.nextID.CompareAndSwap(cur, m.ID) {
+				break
+			}
 		}
 		return ev, false, nil
 
@@ -390,26 +396,8 @@ type SnapshotState struct {
 // (the same read-render-reread discipline the response caches use), which
 // proves no mutation committed while the copy was taken.
 func (s *Store) CaptureSnapshot() SnapshotState {
-	st := SnapshotState{
-		Registrars: s.Registrars(),
-		Deletions:  make(map[simtime.Day][]model.DeletionEvent),
-	}
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		for name, d := range sh.domains {
-			st.Domains = append(st.Domains, SnapshotDomain{Domain: *d, AuthInfo: sh.authInfo[name]})
-		}
-		sh.mu.RUnlock()
-	}
-	s.delMu.Lock()
-	for day, evs := range s.deletions {
-		st.Deletions[day] = append([]model.DeletionEvent(nil), evs...)
-	}
-	s.delMu.Unlock()
-	st.NextID = s.nextID.Load()
-	st.Gen = s.gen.Load()
-	return st
+	sh := s.CaptureSnapshotSharded()
+	return sh.Flatten()
 }
 
 // CaptureSnapshotQuiesced copies the store's durable state under a full
@@ -430,30 +418,8 @@ func (s *Store) CaptureSnapshot() SnapshotState {
 // snapshotter's fallback when sustained write load keeps defeating the
 // optimistic capture; it is not a hot-path API.
 func (s *Store) CaptureSnapshotQuiesced(walSeq func() uint64) (SnapshotState, uint64) {
-	s.regMu.RLock()
-	defer s.regMu.RUnlock()
-	for i := range s.shards {
-		s.shards[i].mu.RLock()
-		defer s.shards[i].mu.RUnlock()
-	}
-	st := SnapshotState{
-		Registrars: s.registrarsLocked(),
-		Deletions:  make(map[simtime.Day][]model.DeletionEvent),
-	}
-	for i := range s.shards {
-		sh := &s.shards[i]
-		for name, d := range sh.domains {
-			st.Domains = append(st.Domains, SnapshotDomain{Domain: *d, AuthInfo: sh.authInfo[name]})
-		}
-	}
-	s.delMu.Lock()
-	for day, evs := range s.deletions {
-		st.Deletions[day] = append([]model.DeletionEvent(nil), evs...)
-	}
-	s.delMu.Unlock()
-	st.NextID = s.nextID.Load()
-	st.Gen = s.gen.Load()
-	return st, walSeq()
+	sh, seq := s.CaptureSnapshotShardedQuiesced(walSeq)
+	return sh.Flatten(), seq
 }
 
 // RestoreSnapshot loads a captured state into an empty store during
@@ -462,34 +428,11 @@ func (s *Store) CaptureSnapshotQuiesced(walSeq func() uint64) (SnapshotState, ui
 // the WAL tail on top via Apply then reproduces the exact pre-crash store.
 // Recovery-only: the store must be empty and not yet serving.
 func (s *Store) RestoreSnapshot(st SnapshotState) error {
-	for _, r := range st.Registrars {
-		s.regMu.Lock()
-		s.registrars[r.IANAID] = r
-		s.regMu.Unlock()
+	s.RestoreRegistrars(st.Registrars)
+	if err := s.InstallRestoredDomains(st.Domains); err != nil {
+		return err
 	}
-	for _, sd := range st.Domains {
-		d := sd.Domain
-		sh := s.shardOf(d.Name)
-		sh.mu.Lock()
-		if _, taken := sh.domains[d.Name]; taken {
-			sh.mu.Unlock()
-			return fmt.Errorf("registry: restore: %w: %q", ErrExists, d.Name)
-		}
-		c := d
-		sh.domains[d.Name] = &c
-		sh.byID[c.ID] = &c
-		if sd.AuthInfo != "" {
-			sh.authInfo[d.Name] = sd.AuthInfo
-		}
-		sh.dueAdd(&c)
-		sh.mu.Unlock()
-	}
-	s.delMu.Lock()
-	for day, evs := range st.Deletions {
-		s.deletions[day] = append([]model.DeletionEvent(nil), evs...)
-	}
-	s.delMu.Unlock()
-	s.nextID.Store(st.NextID)
-	s.gen.Store(st.Gen)
+	s.MergeRestoredDeletions(st.Deletions)
+	s.FinishRestore(st.Gen, st.NextID)
 	return nil
 }

@@ -98,6 +98,59 @@ func BenchmarkReplicationCatchup(b *testing.B) {
 	}
 }
 
+// BenchmarkReplicaBootstrap measures a fresh replica's time-to-first-serve
+// through the snapshot path: the primary holds a v2 snapshot covering ~95%
+// of its history plus a WAL tail, and the follower must ship the snapshot,
+// restore it in parallel, then catch up the tail before it counts as a hot
+// spare. Contrast with BenchmarkReplicationCatchup, which replays the whole
+// history record by record.
+func BenchmarkReplicaBootstrap(b *testing.B) {
+	const domains = 40_000
+	store, jnl, names := benchPrimary(b, b.TempDir(), domains)
+	defer jnl.Close()
+	if err := jnl.Snapshot(nil); err != nil {
+		b.Fatal(err)
+	}
+	at := testStart.At(6, 0, 0)
+	for i := 0; i < 4_000; i++ {
+		if err := store.TouchAt(names[i%len(names)], testRegistrar, at); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := jnl.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	src := NewSource(jnl, SourceConfig{})
+	defer src.Close()
+	total := jnl.LastSeq()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		b.StopTimer()
+		fstore := registry.NewStore(simtime.NewSimClock(testStart.At(0, 0, 0)))
+		f, err := NewFollower(fstore, FollowerConfig{Dir: b.TempDir(), Dial: pipeDialer(src, nil)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		t0 := time.Now()
+		f.Start()
+		for f.AppliedSeq() < total {
+			if err := f.Err(); err != nil {
+				b.Fatal(err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		ttfs := time.Since(t0)
+		b.ReportMetric(ttfs.Seconds()*1000, "ttfs_ms")
+		b.ReportMetric(float64(domains)/ttfs.Seconds(), "domains/sec")
+		b.StopTimer()
+		f.Close()
+		b.StartTimer()
+	}
+}
+
 // replicaSurfaces bundles one replica's read handlers.
 type replicaSurfaces struct {
 	rdap  *http.Client

@@ -317,12 +317,12 @@ const maxSnapshotBytes = 2 << 30
 
 // installSnapshot restores a complete shipped snapshot into the empty store
 // and persists the raw image locally so restarts recover without re-fetch.
+// The install is the same parallel sectioned decode recovery uses
+// (RestoreShippedSnapshot): a fresh replica's bootstrap time is bounded by
+// this call, and time-to-first-serve is the whole point of a hot spare.
 func (f *Follower) installSnapshot(raw []byte) error {
-	seq, state, err := journal.DecodeSnapshot(raw)
+	seq, err := journal.RestoreShippedSnapshot(f.store, raw)
 	if err != nil {
-		return f.setFatal(err)
-	}
-	if err := f.store.RestoreSnapshot(state); err != nil {
 		return f.setFatal(fmt.Errorf("repl: restore snapshot: %w", err))
 	}
 	if err := journal.WriteRawSnapshot(f.cfg.Dir, seq, raw); err != nil {
