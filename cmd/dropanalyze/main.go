@@ -14,6 +14,7 @@ package main
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 
@@ -21,6 +22,7 @@ import (
 	"dropzero/internal/measure"
 	"dropzero/internal/model"
 	"dropzero/internal/sim"
+	"dropzero/internal/zone"
 )
 
 func main() {
@@ -36,10 +38,22 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the machine-readable summary instead of the text report")
 	stormFig := flag.Bool("storm", false, "run the live-storm figure instead: re-registration delay CDF vs client aggressiveness (uses -seed)")
 	stormNames := flag.Int("storm-names", 12, "contested names per -storm sweep point")
+	delays := flag.String("delays", "", "per-zone delay CSV from dropsim -delays: render the per-policy re-registration delay CDF figure instead of the report")
+	zones := flag.String("zones", "", "inline simulation: extra zone specs (name=tld[+tld...]:policy[@HH:MM]; semicolon-separated); appends the per-policy delay CDF figure to the report")
 	flag.Parse()
 
 	if *stormFig {
 		if err := runStormFigure(os.Stdout, *stormNames, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *delays != "" {
+		rows, err := readZoneDelays(*delays)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeZoneDelayFigure(os.Stdout, rows); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -66,6 +80,13 @@ func main() {
 		cfg.Scale = *scale
 		cfg.Seed = *seed
 		cfg.Parallelism = *parallelism
+		if *zones != "" {
+			zs, err := zone.ParseSpecs(*zones)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.Zones = zs
+		}
 		log.Printf("no -data given; simulating %d days at scale %.3f...", cfg.Days, cfg.Scale)
 		res, err := sim.Run(cfg)
 		if err != nil {
@@ -76,6 +97,14 @@ func main() {
 			Registrars:   res.Registrars,
 			ServiceOf:    res.Directory.ServiceOf,
 			Deletions:    res.Deletions,
+		}
+		if len(res.Zones) > 1 {
+			defer func() {
+				fmt.Println()
+				if err := writeZoneDelayFigure(os.Stdout, res.ZoneDelays()); err != nil {
+					log.Fatal(err)
+				}
+			}()
 		}
 	}
 	in.Parallelism = *parallelism
@@ -91,6 +120,15 @@ func main() {
 		return
 	}
 	report.Write(os.Stdout)
+}
+
+func readZoneDelays(path string) ([]sim.ZoneDelay, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return sim.ReadZoneDelaysCSV(f)
 }
 
 func readObservations(path string) ([]*model.Observation, error) {

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"slices"
+	"time"
+
+	"dropzero/internal/analysis"
+	"dropzero/internal/sim"
+	"dropzero/internal/zone"
+)
+
+// delayCDFThresholds are the figure's x axis: from the zero-second headline
+// through the drop hour out to the retail tail.
+var delayCDFThresholds = []time.Duration{
+	0,
+	time.Second,
+	10 * time.Second,
+	time.Minute,
+	10 * time.Minute,
+	time.Hour,
+	6 * time.Hour,
+	24 * time.Hour,
+	7 * 24 * time.Hour,
+}
+
+// writeZoneDelayFigure renders the federation headline figure: the
+// re-registration delay CDF per release policy — paced (.com/.net shape)
+// against instant release (.se/.nu shape) against the randomized-order
+// countermeasure — from ground-truth per-zone delay rows.
+func writeZoneDelayFigure(w io.Writer, rows []sim.ZoneDelay) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("no delay rows; run dropsim with -zones and -delays")
+	}
+	byPolicy := make(map[zone.PolicyKind][]time.Duration)
+	zonesOf := make(map[zone.PolicyKind]map[string]bool)
+	for _, r := range rows {
+		byPolicy[r.Policy] = append(byPolicy[r.Policy], r.Delay)
+		if zonesOf[r.Policy] == nil {
+			zonesOf[r.Policy] = make(map[string]bool)
+		}
+		zonesOf[r.Policy][r.Zone] = true
+	}
+
+	fmt.Fprintf(w, "Re-registration delay CDF by drop policy\n")
+	fmt.Fprintf(w, "(ground truth over %d re-registrations; delay measured from each name's release instant)\n", len(rows))
+	for _, pol := range []zone.PolicyKind{zone.PolicyPaced, zone.PolicyInstant, zone.PolicyRandom} {
+		delays, ok := byPolicy[pol]
+		if !ok {
+			continue
+		}
+		slices.Sort(delays)
+		zs := make([]string, 0, len(zonesOf[pol]))
+		for z := range zonesOf[pol] {
+			zs = append(zs, z)
+		}
+		slices.Sort(zs)
+		fmt.Fprintf(w, "\n%s (%d re-registrations, zones %v)\n", pol, len(delays), zs)
+		pct := make([]float64, len(delayCDFThresholds))
+		for i, th := range delayCDFThresholds {
+			n, _ := slices.BinarySearch(delays, th+1)
+			pct[i] = 100 * float64(n) / float64(len(delays))
+		}
+		fmt.Fprint(w, analysis.RenderCDF(delayCDFThresholds, pct, len(delayCDFThresholds)))
+	}
+	return nil
+}

@@ -20,6 +20,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux served by -debug
 	"os"
 	"os/signal"
+	"slices"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -39,6 +40,7 @@ import (
 	"dropzero/internal/safebrowsing"
 	"dropzero/internal/simtime"
 	"dropzero/internal/whois"
+	"dropzero/internal/zone"
 	"dropzero/internal/zonefile"
 )
 
@@ -52,7 +54,7 @@ func main() {
 	scopeAddr := flag.String("scope", "127.0.0.1:7703", "pending-delete list listen address")
 	oracleAddr := flag.String("oracle", "127.0.0.1:7704", "maliciousness oracle listen address")
 	dnsAddr := flag.String("dns", "127.0.0.1:7705", "authoritative DNS listen address (UDP)")
-	zoneAddr := flag.String("zones", "127.0.0.1:7706", "zone-file access listen address")
+	zoneAddr := flag.String("zonefile", "127.0.0.1:7706", "zone-file access listen address")
 	debugAddr := flag.String("debug", "", "debug listen address serving net/http/pprof and expvar (empty = disabled)")
 	population := flag.Int("population", 2000, "number of seeded domains")
 	seed := flag.Int64("seed", 1, "population seed")
@@ -65,6 +67,7 @@ func main() {
 	syncFollowers := flag.Int("sync-followers", 0, "semi-synchronous replication: EPP acks additionally wait for this many follower acknowledgements (primary only)")
 	feedRing := flag.Int("feed-ring", 4<<20, "event-feed delta ring capacity in bytes; a cursor that falls off the ring is redirected to the full list")
 	feedQueue := flag.Int("feed-queue", 64, "event-feed per-subscriber queue length; a subscriber that overflows it is moved to cursor catch-up")
+	zoneSpecs := flag.String("zones", "", "extra zones beside the default .com/.net one, as semicolon-separated name=tld[+tld...]:policy[@HH:MM] specs (e.g. \"nordic=se+nu:instant@04:00;alt=org:random\"); primary only")
 	flag.Parse()
 
 	mode, err := journal.ParseMode(*durability)
@@ -79,6 +82,13 @@ func main() {
 		if *replListen != "" {
 			log.Fatal("-listen-replication and -replicate-from are mutually exclusive")
 		}
+		if *zoneSpecs != "" {
+			log.Fatal("-zones is a primary-only flag: a replica learns its zones from the replication stream")
+		}
+	}
+	extraZones, err := zone.ParseSpecs(*zoneSpecs)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	clock := simtime.RealClock{}
@@ -150,15 +160,41 @@ func main() {
 		}
 	}
 
-	// Only a primary originates mutations; a replica's registrars and
-	// population arrive through the replication stream.
+	// Only a primary originates mutations; a replica's registrars,
+	// population and zones arrive through the replication stream.
 	if !isReplica {
 		for _, r := range dir.Registrars() {
 			store.AddRegistrar(r)
 		}
-		if recovered.Fresh() {
-			seedPopulation(store, dir, rng, *population, clock.Now())
+		// Extra zones install before any of their domains can exist. A
+		// recovered directory has already replayed their MutAddZone records
+		// into the store; re-adding would clash, so recovered zones are
+		// verified against the flag instead.
+		for _, z := range extraZones {
+			if have, ok := store.ZoneByName(z.Name); ok {
+				if !slices.Equal(have.TLDs, z.TLDs) || have.Policy != z.Policy {
+					log.Fatalf("recovered zone %q (%v %s) disagrees with the configured one (%v %s)",
+						z.Name, have.TLDs, have.Policy, z.TLDs, z.Policy)
+				}
+				continue
+			}
+			if err := store.AddZone(z); err != nil {
+				log.Fatalf("zone %s: %v", z.Name, err)
+			}
 		}
+		if recovered.Fresh() {
+			seedPopulation(store, dir, rng, *population, clock.Now(), []model.TLD{"com"})
+			// Extra zones get their own smaller populations from derived
+			// seeds, so every surface has something to serve per zone
+			// without perturbing the core population's RNG stream.
+			for zi, z := range store.ExtraZones() {
+				zrng := rand.New(rand.NewSource(*seed + int64(zi+1)*1000))
+				seedPopulation(store, dir, zrng, *population/4, clock.Now(), z.TLDs)
+			}
+		}
+	}
+	if hub != nil {
+		hub.SetZones(store.Zones())
 	}
 
 	// Replication source: after seeding (bulk history ships via snapshot +
@@ -236,6 +272,12 @@ func main() {
 
 	fmt.Printf("registry live: %d domains, %d accreditations (%d store shards)\n",
 		store.Count(), len(dir.Registrars()), store.ShardCount())
+	if zs := store.Zones(); len(zs) > 1 {
+		for _, z := range zs {
+			fmt.Printf("zone %-10s %-8s drop %02d:%02d, TLDs %v\n",
+				z.Name, z.Policy, z.Drop.StartHour, z.Drop.StartMinute, z.TLDs)
+		}
+	}
 	counts := store.StatusCounts()
 	fmt.Printf("by status: active=%d autoRenew=%d redemption=%d pendingDelete=%d\n",
 		counts[model.StatusActive], counts[model.StatusAutoRenew],
@@ -283,11 +325,12 @@ func main() {
 		close(snapDone)
 	}
 
-	// Keep the lifecycle engine ticking so seeded domains progress through
-	// expiration while the server runs. A replica's lifecycle is driven by
+	// Keep the lifecycle engines ticking so seeded domains progress through
+	// expiration while the server runs — one engine per hosted zone, each
+	// under its own lifecycle parameters. A replica's lifecycle is driven by
 	// the primary's mutation stream — ticking locally would fork history —
 	// so the ticker is a no-op until promotion.
-	lc := registry.NewLifecycle(store, registry.DefaultLifecycleConfig())
+	lcs := zoneLifecycles(store)
 	ticker := time.NewTicker(30 * time.Second)
 	defer ticker.Stop()
 	sig := make(chan os.Signal, 1)
@@ -298,7 +341,11 @@ func main() {
 			if isReplica && !promoted {
 				continue
 			}
-			if n := lc.Tick(clock.Now()); n > 0 {
+			n := 0
+			for _, lc := range lcs {
+				n += lc.Tick(clock.Now())
+			}
+			if n > 0 {
 				log.Printf("lifecycle: %d transitions", n)
 			}
 		case s := <-sig:
@@ -317,6 +364,9 @@ func main() {
 				jnl = pj
 				jnlVar.Store(pj)
 				promoted = true
+				// Zones that arrived through the stream need their own
+				// lifecycle engines now that this process drives time.
+				lcs = zoneLifecycles(store)
 				eppSrv.SetReadOnly(false)
 				log.Printf("promoted to primary at seq %d; EPP writes enabled", pj.LastSeq())
 				continue
@@ -535,16 +585,29 @@ func listen(name, addr string, fn func(string) (net.Addr, error)) {
 	fmt.Printf("%-20s %s\n", name+":", got.String())
 }
 
+// zoneLifecycles builds one lifecycle engine per hosted zone: the default
+// .com/.net one under the base parameters plus one per extra zone under its
+// own, so federated domains transition on their zone's clocks.
+func zoneLifecycles(store *registry.Store) []*registry.Lifecycle {
+	lcs := []*registry.Lifecycle{registry.NewLifecycle(store, registry.DefaultLifecycleConfig())}
+	for _, z := range store.ExtraZones() {
+		lcs = append(lcs, registry.NewZoneLifecycle(store, z))
+	}
+	return lcs
+}
+
 // seedPopulation creates a mix of active, expiring and pending-delete
-// domains so every protocol surface has something to serve.
-func seedPopulation(store *registry.Store, dir *registrars.Directory, rng *rand.Rand, n int, now time.Time) {
+// domains so every protocol surface has something to serve, round-robining
+// the names over tlds (no RNG draw per name — a single-TLD call consumes
+// exactly the pre-federation stream).
+func seedPopulation(store *registry.Store, dir *registrars.Directory, rng *rand.Rand, n int, now time.Time, tlds []model.TLD) {
 	gen := names.NewGenerator(rng)
 	sponsors := dir.Accreditations(registrars.SvcGoDaddy)
 	sponsors = append(sponsors, dir.Accreditations(registrars.SvcOther)...)
 	today := simtime.DayOf(now)
 	for i := 0; i < n; i++ {
 		g := gen.Next()
-		name := g.Label + ".com"
+		name := g.Label + "." + string(tlds[i%len(tlds)])
 		sponsor := sponsors[rng.Intn(len(sponsors))]
 		switch i % 4 {
 		case 0: // active

@@ -18,6 +18,7 @@ import (
 	"dropzero/internal/journal"
 	"dropzero/internal/measure"
 	"dropzero/internal/sim"
+	"dropzero/internal/zone"
 )
 
 func main() {
@@ -34,6 +35,8 @@ func main() {
 	regsOut := flag.String("registrars", "registrars.csv", "output path for the registrar directory")
 	dataDir := flag.String("datadir", "", "durability directory: journal the study's state there and resume a crashed run from it (empty = memory only)")
 	durability := flag.String("durability", "async", "journal mode when -datadir is set: off, async or sync")
+	zones := flag.String("zones", "", "extra zones beside the default .com/.net one, as semicolon-separated name=tld[+tld...]:policy[@HH:MM] specs (e.g. \"nordic=se+nu:instant@04:00;alt=org:random\")")
+	delaysOut := flag.String("delays", "", "output path for the per-zone ground-truth re-registration delay CSV (empty = skip; feeds dropanalyze -delays)")
 	flag.Parse()
 
 	cfg.Days = *days
@@ -47,6 +50,13 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg.Durability = mode
+	if *zones != "" {
+		zs, err := zone.ParseSpecs(*zones)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Zones = zs
+	}
 
 	log.Printf("simulating %d deletion days at scale %.3f (seed %d)...", cfg.Days, cfg.Scale, cfg.Seed)
 	res, err := sim.Run(cfg)
@@ -84,6 +94,26 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("registrar directory written to %s\n", *regsOut)
+
+	if len(res.Zones) > 1 {
+		delays := res.ZoneDelays()
+		perZone := make(map[string]int)
+		for _, d := range delays {
+			perZone[d.Zone]++
+		}
+		for _, z := range res.Zones {
+			fmt.Printf("zone %-10s %-8s %d TLDs, %d re-registrations\n",
+				z.Name, z.Policy, len(z.TLDs), perZone[z.Name])
+		}
+	}
+	if *delaysOut != "" {
+		if err := writeFile(*delaysOut, func(f *os.File) error {
+			return sim.WriteZoneDelaysCSV(f, res.ZoneDelays())
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("per-zone delay CSV written to %s\n", *delaysOut)
+	}
 }
 
 func writeFile(path string, write func(*os.File) error) error {

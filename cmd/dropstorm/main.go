@@ -6,6 +6,13 @@
 //
 //	dropstorm -names 16 -services DropCatch,SnapNames,Pheenix
 //	dropstorm -transport inproc -names 64 -scale 0.5
+//	dropstorm -names 24 -zones "nordic=se+nu:instant@19:05;alt=org:random"
+//
+// With -zones the storm federates: contested names spread round-robin over
+// every hosted TLD, each zone drops concurrently under its own release
+// policy (an instant-release zone lets its whole group go at one offset —
+// the simultaneous-drop case), and the FCFS audit runs per zone as well as
+// globally.
 //
 // The run exits non-zero if the registry's FCFS guarantee is violated: any
 // name acked to more than one client, any acked create missing from the
@@ -34,6 +41,7 @@ import (
 	"dropzero/internal/registry"
 	"dropzero/internal/simtime"
 	"dropzero/internal/storm"
+	"dropzero/internal/zone"
 )
 
 func main() {
@@ -51,15 +59,16 @@ func main() {
 	rate := flag.Float64("rate", 5, "per-accreditation create token refill per second")
 	seed := flag.Int64("seed", 1, "ecosystem seed")
 	subscribers := flag.Int("subscribers", 16, "live event-feed subscribers riding along with the storm (0 = no feed)")
+	zoneSpecs := flag.String("zones", "", "federate the storm: extra zones as semicolon-separated name=tld[+tld...]:policy[@HH:MM] specs; names spread round-robin over every hosted TLD")
 	verbose := flag.Bool("v", false, "print the per-profile attempt breakdown")
 	flag.Parse()
 
-	if err := run(*nNames, *services, *transport, *scale, *dropSpacing, *dropStart, *burst, *rate, *seed, *subscribers, *verbose); err != nil {
+	if err := run(*nNames, *services, *transport, *zoneSpecs, *scale, *dropSpacing, *dropStart, *burst, *rate, *seed, *subscribers, *verbose); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(nNames int, services, transport string, scale float64,
+func run(nNames int, services, transport, zoneSpecs string, scale float64,
 	dropSpacing, dropStart time.Duration, burst, rate float64, seed int64, subscribers int, verbose bool) error {
 	day := simtime.Day{Year: 2018, Month: time.March, Dom: 8}
 	clock := simtime.NewSimClock(day.At(18, 59, 0))
@@ -70,11 +79,31 @@ func run(nNames int, services, transport string, scale float64,
 		store.AddRegistrar(r)
 	}
 
+	// Federated storms install their extra zones first; the contested names
+	// then spread round-robin over every hosted TLD so each zone gets a
+	// group to drop.
+	zones, err := zone.ParseSpecs(zoneSpecs)
+	if err != nil {
+		return err
+	}
+	for _, z := range zones {
+		if err := store.AddZone(z); err != nil {
+			return err
+		}
+	}
+	tlds := []model.TLD{"com"}
+	if len(zones) > 0 {
+		tlds = tlds[:0]
+		for _, z := range store.Zones() {
+			tlds = append(tlds, z.TLDs...)
+		}
+	}
+
 	// Seed the contested names pendingDelete, due today.
 	names := make([]string, nNames)
 	sponsor := dir.Accreditations(registrars.SvcOther)[0]
 	for i := range names {
-		names[i] = fmt.Sprintf("contested%04d.com", i)
+		names[i] = fmt.Sprintf("contested%04d.%s", i, tlds[i%len(tlds)])
 		updated := day.AddDays(-35).At(6, 30, i%60)
 		if _, err := store.SeedAt(names[i], sponsor, updated.AddDate(-2, 0, 0), updated,
 			updated.AddDate(0, 0, -30), model.StatusPendingDelete, day); err != nil {
@@ -145,15 +174,45 @@ func run(nNames int, services, transport string, scale float64,
 		return fmt.Errorf("unknown transport %q (want tcp or inproc)", transport)
 	}
 
-	// Plan the Drop and map it to per-name purge callbacks.
-	runner := registry.NewDropRunner(store, registry.DropConfig{StartHour: 19, BaseRatePerSec: 10000})
-	sched := runner.Schedule(day, rng)
-	if len(sched) != nNames {
-		return fmt.Errorf("scheduled %d deletions, want %d", len(sched), nNames)
+	// Plan each zone's Drop and map it to per-name purge callbacks. The
+	// single-zone path keeps the legacy unscoped paced runner; a federated
+	// storm drops every zone concurrently under its own release policy, an
+	// instant zone releasing its whole group at one offset (the
+	// simultaneous-drop case the per-zone FCFS audit is about).
+	byName := make(map[string]registry.Scheduled, nNames)
+	runnerOf := make(map[string]*registry.DropRunner, nNames)
+	offsetOf := make(map[string]time.Duration, nNames)
+	if len(zones) == 0 {
+		runner := registry.NewDropRunner(store, registry.DropConfig{StartHour: 19, BaseRatePerSec: 10000})
+		for _, sc := range runner.Schedule(day, rng) {
+			byName[sc.Name] = sc
+			runnerOf[sc.Name] = runner
+		}
+	} else {
+		for _, z := range store.Zones() {
+			zc := z
+			if z.Policy != zone.PolicyInstant {
+				// Tighten the pace so every zone's schedule fits the storm
+				// window; instant zones keep their configured release instant.
+				zc.Drop = registry.DropConfig{StartHour: 19, BaseRatePerSec: 10000}
+			}
+			runner, err := registry.NewZoneDropRunner(store, zc)
+			if err != nil {
+				return err
+			}
+			for i, sc := range runner.Schedule(day, rng) {
+				byName[sc.Name] = sc
+				runnerOf[sc.Name] = runner
+				off := dropStart
+				if z.Policy != zone.PolicyInstant {
+					off += time.Duration(i) * dropSpacing
+				}
+				offsetOf[sc.Name] = off
+			}
+		}
 	}
-	byName := make(map[string]registry.Scheduled, len(sched))
-	for _, sc := range sched {
-		byName[sc.Name] = sc
+	if len(byName) != nNames {
+		return fmt.Errorf("scheduled %d deletions, want %d", len(byName), nNames)
 	}
 	clock.Set(day.At(19, 0, 0))
 
@@ -189,8 +248,14 @@ func run(nNames int, services, transport string, scale float64,
 	}
 
 	offsets := make([]time.Duration, nNames)
-	for i := range offsets {
-		offsets[i] = dropStart + time.Duration(i)*dropSpacing
+	if len(zones) == 0 {
+		for i := range offsets {
+			offsets[i] = dropStart + time.Duration(i)*dropSpacing
+		}
+	} else {
+		for i, name := range names {
+			offsets[i] = offsetOf[name]
+		}
 	}
 
 	// The registry runs on a SimClock so the seeded lifecycle state and the
@@ -219,17 +284,19 @@ func run(nNames int, services, transport string, scale float64,
 	}()
 	defer func() { close(stopTick); <-tickDone }()
 
-	fmt.Printf("storming %d names over %s with %d services\n", nNames, transport, len(profiles))
+	fmt.Printf("storming %d names over %s with %d services across %d zones\n",
+		nNames, transport, len(profiles), len(store.Zones()))
 	rep, err := storm.Run(storm.Config{
 		Dial:        dial,
 		Credential:  dir.Credential,
 		Names:       names,
 		DropOffsets: offsets,
 		Drop: func(name string) error {
-			_, err := runner.Apply(byName[name])
+			_, err := runnerOf[name].Apply(byName[name])
 			return err
 		},
 		Profiles: profiles,
+		Zones:    store.Zones(),
 	})
 	if err != nil {
 		return err
@@ -243,9 +310,26 @@ func run(nNames int, services, transport string, scale float64,
 		subWG.Wait()
 	}
 	printReport(rep, verbose)
+	if len(rep.ByZone) > 1 {
+		policyOf := make(map[string]zone.PolicyKind)
+		for _, z := range store.Zones() {
+			policyOf[z.Name] = z.Policy
+		}
+		fmt.Printf("per-zone FCFS audit:\n")
+		for _, g := range rep.ByZone {
+			fmt.Printf("  %-10s %-8s names=%-4d attempts=%-6d wins=%-4d multiAcks=%d unclaimed=%d create p99.9=%v\n",
+				g.Key, policyOf[g.Key], g.Names, g.Attempts, g.Wins, g.MultiAcks, g.Unclaimed,
+				g.Creates.P999().Round(time.Microsecond))
+		}
+	}
 
-	// The FCFS audit decides the exit code.
+	// The FCFS audit decides the exit code — per zone first, then globally.
 	var failures []string
+	for _, g := range rep.ByZone {
+		if g.MultiAcks > 0 || g.Unclaimed > 0 {
+			failures = append(failures, fmt.Sprintf("zone %q: %d multi-acks, %d unclaimed", g.Key, g.MultiAcks, g.Unclaimed))
+		}
+	}
 	if len(rep.DropErrors) > 0 {
 		failures = append(failures, fmt.Sprintf("%d drop failures: %v", len(rep.DropErrors), rep.DropErrors))
 	}

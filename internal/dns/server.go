@@ -101,8 +101,8 @@ func (s *Server) handle(query []byte) []byte {
 	}
 	name := strings.ToLower(strings.TrimSuffix(q.Name, "."))
 	tld, ok := model.TLDOf(name)
-	if !ok {
-		resp.Header.Rcode = RcodeRefused // not our zone
+	if !ok || !s.store.HostsTLD(tld) {
+		resp.Header.Rcode = RcodeRefused // no zone of ours hosts this TLD
 		return mustPack(resp)
 	}
 	d, err := s.store.Get(name)

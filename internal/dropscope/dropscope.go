@@ -30,6 +30,7 @@ import (
 
 	"dropzero/internal/feed"
 	"dropzero/internal/gencache"
+	"dropzero/internal/model"
 	"dropzero/internal/registry"
 	"dropzero/internal/simtime"
 )
@@ -77,21 +78,31 @@ type Server struct {
 	writeErrs atomic.Uint64
 
 	// mu guards the generation-checked render cache. segs holds one
-	// rendered CSV segment per deletion day; lists holds the assembled
-	// five-day bodies by start day. Both are valid for generation cgen only
-	// and are flushed wholesale when the store moves on.
+	// rendered CSV segment per (deletion day, zone); lists holds the
+	// assembled five-day bodies by (start day, zone). The zone key is ""
+	// for the unscoped list — the pre-federation cache shape, so default
+	// requests share nothing with zone-scoped ones and stay byte-identical.
+	// Both maps are valid for generation cgen only and are flushed
+	// wholesale when the store moves on.
 	mu    sync.Mutex
 	cgen  uint64
-	segs  map[simtime.Day][]byte
-	lists map[simtime.Day]*cachedList
+	segs  map[listKey][]byte
+	lists map[listKey]*cachedList
+}
+
+// listKey addresses one cached render: the day it starts at and the zone it
+// is scoped to ("" = all zones, the default list).
+type listKey struct {
+	day  simtime.Day
+	zone string
 }
 
 // NewServer returns a Server over store.
 func NewServer(store *registry.Store) *Server {
 	s := &Server{
 		store: store,
-		segs:  make(map[simtime.Day][]byte),
-		lists: make(map[simtime.Day]*cachedList),
+		segs:  make(map[listKey][]byte),
+		lists: make(map[listKey]*cachedList),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/pendingdelete", s.handleList)
@@ -167,33 +178,46 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	}
 	// Fast path for the exact query the client emits (?date=YYYY-MM-DD):
 	// r.URL.Query() builds a url.Values map per call, which is the only
-	// allocation left on the warm serving path.
+	// allocation left on the warm serving path. A zone= parameter always
+	// contains '&', so zone-scoped requests take the url.Values path.
 	dateStr, fast := strings.CutPrefix(r.URL.RawQuery, "date=")
+	zoneName := ""
 	if !fast || strings.ContainsAny(dateStr, "&%+;") {
-		dateStr = r.URL.Query().Get("date")
+		q := r.URL.Query()
+		dateStr = q.Get("date")
+		zoneName = q.Get("zone")
 	}
 	start, err := ParseDay(dateStr)
 	if err != nil {
 		http.Error(w, fmt.Sprintf("bad date %q: %v", dateStr, err), http.StatusBadRequest)
 		return
 	}
+	var tlds map[model.TLD]bool
+	if zoneName != "" {
+		z, ok := s.store.ZoneByName(zoneName)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown zone %q", zoneName), http.StatusNotFound)
+			return
+		}
+		tlds = z.TLDSet()
+	}
 
 	gen := s.store.Generation()
 	s.mu.Lock()
 	s.flushTo(gen)
-	cl, ok := s.lists[start]
+	cl, ok := s.lists[listKey{start, zoneName}]
 	s.mu.Unlock()
 	if ok {
 		s.hits.Add(1)
 	} else {
 		s.misses.Add(1)
-		cl, ok = s.buildList(gen, start)
+		cl, ok = s.buildList(gen, start, zoneName, tlds)
 		if !ok {
 			// The store mutated while rendering. The body below is still a
 			// single consistent snapshot (one PendingDeletions call), so
 			// serve it — but uncached and without an ETag, because we cannot
 			// name the generation it belongs to.
-			body := renderWindow(s.store, start, LookaheadDays)
+			body := renderWindow(s.store, start, LookaheadDays, tlds)
 			h := w.Header()
 			h["Content-Type"] = csvContentType
 			h["Content-Length"] = []string{strconv.Itoa(len(body))}
@@ -232,7 +256,10 @@ func (s *Server) flushTo(gen uint64) {
 // buildList renders and caches the list starting at start for generation
 // gen, reusing any per-day segments already rendered under gen. ok=false
 // means the store's generation moved while rendering and nothing was cached.
-func (s *Server) buildList(gen uint64, start simtime.Day) (*cachedList, bool) {
+// A non-empty zoneName narrows the list to the zone with TLD membership
+// tlds and suffixes the ETag with @zone (zone bodies differ, so their
+// validators must too).
+func (s *Server) buildList(gen uint64, start simtime.Day, zoneName string, tlds map[model.TLD]bool) (*cachedList, bool) {
 	end := start.AddDays(LookaheadDays)
 	s.mu.Lock()
 	if s.cgen != gen {
@@ -241,7 +268,7 @@ func (s *Server) buildList(gen uint64, start simtime.Day) (*cachedList, bool) {
 	}
 	var missing []simtime.Day
 	for d := start; d.Before(end); d = d.Next() {
-		if _, ok := s.segs[d]; !ok {
+		if _, ok := s.segs[listKey{d, zoneName}]; !ok {
 			missing = append(missing, d)
 		}
 	}
@@ -252,7 +279,7 @@ func (s *Server) buildList(gen uint64, start simtime.Day) (*cachedList, bool) {
 	// the generation before installing, per the Store.Generation contract.
 	built := make(map[simtime.Day][]byte, len(missing))
 	for _, d := range missing {
-		built[d] = renderWindow(s.store, d, 1)
+		built[d] = renderWindow(s.store, d, 1, tlds)
 	}
 	if s.store.Generation() != gen {
 		return nil, false // segments may straddle a mutation; do not cache
@@ -264,36 +291,44 @@ func (s *Server) buildList(gen uint64, start simtime.Day) (*cachedList, bool) {
 		return nil, false
 	}
 	for d, seg := range built {
-		s.segs[d] = seg
+		s.segs[listKey{d, zoneName}] = seg
 	}
 	// Under an unchanged generation segments are only ever added, so the
 	// whole window is now present.
 	n := 0
 	for d := start; d.Before(end); d = d.Next() {
-		n += len(s.segs[d])
+		n += len(s.segs[listKey{d, zoneName}])
 	}
 	body := make([]byte, 0, n)
 	for d := start; d.Before(end); d = d.Next() {
-		body = append(body, s.segs[d]...)
+		body = append(body, s.segs[listKey{d, zoneName}]...)
 	}
-	etag := `"` + strconv.FormatUint(gen, 10) + "-" + start.String() + `"`
+	etag := `"` + strconv.FormatUint(gen, 10) + "-" + start.String()
+	if zoneName != "" {
+		etag += "@" + zoneName
+	}
+	etag += `"`
 	cl := &cachedList{
 		body:    body,
 		etag:    etag,
 		etagVal: []string{etag},
 		clenVal: []string{strconv.Itoa(len(body))},
 	}
-	s.lists[start] = cl
+	s.lists[listKey{start, zoneName}] = cl
 	return cl, true
 }
 
 // renderWindow renders the CSV lines for all domains scheduled for deletion
-// in [start, start+days). One PendingDeletions call means one store read
-// lock: the result is a consistent snapshot.
-func renderWindow(store *registry.Store, start simtime.Day, days int) []byte {
+// in [start, start+days), narrowed to the TLDs in tlds when non-nil. One
+// PendingDeletions call means one store read lock: the result is a
+// consistent snapshot.
+func renderWindow(store *registry.Store, start simtime.Day, days int, tlds map[model.TLD]bool) []byte {
 	var buf bytes.Buffer
 	cw := csv.NewWriter(&buf)
 	for _, d := range store.PendingDeletions(start, days) {
+		if tlds != nil && !tlds[d.TLD] {
+			continue
+		}
 		if err := cw.Write([]string{d.Name, d.DeleteDay.String()}); err != nil {
 			// csv.Writer cannot fail writing to a bytes.Buffer.
 			panic(err)

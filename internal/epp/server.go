@@ -368,7 +368,7 @@ func (s *Server) handleCreate(sess *session, req *Request, resp *Response) {
 	// bucket: the bucket is the scarce resource drop-catchers race over, and
 	// charging first would let anyone who knows a competitor's login burn
 	// that competitor's create budget with free invalid-name spam.
-	if err := registry.CheckName(req.Name); err != nil {
+	if err := s.store.CheckName(req.Name); err != nil {
 		resp.Code, resp.Msg = CodeParamRange, err.Error()
 		return
 	}

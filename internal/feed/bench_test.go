@@ -128,9 +128,9 @@ func BenchmarkDeltaServe(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			h.resp = gencache.New[deltaKey, *cachedResp](64)
 			if full {
-				bytes += int64(len(h.buildFull().body))
+				bytes += int64(len(h.buildFull("").body))
 			} else {
-				resp, ok := h.buildDeltas(0, json)
+				resp, ok := h.buildDeltas(0, json, "")
 				if !ok {
 					b.Fatal("delta cursor not servable")
 				}

@@ -45,6 +45,7 @@ import (
 	"dropzero/internal/model"
 	"dropzero/internal/registry"
 	"dropzero/internal/simtime"
+	"dropzero/internal/zone"
 )
 
 // OpKind is one delta operation on the pending-delete list. The values are
@@ -121,10 +122,14 @@ type rec struct {
 
 // segment is one broadcast batch: the delta ops derived from a contiguous
 // run of mutation records (from..to], rendered once in every wire shape.
+// opList keeps the decoded ops so zone-scoped delta requests can re-filter
+// a segment without reparsing its rendered bytes; the default (unscoped)
+// path never touches it.
 type segment struct {
 	from, to uint64
 	at       int64 // earliest op-producing record's append instant
 	ops      int
+	opList   []Op
 	csv      []byte // delta CSV lines: op,name,day
 	json     []byte // one NDJSON object
 	sse      []byte // complete SSE frame (id/event/data lines + blank)
@@ -149,12 +154,15 @@ type subShard struct {
 	set map[*subscriber]struct{}
 }
 
-// deltaKey keys the response cache: one entry per (since, shape) at the
-// hub's current cursor generation.
+// deltaKey keys the response cache: one entry per (since, shape, zone) at
+// the hub's current cursor generation. zone is "" for the unscoped feed;
+// zone-scoped responses differ in body and ETag, so they get their own
+// entries.
 type deltaKey struct {
 	since uint64
 	full  bool
 	json  bool
+	zone  string
 }
 
 // cachedResp is a fully assembled response: body plus pre-built header
@@ -199,6 +207,11 @@ type Hub struct {
 	// fullPath is the redirect target for unservable delta cursors; set by
 	// Register (single-threaded setup, before traffic).
 	fullPath string
+
+	// zones maps zone name → TLD membership for the zone= delta filter;
+	// installed by SetZones under ringMu. nil means no zone filtering is
+	// offered (the pre-federation hub).
+	zones map[string]map[model.TLD]bool
 
 	subs    []subShard
 	subPick atomic.Uint64
@@ -285,6 +298,36 @@ func (t Tap) Append(m registry.Mutation) (wait func() error) {
 	}
 	t.Hub.Append(m)
 	return wait
+}
+
+// SetZones installs the zone table the zone= delta filter consults — call
+// with the hosting store's Zones() at setup (it is safe at runtime too; the
+// table swap happens under the ring lock). Without it every zone= request
+// is rejected as unknown and the hub behaves exactly like the
+// pre-federation one.
+func (h *Hub) SetZones(zs []zone.Config) {
+	m := make(map[string]map[model.TLD]bool, len(zs))
+	for _, z := range zs {
+		m[z.Name] = z.TLDSet()
+	}
+	h.ringMu.Lock()
+	h.zones = m
+	h.ringMu.Unlock()
+}
+
+// zoneSet resolves a zone= parameter to its TLD membership set.
+func (h *Hub) zoneSet(name string) (map[model.TLD]bool, bool) {
+	h.ringMu.RLock()
+	defer h.ringMu.RUnlock()
+	set, ok := h.zones[name]
+	return set, ok
+}
+
+// opInZone reports whether a delta op's name belongs to the zone with TLD
+// membership tlds.
+func opInZone(op Op, tlds map[model.TLD]bool) bool {
+	t, ok := model.TLDOf(op.Name)
+	return ok && tlds[t]
 }
 
 // PrimeFromStore loads the store's current pending-delete set as the hub's
@@ -435,7 +478,7 @@ func (h *Hub) deriveLocked(m *registry.Mutation, seq uint64, ops []Op) []Op {
 // renderSegment encodes a batch's ops once in every wire shape. Nothing
 // here is per-subscriber: broadcast shares these exact bytes.
 func renderSegment(from, to uint64, at int64, ops []Op) *segment {
-	seg := &segment{from: from, to: to, at: at, ops: len(ops)}
+	seg := &segment{from: from, to: to, at: at, ops: len(ops), opList: ops}
 
 	var csv bytes.Buffer
 	for _, op := range ops {
@@ -443,23 +486,7 @@ func renderSegment(from, to uint64, at int64, ops []Op) *segment {
 	}
 	seg.csv = csv.Bytes()
 
-	jops := make([][3]string, len(ops))
-	for i, op := range ops {
-		jops[i] = [3]string{string(op.Kind), op.Name, ""}
-		if op.Kind == OpAdd {
-			jops[i][2] = op.Day.String()
-		}
-	}
-	j, err := json.Marshal(struct {
-		From uint64      `json:"from"`
-		To   uint64      `json:"to"`
-		Sent int64       `json:"sent"`
-		Ops  [][3]string `json:"ops"`
-	}{from, to, at, jops})
-	if err != nil {
-		panic(err) // plain strings and ints cannot fail to marshal
-	}
-	seg.json = append(j, '\n')
+	seg.json = marshalSegmentJSON(from, to, at, ops)
 
 	var sse bytes.Buffer
 	sse.WriteString("id: ")
@@ -480,6 +507,29 @@ func renderSegment(from, to uint64, at int64, ops []Op) *segment {
 	sse.WriteByte('\n')
 	seg.sse = sse.Bytes()
 	return seg
+}
+
+// marshalSegmentJSON renders one batch's NDJSON line. Zone-scoped delta
+// requests call it with a filtered op list but the original batch bounds,
+// so cursors stay valid across zones.
+func marshalSegmentJSON(from, to uint64, at int64, ops []Op) []byte {
+	jops := make([][3]string, len(ops))
+	for i, op := range ops {
+		jops[i] = [3]string{string(op.Kind), op.Name, ""}
+		if op.Kind == OpAdd {
+			jops[i][2] = op.Day.String()
+		}
+	}
+	j, err := json.Marshal(struct {
+		From uint64      `json:"from"`
+		To   uint64      `json:"to"`
+		Sent int64       `json:"sent"`
+		Ops  [][3]string `json:"ops"`
+	}{from, to, at, jops})
+	if err != nil {
+		panic(err) // plain strings and ints cannot fail to marshal
+	}
+	return append(j, '\n')
 }
 
 // writeOpLine renders one delta CSV line: op,name,day (day only for adds).

@@ -1,9 +1,12 @@
 package feed
 
 import (
+	"bytes"
 	"net/http"
 	"strconv"
 	"time"
+
+	"dropzero/internal/model"
 )
 
 // maxLongPoll caps the wait= long-poll parameter.
@@ -18,12 +21,15 @@ func (h *Hub) Register(mux *http.ServeMux, prefix string) {
 	h.fullPath = prefix + "/deltas/full"
 }
 
-// handleDeltas serves GET /deltas?since=C[&format=json][&wait=2s]: the
-// pre-rendered delta segments strictly after cursor C, concatenated. The
+// handleDeltas serves GET /deltas?since=C[&format=json][&wait=2s][&zone=Z]:
+// the pre-rendered delta segments strictly after cursor C, concatenated. The
 // response is byte-identical for equal (since, cursor) pairs, so the
 // "<since>-<cursor>" ETag is strong. A cursor the ring cannot serve exactly
 // (evicted, future, or mid-batch) redirects to the full list, whose
-// X-Feed-Cursor restarts the cursor.
+// X-Feed-Cursor restarts the cursor. zone=Z narrows every segment to the
+// ops whose names the named zone hosts; cursors are shared across zones
+// (batch bounds are global), and the ETag grows an @Z suffix because the
+// body differs.
 func (h *Hub) handleDeltas(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		w.Header().Set("Allow", "GET, HEAD")
@@ -32,6 +38,13 @@ func (h *Hub) handleDeltas(w http.ResponseWriter, r *http.Request) {
 	}
 	h.mDeltaReqs.Add(1)
 	q := r.URL.Query()
+	zoneName := q.Get("zone")
+	if zoneName != "" {
+		if _, ok := h.zoneSet(zoneName); !ok {
+			http.Error(w, "unknown zone", http.StatusNotFound)
+			return
+		}
+	}
 	sinceStr := q.Get("since")
 	since, err := strconv.ParseUint(sinceStr, 10, 64)
 	if sinceStr == "" || err != nil {
@@ -52,7 +65,7 @@ func (h *Hub) handleDeltas(w http.ResponseWriter, r *http.Request) {
 		h.waitForAdvance(r, since, wait)
 	}
 
-	resp, ok := h.buildDeltas(since, asJSON)
+	resp, ok := h.buildDeltas(since, asJSON, zoneName)
 	if !ok {
 		http.Redirect(w, r, h.fullPath, http.StatusSeeOther)
 		return
@@ -103,9 +116,19 @@ func (h *Hub) waitForAdvance(r *http.Request, since uint64, wait time.Duration) 
 
 // buildDeltas assembles (or fetches from the per-cursor cache) the /deltas
 // response body for a since cursor. ok=false means the ring cannot serve
-// this cursor and the caller should redirect to the full list.
-func (h *Hub) buildDeltas(since uint64, asJSON bool) (*cachedResp, bool) {
-	key := deltaKey{since: since, json: asJSON}
+// this cursor and the caller should redirect to the full list. A non-empty
+// zoneName narrows each segment to the named zone's ops (segments left
+// empty by the filter are omitted from the body; the cursor still covers
+// them) and suffixes the ETag with @zone, since the bytes differ per zone.
+func (h *Hub) buildDeltas(since uint64, asJSON bool, zoneName string) (*cachedResp, bool) {
+	key := deltaKey{since: since, json: asJSON, zone: zoneName}
+	var tlds map[model.TLD]bool
+	if zoneName != "" {
+		var ok bool
+		if tlds, ok = h.zoneSet(zoneName); !ok {
+			return nil, false
+		}
+	}
 	h.ringMu.RLock()
 	cur := h.cursor
 	if c, ok := h.resp.Get(cur, key); ok {
@@ -117,33 +140,64 @@ func (h *Hub) buildDeltas(since uint64, asJSON bool) (*cachedResp, bool) {
 		h.ringMu.RUnlock()
 		return nil, false
 	}
-	n := 0
-	for _, s := range segs {
-		if asJSON {
-			n += len(s.json)
-		} else {
-			n += len(s.csv)
+	var body []byte
+	if tlds == nil {
+		n := 0
+		for _, s := range segs {
+			if asJSON {
+				n += len(s.json)
+			} else {
+				n += len(s.csv)
+			}
 		}
-	}
-	body := make([]byte, 0, n)
-	for _, s := range segs {
-		if asJSON {
-			body = append(body, s.json...)
-		} else {
-			body = append(body, s.csv...)
+		body = make([]byte, 0, n)
+		for _, s := range segs {
+			if asJSON {
+				body = append(body, s.json...)
+			} else {
+				body = append(body, s.csv...)
+			}
+		}
+	} else {
+		var csv bytes.Buffer
+		for _, s := range segs {
+			var fops []Op
+			for _, op := range s.opList {
+				if opInZone(op, tlds) {
+					fops = append(fops, op)
+				}
+			}
+			if len(fops) == 0 {
+				continue
+			}
+			if asJSON {
+				body = append(body, marshalSegmentJSON(s.from, s.to, s.at, fops)...)
+			} else {
+				for _, op := range fops {
+					writeOpLine(&csv, op)
+				}
+			}
+		}
+		if !asJSON {
+			body = csv.Bytes()
 		}
 	}
 	h.ringMu.RUnlock()
 
-	c := newCachedResp(body, cur,
-		`"`+strconv.FormatUint(since, 10)+"-"+strconv.FormatUint(cur, 10)+`"`)
+	etag := `"` + strconv.FormatUint(since, 10) + "-" + strconv.FormatUint(cur, 10)
+	if zoneName != "" {
+		etag += "@" + zoneName
+	}
+	etag += `"`
+	c := newCachedResp(body, cur, etag)
 	h.resp.Put(cur, key, c)
 	return c, true
 }
 
-// handleFull serves GET /deltas/full: the whole pending-delete list as
-// name,day CSV sorted by (day, name), with X-Feed-Cursor naming the cursor
-// the body is consistent with — the cursor a client starts deltas from.
+// handleFull serves GET /deltas/full[?zone=Z]: the whole pending-delete
+// list as name,day CSV sorted by (day, name), with X-Feed-Cursor naming the
+// cursor the body is consistent with — the cursor a client starts deltas
+// from. zone=Z narrows the list to the named zone's names.
 func (h *Hub) handleFull(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		w.Header().Set("Allow", "GET, HEAD")
@@ -151,7 +205,14 @@ func (h *Hub) handleFull(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.mFullReqs.Add(1)
-	resp := h.buildFull()
+	zoneName := r.URL.Query().Get("zone")
+	if zoneName != "" {
+		if _, ok := h.zoneSet(zoneName); !ok {
+			http.Error(w, "unknown zone", http.StatusNotFound)
+			return
+		}
+	}
+	resp := h.buildFull(zoneName)
 	hdr := w.Header()
 	hdr.Set("Content-Type", "text/csv; charset=utf-8")
 	hdr.Set("X-Feed-Full", "1")
@@ -168,11 +229,16 @@ func (h *Hub) handleFull(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// buildFull renders (or fetches from the per-cursor cache) the full list.
-func (h *Hub) buildFull() *cachedResp {
-	key := deltaKey{full: true}
+// buildFull renders (or fetches from the per-cursor cache) the full list,
+// optionally narrowed to one zone's names.
+func (h *Hub) buildFull(zoneName string) *cachedResp {
+	key := deltaKey{full: true, zone: zoneName}
 	if c, ok := h.resp.Get(h.Cursor(), key); ok {
 		return c
+	}
+	var tlds map[model.TLD]bool
+	if zoneName != "" {
+		tlds, _ = h.zoneSet(zoneName)
 	}
 	items, cur := h.PendingItems()
 	n := 0
@@ -181,12 +247,22 @@ func (h *Hub) buildFull() *cachedResp {
 	}
 	body := make([]byte, 0, n)
 	for _, it := range items {
+		if tlds != nil {
+			if t, ok := model.TLDOf(it.Name); !ok || !tlds[t] {
+				continue
+			}
+		}
 		body = append(body, it.Name...)
 		body = append(body, ',')
 		body = append(body, it.Day.String()...)
 		body = append(body, '\n')
 	}
-	c := newCachedResp(body, cur, `"full-`+strconv.FormatUint(cur, 10)+`"`)
+	etag := `"full-` + strconv.FormatUint(cur, 10)
+	if zoneName != "" {
+		etag += "@" + zoneName
+	}
+	etag += `"`
+	c := newCachedResp(body, cur, etag)
 	h.resp.Put(cur, key, c)
 	return c
 }

@@ -5,11 +5,14 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"math"
+	"sort"
 	"time"
 
 	"dropzero/internal/model"
 	"dropzero/internal/registry"
 	"dropzero/internal/simtime"
+	"dropzero/internal/zone"
 )
 
 // Mutation payload encoding: a hand-rolled binary codec rather than gob,
@@ -44,6 +47,13 @@ import (
 // reused for a future kind.
 const wireAddRegistrarBin byte = 0x41
 
+// wireAddZoneBin is the on-wire kind byte of a MutAddZone record: the common
+// mutation fields (all zero/empty) followed by the zone config (name, TLD
+// list, lifecycle, drop, policy kind, shuffle salt). Like
+// wireAddRegistrarBin it sits outside the valid MutKind range and is never
+// to be reused for a future kind.
+const wireAddZoneBin byte = 0x42
+
 // appendUvarint/appendVarint wrap binary's append helpers for symmetry.
 func appendTime(b []byte, t time.Time) []byte {
 	b = binary.AppendVarint(b, t.Unix())
@@ -70,11 +80,53 @@ func appendRegistrar(b []byte, r *model.Registrar) []byte {
 	return appendString(b, r.Service)
 }
 
+// appendZone serialises z after b with the same varint/string primitives as
+// the mutation fields. Shared by the WAL codec and the v3 snapshot's meta
+// section. Field order is part of the on-disk format.
+func appendZone(b []byte, z *zone.Config) []byte {
+	b = appendString(b, z.Name)
+	b = binary.AppendUvarint(b, uint64(len(z.TLDs)))
+	for _, t := range z.TLDs {
+		b = appendString(b, string(t))
+	}
+	lc := &z.Lifecycle
+	b = binary.AppendVarint(b, int64(lc.RedemptionDays))
+	b = binary.AppendVarint(b, int64(lc.PendingDeleteDays))
+	b = binary.AppendVarint(b, int64(lc.DefaultGraceDays))
+	b = binary.AppendVarint(b, int64(lc.BatchHour))
+	b = binary.AppendVarint(b, int64(lc.BatchMinute))
+	// GraceDays in ascending registrar-ID order so equal configs encode to
+	// equal bytes.
+	ids := make([]int, 0, len(lc.GraceDays))
+	for id := range lc.GraceDays {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	b = binary.AppendUvarint(b, uint64(len(ids)))
+	for _, id := range ids {
+		b = binary.AppendVarint(b, int64(id))
+		b = binary.AppendVarint(b, int64(lc.GraceDays[id]))
+	}
+	dc := &z.Drop
+	b = binary.AppendVarint(b, int64(dc.StartHour))
+	b = binary.AppendVarint(b, int64(dc.StartMinute))
+	b = binary.AppendUvarint(b, math.Float64bits(dc.BaseRatePerSec))
+	b = binary.AppendUvarint(b, math.Float64bits(dc.RateJitter))
+	b = binary.AppendUvarint(b, math.Float64bits(dc.DayRateSpread))
+	b = binary.AppendUvarint(b, math.Float64bits(dc.StallProb))
+	b = binary.AppendVarint(b, int64(dc.StallSeconds))
+	b = appendString(b, string(z.Policy))
+	return binary.AppendUvarint(b, z.Salt)
+}
+
 // appendMutation serialises m after b.
 func appendMutation(b []byte, m *registry.Mutation) ([]byte, error) {
 	k := byte(m.Kind)
-	if m.Kind == registry.MutAddRegistrar {
+	switch m.Kind {
+	case registry.MutAddRegistrar:
 		k = wireAddRegistrarBin
+	case registry.MutAddZone:
+		k = wireAddZoneBin
 	}
 	b = append(b, k)
 	b = appendString(b, m.Name)
@@ -90,6 +142,9 @@ func appendMutation(b []byte, m *registry.Mutation) ([]byte, error) {
 	b = binary.AppendVarint(b, int64(m.Rank))
 	if m.Kind == registry.MutAddRegistrar {
 		b = appendRegistrar(b, &m.Registrar)
+	}
+	if m.Kind == registry.MutAddZone {
+		b = appendZone(b, &m.Zone)
 	}
 	return b, nil
 }
@@ -156,6 +211,90 @@ func (d *decoder) time() (time.Time, error) {
 	return time.Unix(sec, int64(nsec)).UTC(), nil
 }
 
+func (d *decoder) zone() (zone.Config, error) {
+	var z zone.Config
+	var err error
+	if z.Name, err = d.str(); err != nil {
+		return z, err
+	}
+	ntld, err := d.uvarint()
+	if err != nil {
+		return z, err
+	}
+	if ntld > 1024 {
+		return z, fmt.Errorf("journal: unreasonable zone TLD count %d", ntld)
+	}
+	for i := uint64(0); i < ntld; i++ {
+		t, err := d.str()
+		if err != nil {
+			return z, err
+		}
+		z.TLDs = append(z.TLDs, model.TLD(t))
+	}
+	ints := []*int{
+		&z.Lifecycle.RedemptionDays, &z.Lifecycle.PendingDeleteDays,
+		&z.Lifecycle.DefaultGraceDays, &z.Lifecycle.BatchHour, &z.Lifecycle.BatchMinute,
+	}
+	for _, p := range ints {
+		v, err := d.varint()
+		if err != nil {
+			return z, err
+		}
+		*p = int(v)
+	}
+	ngrace, err := d.uvarint()
+	if err != nil {
+		return z, err
+	}
+	if ngrace > 1<<20 {
+		return z, fmt.Errorf("journal: unreasonable zone grace count %d", ngrace)
+	}
+	if ngrace > 0 {
+		z.Lifecycle.GraceDays = make(map[int]int, ngrace)
+	}
+	for i := uint64(0); i < ngrace; i++ {
+		id, err := d.varint()
+		if err != nil {
+			return z, err
+		}
+		days, err := d.varint()
+		if err != nil {
+			return z, err
+		}
+		z.Lifecycle.GraceDays[int(id)] = int(days)
+	}
+	hm := []*int{&z.Drop.StartHour, &z.Drop.StartMinute}
+	for _, p := range hm {
+		v, err := d.varint()
+		if err != nil {
+			return z, err
+		}
+		*p = int(v)
+	}
+	floats := []*float64{&z.Drop.BaseRatePerSec, &z.Drop.RateJitter, &z.Drop.DayRateSpread, &z.Drop.StallProb}
+	for _, p := range floats {
+		bits, err := d.uvarint()
+		if err != nil {
+			return z, err
+		}
+		*p = math.Float64frombits(bits)
+	}
+	stall, err := d.varint()
+	if err != nil {
+		return z, err
+	}
+	z.Drop.StallSeconds = int(stall)
+	pol, err := d.str()
+	if err != nil {
+		return z, err
+	}
+	z.Policy = zone.PolicyKind(pol)
+	if z.Salt, err = d.uvarint(); err != nil {
+		return z, err
+	}
+	return z, nil
+}
+
 func (d *decoder) registrar() (model.Registrar, error) {
 	var r model.Registrar
 	id, err := d.varint()
@@ -188,9 +327,12 @@ func decodeMutation(b []byte) (registry.Mutation, error) {
 		return m, err
 	}
 	binReg := kind == wireAddRegistrarBin
-	if binReg {
+	switch {
+	case binReg:
 		m.Kind = registry.MutAddRegistrar
-	} else {
+	case kind == wireAddZoneBin:
+		m.Kind = registry.MutAddZone
+	default:
 		m.Kind = registry.MutKind(kind)
 	}
 	if m.Name, err = d.str(); err != nil {
@@ -239,6 +381,11 @@ func decodeMutation(b []byte) (registry.Mutation, error) {
 		return m, err
 	}
 	m.Rank = int(rank)
+	if m.Kind == registry.MutAddZone {
+		if m.Zone, err = d.zone(); err != nil {
+			return m, err
+		}
+	}
 	if m.Kind == registry.MutAddRegistrar {
 		if binReg {
 			if m.Registrar, err = d.registrar(); err != nil {

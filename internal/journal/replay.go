@@ -342,7 +342,7 @@ func replayParallel(store *registry.Store, dir string, after uint64, workers int
 						out.appRecords = append(out.appRecords, append([]byte(nil), f.body...))
 					default: // recMutation, decoded
 						m := nb.muts[i]
-						if m.Kind == registry.MutAddRegistrar {
+						if m.Kind == registry.MutAddRegistrar || m.Kind == registry.MutAddZone {
 							barrier()
 							if err := store.Apply(m); err != nil {
 								out.err = fmt.Errorf("journal: replay seq %d: %w", f.seq, err)

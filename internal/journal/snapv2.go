@@ -16,6 +16,7 @@ import (
 	"dropzero/internal/par"
 	"dropzero/internal/registry"
 	"dropzero/internal/simtime"
+	"dropzero/internal/zone"
 )
 
 // Snapshot format v2: per-shard sections with the same hand-rolled binary
@@ -49,8 +50,15 @@ import (
 // the store still empty. The writer-side shard split is just an encoding
 // parallelism choice — restore re-routes every domain by name hash, so a
 // snapshot written at one shard count restores at any other.
+// Version bump: a store hosting zones beyond the default .com/.net one
+// writes magic "DZSNAP3\n" whose meta section carries the zone table (zone
+// count uvarint + zone configs, appendZone) after the section census. A
+// default-only store keeps writing v2 — byte-identical to the
+// pre-federation format, replayable by pre-federation readers — and the
+// reader accepts both magics (the cross-version tests pin this down).
 const (
 	snapMagic2 = "DZSNAP2\n"
+	snapMagic3 = "DZSNAP3\n"
 	secHeader  = 8 // u32 body length + u32 CRC-32 of body
 
 	secMeta      byte = 1
@@ -67,6 +75,7 @@ type snapMeta struct {
 	registrars       []model.Registrar
 	domainSections   int
 	deletionSections int
+	zones            []zone.Config // v3 only; nil for v2 files
 }
 
 // snapBufPool recycles section encode buffers across snapshots; a section
@@ -98,6 +107,13 @@ func appendMetaSection(b []byte, seq uint64, appState []byte, st *registry.Shard
 	}
 	b = binary.AppendUvarint(b, uint64(len(st.Shards)))
 	b = binary.AppendUvarint(b, uint64(delSections))
+	if len(st.Zones) > 0 {
+		// v3 extension; the writer selects the v3 magic whenever this runs.
+		b = binary.AppendUvarint(b, uint64(len(st.Zones)))
+		for i := range st.Zones {
+			b = appendZone(b, &st.Zones[i])
+		}
+	}
 	return b
 }
 
@@ -187,7 +203,11 @@ func writeSnapshotV2(dir string, seq uint64, appState []byte, st *registry.Shard
 
 	bw := bufio.NewWriterSize(f, 1<<20)
 	err = func() error {
-		if _, err := io.WriteString(bw, snapMagic2); err != nil {
+		magic := snapMagic2
+		if len(st.Zones) > 0 {
+			magic = snapMagic3
+		}
+		if _, err := io.WriteString(bw, magic); err != nil {
 			return err
 		}
 		meta := appendSection(nil, appendMetaSection(nil, seq, appState, st, 1))
@@ -237,7 +257,11 @@ type snapV2 struct {
 }
 
 func isSnapshotV2(data []byte) bool {
-	return len(data) >= len(snapMagic2) && string(data[:len(snapMagic2)]) == snapMagic2
+	if len(data) < len(snapMagic2) {
+		return false
+	}
+	m := string(data[:len(snapMagic2)])
+	return m == snapMagic2 || m == snapMagic3
 }
 
 // parseSnapshotV2 validates the whole file image — framing, every section
@@ -274,7 +298,8 @@ func parseSnapshotV2(data []byte, name string) (*snapV2, error) {
 			if kind != secMeta {
 				return nil, bad("first section has kind %d, want meta", kind)
 			}
-			meta, err := decodeMetaSection(body[1:])
+			v3 := string(data[:len(snapMagic3)]) == snapMagic3
+			meta, err := decodeMetaSection(body[1:], v3)
 			if err != nil {
 				return nil, bad("meta section: %w", err)
 			}
@@ -298,7 +323,10 @@ func parseSnapshotV2(data []byte, name string) (*snapV2, error) {
 	return sv, nil
 }
 
-func decodeMetaSection(body []byte) (snapMeta, error) {
+// decodeMetaSection parses the meta section body. v3 selects the extended
+// layout carrying the zone table; a v2 body remains strictly checked for
+// trailing bytes, so the formats cannot be confused.
+func decodeMetaSection(body []byte, v3 bool) (snapMeta, error) {
 	var m snapMeta
 	d := &decoder{b: body}
 	var err error
@@ -350,6 +378,22 @@ func decodeMetaSection(body []byte) (snapMeta, error) {
 		return m, fmt.Errorf("unreasonable section counts %d/%d", nd, ndel)
 	}
 	m.domainSections, m.deletionSections = int(nd), int(ndel)
+	if v3 {
+		nz, err := d.uvarint()
+		if err != nil {
+			return m, err
+		}
+		if nz > 1<<16 {
+			return m, fmt.Errorf("unreasonable zone count %d", nz)
+		}
+		for i := uint64(0); i < nz; i++ {
+			z, err := d.zone()
+			if err != nil {
+				return m, err
+			}
+			m.zones = append(m.zones, z)
+		}
+	}
 	if len(d.b) != 0 {
 		return m, fmt.Errorf("%d trailing bytes", len(d.b))
 	}
@@ -495,6 +539,9 @@ func decodeDeletionsSection(body []byte) (map[simtime.Day][]model.DeletionEvent,
 // locks exactly the shards that section's names hash to. An error poisons
 // the store (partial install) — the caller must discard it, never retry.
 func installSnapshotV2(store *registry.Store, sv *snapV2, workers int) error {
+	if err := store.RestoreZones(sv.meta.zones); err != nil {
+		return fmt.Errorf("journal: snapshot restore: %w", err)
+	}
 	store.RestoreRegistrars(sv.meta.registrars)
 	n := len(sv.domains) + len(sv.deletion)
 	errs := par.Do(par.Workers(workers), n, func(i int) error {

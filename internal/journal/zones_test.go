@@ -1,0 +1,132 @@
+package journal
+
+import (
+	"fmt"
+	"testing"
+
+	"dropzero/internal/model"
+	"dropzero/internal/zone"
+)
+
+func testNordic() zone.Config {
+	return zone.Config{
+		Name:      "nordic",
+		TLDs:      []model.TLD{"se", "nu"},
+		Lifecycle: zone.DefaultLifecycleConfig(),
+		Drop:      zone.DropConfig{StartHour: 4},
+		Policy:    zone.PolicyInstant,
+		Salt:      17,
+	}
+}
+
+// A default-only store must keep writing the v2 snapshot format, bit for
+// bit in magic: pre-federation snapshot archives and the federation code
+// must stay mutually readable in both directions.
+func TestSnapshotDefaultZoneStaysV2(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestStore()
+	j, _ := openJournal(t, s, dir, ModeSync, false)
+	s.SetJournal(j)
+	workout(t, s, 7, 60)
+	if err := j.Snapshot(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, data := latestSnapshotBytes(t, dir)
+	if got := string(data[:len(snapMagic2)]); got != snapMagic2 {
+		t.Fatalf("default-only snapshot magic %q, want %q", got, snapMagic2)
+	}
+}
+
+// A multi-zone store snapshots as v3 and the snapshot alone (empty tail)
+// restores the zone table along with the extra zone's domains.
+func TestSnapshotMultiZoneV3RoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestStore()
+	j, _ := openJournal(t, s, dir, ModeSync, false)
+	s.SetJournal(j)
+	workout(t, s, 9, 80)
+	if err := s.AddZone(testNordic()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := s.CreateAt(fmt.Sprintf("fjord%02d.se", i), 900, 1, testStart.At(10, 0, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Snapshot([]byte("fed-state")); err != nil {
+		t.Fatal(err)
+	}
+	want := dumpVisible(s)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, data := latestSnapshotBytes(t, dir)
+	if got := string(data[:len(snapMagic3)]); got != snapMagic3 {
+		t.Fatalf("multi-zone snapshot magic %q, want %q", got, snapMagic3)
+	}
+
+	s2 := newTestStore()
+	j2, rec := openJournal(t, s2, dir, ModeSync, false)
+	defer j2.Close()
+	if rec.SnapshotSeq == 0 {
+		t.Fatal("recovery did not load the snapshot")
+	}
+	if string(rec.AppState) != "fed-state" {
+		t.Fatalf("app state = %q", rec.AppState)
+	}
+	z, ok := s2.ZoneOf("se")
+	if !ok || z.Name != "nordic" || z.Policy != zone.PolicyInstant || z.Salt != 17 {
+		t.Fatalf("restored zone = %+v, %v", z, ok)
+	}
+	if got := dumpVisible(s2); got != want {
+		t.Error("v3 snapshot recovery differs from original")
+	}
+}
+
+// The WAL path: an AddZone in the tail after a pre-federation (v2) snapshot
+// must replay through the recovery barrier so the extra zone's creates that
+// follow it validate, at every recovery parallelism.
+func TestAddZoneReplaysFromWALTail(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestStore()
+	j, _ := openJournal(t, s, dir, ModeSync, true)
+	s.SetJournal(j)
+	workout(t, s, 11, 60)
+	if err := j.Snapshot(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Everything from here on is WAL tail: the zone and its first domains.
+	if err := s.AddZone(testNordic()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := s.CreateAt(fmt.Sprintf("tail%03d.nu", i), 901, 1, testStart.At(12, 0, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := dumpVisible(s)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, parallelism := range []int{1, 4} {
+		t.Run(fmt.Sprintf("parallelism-%d", parallelism), func(t *testing.T) {
+			s2 := newShardedTestStore(4)
+			j2, rec := openJournalP(t, s2, dir, parallelism, true)
+			defer j2.Close()
+			if rec.ReplayedRecords == 0 {
+				t.Fatal("no WAL tail replayed")
+			}
+			if !s2.HostsTLD("nu") {
+				t.Fatal("replayed store does not host the added zone's TLD")
+			}
+			if got := dumpVisible(s2); got != want {
+				t.Error("WAL-tail zone recovery differs from original")
+			}
+		})
+	}
+}

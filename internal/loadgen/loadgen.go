@@ -47,6 +47,57 @@ func Collect(latencies []time.Duration, errs uint64, elapsed time.Duration, code
 	}
 }
 
+// Sample is one externally recorded observation tagged with a grouping key,
+// the input to CollectBy. The storm harness uses it to split one run's
+// observations per TLD and per zone without re-running anything.
+type Sample struct {
+	Key     string
+	Latency time.Duration
+	Err     bool
+	Code    int  // protocol result code; meaningful only when Coded
+	Coded   bool // whether Code should be tallied
+}
+
+// CollectBy folds samples into one Result per key — the same percentile
+// machinery as Collect, grouped. Every Result shares the run's elapsed time
+// (the groups ran concurrently; their RPS figures are each group's share of
+// the same wall clock).
+func CollectBy(samples []Sample, elapsed time.Duration) map[string]Result {
+	hists := make(map[string]*Hist)
+	errs := make(map[string]uint64)
+	counts := make(map[string]uint64)
+	codes := make(map[string]map[int]uint64)
+	for _, s := range samples {
+		h := hists[s.Key]
+		if h == nil {
+			h = &Hist{}
+			hists[s.Key] = h
+		}
+		h.Record(s.Latency)
+		counts[s.Key]++
+		if s.Err {
+			errs[s.Key]++
+		}
+		if s.Coded {
+			if codes[s.Key] == nil {
+				codes[s.Key] = make(map[int]uint64)
+			}
+			codes[s.Key][s.Code]++
+		}
+	}
+	out := make(map[string]Result, len(hists))
+	for key, h := range hists {
+		out[key] = Result{
+			Requests:   counts[key],
+			Errors:     errs[key],
+			Elapsed:    elapsed,
+			CodeCounts: codes[key],
+			hist:       h,
+		}
+	}
+	return out
+}
+
 // resultCoder is the error hook for the code breakdown: protocol errors that
 // know their wire result code implement it. Deliberately structural so this
 // package needs no protocol import.

@@ -15,8 +15,11 @@ func TestTLDOf(t *testing.T) {
 	}{
 		{"example.com", COM, true},
 		{"example.net", NET, true},
-		{"example.org", "", false},
+		// TLDOf is structural only; whether "org" is hosted is the zone
+		// registry's call (registry.Store.CheckName), not the parser's.
+		{"example.org", "org", true},
 		{"noext", "", false},
+		{"trailing.", "", false},
 		{"a.b.com", COM, true},
 	}
 	for _, c := range cases {

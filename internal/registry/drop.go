@@ -9,78 +9,87 @@ import (
 
 	"dropzero/internal/model"
 	"dropzero/internal/simtime"
+	"dropzero/internal/zone"
 )
 
-// DropConfig parameterises the daily deletion process. Verisign does not
-// document the real one; the values here reproduce the observable behaviour
-// the paper reports: the Drop starts at 19:00 UTC (2 pm Eastern), lasts
-// roughly an hour depending on queue length, deletes domains in
-// (lastUpdated, domainID) order across .com and .net combined, and does not
-// proceed at a perfectly constant rate.
-type DropConfig struct {
-	// StartHour/StartMinute is the local start of the Drop in UTC.
-	StartHour, StartMinute int
-	// BaseRatePerSec is the average number of deletions processed per
-	// second; fractional rates are honoured by carrying the remainder
-	// across seconds. 24/s deletes 86 k domains in an hour.
-	BaseRatePerSec float64
-	// RateJitter is the fractional per-second variation of the rate,
-	// in [0, 1). 0.3 means each second processes 70–130 % of the base rate.
-	RateJitter float64
-	// DayRateSpread varies the whole day's processing rate: each Drop runs
-	// at base · U(1−spread, 1+spread/2). The paper's Drop durations do not
-	// scale linearly with volume (18 Jan ran until 20:49, 11 Feb ended
-	// 19:56), which a fixed rate cannot produce.
-	DayRateSpread float64
-	// StallProb is the per-second probability that the process stalls for
-	// StallSeconds (batch boundaries, registry housekeeping). Stalls are one
-	// source of the imperfect linearity visible in the paper's Figure 4a.
-	StallProb    float64
-	StallSeconds int
-}
+// DropConfig parameterises a zone's daily deletion process; it lives in the
+// zone package (each zone carries its own) and is aliased here to keep the
+// pre-federation registry API intact, along with the queue and schedule
+// types the policies operate on.
+type (
+	DropConfig = zone.DropConfig
+	QueueEntry = zone.QueueEntry
+	Scheduled  = zone.Scheduled
+)
 
 // DefaultDropConfig returns the configuration used by the experiments.
-func DefaultDropConfig() DropConfig {
-	return DropConfig{
-		StartHour:      19,
-		BaseRatePerSec: 25,
-		RateJitter:     0.3,
-		DayRateSpread:  0.2,
-		StallProb:      0.004,
-		StallSeconds:   8,
-	}
-}
+func DefaultDropConfig() DropConfig { return zone.DefaultDropConfig() }
 
-// QueueEntry is one position in a day's deletion queue.
-type QueueEntry struct {
-	Name    string
-	TLD     model.TLD
-	ID      uint64
-	Updated time.Time
-}
-
-// DropRunner executes the Drop for a Store.
+// DropRunner executes one zone's Drop for a Store. The legacy constructor
+// runs the default .com/.net paced Drop; NewZoneDropRunner scopes a runner
+// to an installed zone and its policy, so one store can drop several zones
+// on independent clocks.
 type DropRunner struct {
-	store *Store
-	cfg   DropConfig
+	store  *Store
+	cfg    DropConfig
+	policy zone.DropPolicy
+	// scope is the zone's TLD membership set; nil means unscoped (the
+	// pre-federation single-zone store, where the queue is the whole
+	// pending bucket).
+	scope map[model.TLD]bool
+	// zoneName labels reports; empty for the legacy unscoped runner.
+	zoneName string
 }
 
-// NewDropRunner returns a runner over store with cfg (zero cfg gets
-// defaults).
+// NewDropRunner returns an unscoped paced runner over store with cfg (zero
+// cfg gets defaults) — the pre-federation Drop.
 func NewDropRunner(store *Store, cfg DropConfig) *DropRunner {
 	if cfg.BaseRatePerSec == 0 {
 		cfg = DefaultDropConfig()
 	}
-	return &DropRunner{store: store, cfg: cfg}
+	return &DropRunner{store: store, cfg: cfg, policy: zone.PacedOrdered{Config: cfg}}
+}
+
+// NewZoneDropRunner returns a runner scoped to z's TLDs, releasing under z's
+// policy. z must be one of the store's installed zones.
+func NewZoneDropRunner(store *Store, z zone.Config) (*DropRunner, error) {
+	if _, ok := store.ZoneByName(z.Name); !ok {
+		return nil, fmt.Errorf("registry: zone %q not installed", z.Name)
+	}
+	cfg := z.Drop
+	if cfg.BaseRatePerSec == 0 && z.Policy != zone.PolicyInstant {
+		cfg = DefaultDropConfig()
+	}
+	zc := z
+	zc.Drop = cfg
+	pol, err := zone.NewPolicy(zc)
+	if err != nil {
+		return nil, err
+	}
+	return &DropRunner{store: store, cfg: cfg, policy: pol, scope: z.TLDSet(), zoneName: z.Name}, nil
 }
 
 // Config returns the active configuration.
 func (r *DropRunner) Config() DropConfig { return r.cfg }
 
-// BuildQueue assembles day's deletion queue: every pendingDelete domain
-// scheduled for day, .com and .net combined, ordered by the registration's
-// last-updated timestamp with the domain ID as the tie breaker. This is the
-// predictable order the paper infers in §4.1.
+// Policy returns the runner's release policy.
+func (r *DropRunner) Policy() zone.DropPolicy { return r.policy }
+
+// ZoneName returns the scoped zone's name ("" for the legacy unscoped
+// runner).
+func (r *DropRunner) ZoneName() string { return r.zoneName }
+
+// inScope reports whether t belongs to this runner's zone.
+func (r *DropRunner) inScope(t model.TLD) bool {
+	return r.scope == nil || r.scope[t]
+}
+
+// BuildQueue assembles day's deletion queue: every pendingDelete domain of
+// the runner's zone scheduled for day, its TLDs combined, ordered by the
+// registration's last-updated timestamp with the domain ID as the tie
+// breaker. This is the predictable order the paper infers in §4.1 (the
+// randomized policy reorders it at schedule time, which is the point of
+// that countermeasure).
 //
 // The queue is read straight out of day's pending-delete bucket — one
 // exactly-sized allocation and an O(k log k) sort, independent of how many
@@ -95,6 +104,9 @@ func (r *DropRunner) BuildQueue(day simtime.Day) []QueueEntry {
 	}
 	q := make([]QueueEntry, 0, n)
 	r.store.eachPendingOn(day, func(d *model.Domain) {
+		if !r.inScope(d.TLD) {
+			return
+		}
 		q = append(q, QueueEntry{Name: d.Name, TLD: d.TLD, ID: d.ID, Updated: d.Updated})
 	})
 	slices.SortFunc(q, func(a, b QueueEntry) int {
@@ -106,19 +118,10 @@ func (r *DropRunner) BuildQueue(day simtime.Day) []QueueEntry {
 	return q
 }
 
-// Scheduled is one planned deletion: the instant rank Rank's domain will be
-// purged. The schedule is the registry's internal plan — exactly the
-// information drop-catch services pay to predict.
-type Scheduled struct {
-	Name string
-	TLD  model.TLD
-	Time time.Time
-	Rank int
-}
-
-// Schedule plans day's Drop without executing it: the queue in (lastUpdated,
-// domainID) order with second-precision deletion instants paced by the
-// configured rate, day-level rate variation, per-second jitter and stalls.
+// Schedule plans day's Drop without executing it: the queue handed to the
+// zone's release policy, which assigns deletion instants (paced with jitter
+// and stalls, one instant for instant release, shuffled for randomized
+// order).
 func (r *DropRunner) Schedule(day simtime.Day, rng *rand.Rand) []Scheduled {
 	return r.ScheduleQueue(day, r.BuildQueue(day), rng)
 }
@@ -127,33 +130,12 @@ func (r *DropRunner) Schedule(day simtime.Day, rng *rand.Rand) []Scheduled {
 // recovery uses it to re-derive a partially executed Drop's original plan:
 // the purged prefix is reconstructed from the deletion archive, the
 // remaining entries come from BuildQueue on the recovered store, and —
-// because the pacing draws depend only on the queue *length* and rng — the
-// schedule (and therefore every remaining deletion instant) comes out
+// because every policy's draws depend only on the queue *length* and rng,
+// and any policy reordering is a deterministic total order over the entries
+// — the schedule (and therefore every remaining deletion instant) comes out
 // exactly as the uninterrupted run would have produced it.
 func (r *DropRunner) ScheduleQueue(day simtime.Day, queue []QueueEntry, rng *rand.Rand) []Scheduled {
-	out := make([]Scheduled, 0, len(queue))
-	t := day.At(r.cfg.StartHour, r.cfg.StartMinute, 0)
-	i := 0
-	carry := 0.0
-	dayRate := r.cfg.BaseRatePerSec
-	if r.cfg.DayRateSpread > 0 {
-		dayRate *= 1 - r.cfg.DayRateSpread + 1.5*r.cfg.DayRateSpread*rng.Float64()
-	}
-	for i < len(queue) {
-		if r.cfg.StallProb > 0 && rng.Float64() < r.cfg.StallProb {
-			t = t.Add(time.Duration(r.cfg.StallSeconds) * time.Second)
-		}
-		jitter := 1 + r.cfg.RateJitter*(2*rng.Float64()-1)
-		want := dayRate*jitter + carry
-		n := int(want)
-		carry = want - float64(n)
-		for k := 0; k < n && i < len(queue); k++ {
-			out = append(out, Scheduled{Name: queue[i].Name, TLD: queue[i].TLD, Time: t, Rank: i})
-			i++
-		}
-		t = t.Add(time.Second)
-	}
-	return out
+	return r.policy.Schedule(day, queue, rng)
 }
 
 // Apply purges one scheduled deletion, making the name available.

@@ -20,12 +20,24 @@ type duePolicy struct {
 	redemptionDays   int
 	graceDays        map[int]int
 	defaultGraceDays int
+	// perTLD overrides the day-length parameters for TLDs operated by
+	// non-default zones (each zone runs its own lifecycle clock). nil — the
+	// pre-federation common case — means every TLD uses the base values
+	// above, and dueDay takes the exact legacy path. Entries have nil
+	// perTLD themselves (one level of zoning, no recursion).
+	perTLD map[model.TLD]*duePolicy
 }
 
 // dueDay returns the bucket day for d's current state: expiry day for
 // active, grace-end day for autoRenew, redemption-end day for redemption and
-// the scheduled DeleteDay for pendingDelete.
+// the scheduled DeleteDay for pendingDelete. The parameters come from the
+// zone operating d's TLD.
 func (p duePolicy) dueDay(d *model.Domain) simtime.Day {
+	if p.perTLD != nil {
+		if zp, ok := p.perTLD[d.TLD]; ok {
+			return zp.dueDay(d)
+		}
+	}
 	switch d.Status {
 	case model.StatusActive:
 		return simtime.DayOf(d.Expiry)

@@ -7,6 +7,7 @@ import (
 
 	"dropzero/internal/model"
 	"dropzero/internal/simtime"
+	"dropzero/internal/zone"
 )
 
 // This file is the store's durability seam: every committed mutation is
@@ -31,6 +32,7 @@ const (
 	MutTransfer
 	MutSetState
 	MutPurge
+	MutAddZone
 )
 
 var mutKindNames = [...]string{
@@ -42,6 +44,7 @@ var mutKindNames = [...]string{
 	MutTransfer:     "transfer",
 	MutSetState:     "setState",
 	MutPurge:        "purge",
+	MutAddZone:      "addZone",
 }
 
 // String returns the mutator name.
@@ -66,6 +69,7 @@ func (k MutKind) String() string {
 //	MutTransfer:     Name, RegistrarID (gaining), Updated
 //	MutSetState:     Name, Status, Updated (zero = keep), DeleteDay
 //	MutPurge:        ID, Name, Time, Rank
+//	MutAddZone:      Zone
 type Mutation struct {
 	Kind MutKind
 
@@ -86,6 +90,9 @@ type Mutation struct {
 
 	// MutAddRegistrar payload.
 	Registrar model.Registrar
+
+	// MutAddZone payload.
+	Zone zone.Config
 }
 
 // Journal receives every committed store mutation. Append is called inside
@@ -153,6 +160,9 @@ func (s *Store) Apply(m Mutation) error {
 		s.regMu.Unlock()
 		return nil
 	}
+	if m.Kind == MutAddZone {
+		return s.applyAddZone(m.Zone)
+	}
 	sh := s.shardOf(m.Name)
 	sh.mu.Lock()
 	ev, isPurge, err := s.applyDomainLocked(sh, &m)
@@ -179,7 +189,7 @@ func (s *Store) Apply(m Mutation) error {
 func (s *Store) applyDomainLocked(sh *shard, m *Mutation) (ev model.DeletionEvent, isPurge bool, err error) {
 	switch m.Kind {
 	case MutCreate, MutSeed:
-		_, tld, err := splitName(m.Name)
+		_, tld, err := s.splitName(m.Name)
 		if err != nil {
 			return ev, false, fmt.Errorf("registry: replay %v %q: %w", m.Kind, m.Name, err)
 		}
@@ -353,7 +363,11 @@ func (s *Store) ApplyBatch(ms []Mutation) error {
 		return nil
 	}
 	for i := range ms {
-		if ms[i].Kind == MutAddRegistrar {
+		// Registrar and zone records commit under their own table locks, not
+		// a shard lock; they act as barriers — pending groups flush, the
+		// record applies inline — preserving their position in the stream
+		// (domain records of a just-added zone must see it installed).
+		if ms[i].Kind == MutAddRegistrar || ms[i].Kind == MutAddZone {
 			if err := flush(); err != nil {
 				return err
 			}
@@ -387,6 +401,10 @@ type SnapshotState struct {
 	Registrars []model.Registrar
 	Domains    []SnapshotDomain
 	Deletions  map[simtime.Day][]model.DeletionEvent
+	// Zones are the zones installed beyond the implicit default .com/.net
+	// one. Empty for pre-federation stores, whose snapshots stay
+	// byte-identical to the pre-federation format.
+	Zones []zone.Config
 }
 
 // CaptureSnapshot copies the store's durable state, visiting the shards one
@@ -428,6 +446,9 @@ func (s *Store) CaptureSnapshotQuiesced(walSeq func() uint64) (SnapshotState, ui
 // the WAL tail on top via Apply then reproduces the exact pre-crash store.
 // Recovery-only: the store must be empty and not yet serving.
 func (s *Store) RestoreSnapshot(st SnapshotState) error {
+	if err := s.RestoreZones(st.Zones); err != nil {
+		return err
+	}
 	s.RestoreRegistrars(st.Registrars)
 	if err := s.InstallRestoredDomains(st.Domains); err != nil {
 		return err

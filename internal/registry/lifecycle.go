@@ -8,83 +8,38 @@ import (
 
 	"dropzero/internal/model"
 	"dropzero/internal/simtime"
+	"dropzero/internal/zone"
 )
 
-// LifecycleConfig parameterises the post-expiration pipeline. The defaults
-// follow ICANN policy for .com/.net: an auto-renew grace period during which
-// the registrar decides the domain's fate (0–45 days, registrar-specific),
-// a 30-day redemption period, and 5 days of pendingDelete.
-type LifecycleConfig struct {
-	// RedemptionDays is the length of the redemption period.
-	RedemptionDays int
-	// PendingDeleteDays is the length of the pendingDelete period; the
-	// domain is purged during the Drop on the day this period ends.
-	PendingDeleteDays int
-	// GraceDays maps a registrar IANA ID to the number of days after
-	// expiration that registrar waits before deleting non-renewed domains.
-	// Registrars absent from the map use DefaultGraceDays. The spread in
-	// these values is what makes deletion dates diverge from expiration
-	// dates (the paper's earlier "WHOIS Lost in Translation" finding).
-	GraceDays map[int]int
-	// DefaultGraceDays is used for registrars not in GraceDays.
-	DefaultGraceDays int
-	// BatchHour/BatchMinute position each registrar's daily deletion batch;
-	// the second is derived from the registrar ID so that one registrar's
-	// batch lands on one timestamp (producing the large last-updated ties
-	// the paper had to break with domain IDs), while different registrars
-	// interleave.
-	BatchHour, BatchMinute int
-}
+// LifecycleConfig parameterises the post-expiration pipeline. It lives in
+// the zone package (each zone carries its own); the alias keeps the
+// pre-federation registry API intact.
+type LifecycleConfig = zone.LifecycleConfig
 
-// DefaultLifecycleConfig returns the ICANN-policy defaults.
-func DefaultLifecycleConfig() LifecycleConfig {
-	return LifecycleConfig{
-		RedemptionDays:    30,
-		PendingDeleteDays: 5,
-		DefaultGraceDays:  35,
-		BatchHour:         6,
-		BatchMinute:       30,
-	}
-}
-
-func (c LifecycleConfig) graceDays(registrarID int) int {
-	if d, ok := c.GraceDays[registrarID]; ok {
-		return d
-	}
-	return c.DefaultGraceDays
-}
-
-// BatchInstant returns the second at which registrarID's deletion batch runs
-// on day. Spacing registrars a few seconds apart mirrors the observation that
-// many registrars update large batches of domains at the same time.
-func (c LifecycleConfig) BatchInstant(day simtime.Day, registrarID int) time.Time {
-	// splitmix64-style scramble: batch instants must not be monotonic in
-	// the IANA ID, or sorting by registrar ID would accidentally reproduce
-	// the update-time order and the §4.1 order search could not tell the
-	// two apart.
-	h := uint64(registrarID) + 0x9e3779b97f4a7c15
-	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
-	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
-	h ^= h >> 31
-	extraMin := int(h % 97)
-	sec := int((h / 97) % 60)
-	return day.At(c.BatchHour, c.BatchMinute, 0).Add(time.Duration(extraMin)*time.Minute + time.Duration(sec)*time.Second)
-}
+// DefaultLifecycleConfig returns the ICANN-policy defaults for .com/.net.
+func DefaultLifecycleConfig() LifecycleConfig { return zone.DefaultLifecycleConfig() }
 
 // Lifecycle advances domains through the expiration pipeline. It is driven
 // once per simulated day (before the Drop) by the orchestrator, or on a
-// timer when running against the real clock.
+// timer when running against the real clock. A Lifecycle is scoped to one
+// zone's TLD set; the legacy constructor scopes to the default .com/.net
+// zone, which — on a store hosting only that zone — is every domain.
 type Lifecycle struct {
 	store *Store
 	cfg   LifecycleConfig
+	// scope is the zone's TLD membership set; nil means unscoped (legacy
+	// single-zone stores, where filtering would only cost time).
+	scope map[model.TLD]bool
 }
 
-// NewLifecycle returns a Lifecycle over store. It installs the store's
-// due-day policy derived from cfg, so the store's per-state indexes bucket
-// every domain on the exact day its next transition becomes due. One store
-// should have one active Lifecycle; cfg.GraceDays must not be mutated
-// afterwards except through SpreadGraceDays, which re-derives the policy (a
-// bucket later than the true due day would delay transitions).
+// NewLifecycle returns a Lifecycle over store for the default zone. It
+// installs the store's base due-day policy derived from cfg, so the store's
+// per-state indexes bucket every default-zone domain on the exact day its
+// next transition becomes due (other zones' TLDs keep their own lifecycle
+// parameters). One store should have one active Lifecycle per zone;
+// cfg.GraceDays must not be mutated afterwards except through
+// SpreadGraceDays, which re-derives the policy (a bucket later than the true
+// due day would delay transitions).
 func NewLifecycle(store *Store, cfg LifecycleConfig) *Lifecycle {
 	if cfg.RedemptionDays == 0 && cfg.PendingDeleteDays == 0 && cfg.DefaultGraceDays == 0 {
 		cfg = DefaultLifecycleConfig()
@@ -94,11 +49,29 @@ func NewLifecycle(store *Store, cfg LifecycleConfig) *Lifecycle {
 		graceDays:        cfg.GraceDays,
 		defaultGraceDays: cfg.DefaultGraceDays,
 	})
-	return &Lifecycle{store: store, cfg: cfg}
+	var scope map[model.TLD]bool
+	if len(store.ExtraZones()) > 0 {
+		def := zone.Default()
+		scope = def.TLDSet()
+	}
+	return &Lifecycle{store: store, cfg: cfg, scope: scope}
+}
+
+// NewZoneLifecycle returns a Lifecycle driving z's TLDs under z's own
+// lifecycle config. z must already be installed in the store (AddZone); the
+// per-TLD due-day parameters were installed then. The default zone's
+// lifecycle still comes from NewLifecycle.
+func NewZoneLifecycle(store *Store, z zone.Config) *Lifecycle {
+	return &Lifecycle{store: store, cfg: z.Lifecycle, scope: z.TLDSet()}
 }
 
 // Config returns the active configuration.
 func (l *Lifecycle) Config() LifecycleConfig { return l.cfg }
+
+// inScope reports whether d belongs to this lifecycle's zone.
+func (l *Lifecycle) inScope(d *model.Domain) bool {
+	return l.scope == nil || l.scope[d.TLD]
+}
 
 // change is one planned lifecycle transition: everything the apply phase
 // needs, derived once during the sweep — no deferred closure re-deriving
@@ -111,9 +84,10 @@ type change struct {
 	day     simtime.Day // DeleteDay when to == StatusPendingDelete
 }
 
-// Tick processes all state transitions due at now. It returns the number of
-// transitions performed. Transitions are applied in a deterministic order
-// (sorted by domain ID) so equal inputs give equal outputs.
+// Tick processes all state transitions due at now for this lifecycle's zone.
+// It returns the number of transitions performed. Transitions are applied in
+// a deterministic order (sorted by domain ID) so equal inputs give equal
+// outputs.
 //
 // Tick walks only the due-day index buckets at or before now's day — the
 // work is proportional to the domains actually due (plus same-day
@@ -127,6 +101,9 @@ func (l *Lifecycle) Tick(now time.Time) int {
 
 	var changes []change
 	l.store.eachDueThrough(model.StatusActive, day, func(d *model.Domain) {
+		if !l.inScope(d) {
+			return
+		}
 		if !d.Expiry.After(now) {
 			// Registry auto-renews at expiration; the registrar's grace
 			// clock starts at the old expiry.
@@ -134,7 +111,10 @@ func (l *Lifecycle) Tick(now time.Time) int {
 		}
 	})
 	l.store.eachDueThrough(model.StatusAutoRenew, day, func(d *model.Domain) {
-		graceEnd := d.Expiry.AddDate(0, 0, l.cfg.graceDays(d.RegistrarID))
+		if !l.inScope(d) {
+			return
+		}
+		graceEnd := d.Expiry.AddDate(0, 0, l.cfg.GraceDaysFor(d.RegistrarID))
 		if !graceEnd.After(now) {
 			// Registrar deletes the domain: the batch instant is the "last
 			// updated" timestamp that will drive the deletion order.
@@ -142,6 +122,9 @@ func (l *Lifecycle) Tick(now time.Time) int {
 		}
 	})
 	l.store.eachDueThrough(model.StatusRedemption, day, func(d *model.Domain) {
+		if !l.inScope(d) {
+			return
+		}
 		if !d.Updated.AddDate(0, 0, l.cfg.RedemptionDays).After(now) {
 			changes = append(changes, change{id: d.ID, name: d.Name, to: model.StatusPendingDelete, day: day.AddDays(l.cfg.PendingDeleteDays)})
 		}

@@ -6,6 +6,7 @@ import (
 
 	"dropzero/internal/model"
 	"dropzero/internal/simtime"
+	"dropzero/internal/zone"
 )
 
 // This file is the parallel recovery seam: sharded snapshot capture, a
@@ -29,6 +30,9 @@ type ShardedSnapshot struct {
 	Registrars []model.Registrar
 	Shards     [][]SnapshotDomain
 	Deletions  map[simtime.Day][]model.DeletionEvent
+	// Zones are the zones installed beyond the implicit default one (see
+	// SnapshotState.Zones).
+	Zones []zone.Config
 }
 
 // DomainCount sums the per-shard registration counts.
@@ -48,6 +52,7 @@ func (st *ShardedSnapshot) Flatten() SnapshotState {
 		NextID:     st.NextID,
 		Registrars: st.Registrars,
 		Deletions:  st.Deletions,
+		Zones:      st.Zones,
 		Domains:    make([]SnapshotDomain, 0, st.DomainCount()),
 	}
 	for _, sh := range st.Shards {
@@ -65,6 +70,7 @@ func (s *Store) CaptureSnapshotSharded() ShardedSnapshot {
 		Registrars: s.Registrars(),
 		Shards:     make([][]SnapshotDomain, len(s.shards)),
 		Deletions:  make(map[simtime.Day][]model.DeletionEvent),
+		Zones:      s.ExtraZones(),
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -100,6 +106,7 @@ func (s *Store) CaptureSnapshotShardedQuiesced(walSeq func() uint64) (ShardedSna
 		Registrars: s.registrarsLocked(),
 		Shards:     make([][]SnapshotDomain, len(s.shards)),
 		Deletions:  make(map[simtime.Day][]model.DeletionEvent),
+		Zones:      s.ExtraZones(),
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -217,9 +224,9 @@ func (s *Store) ShardIndexFor(name string) int {
 // and therefore a caller, and the generation counter advances by the run
 // length regardless of interleaving. Purge events are returned with their
 // sequence numbers; the caller rebuilds the deletion archive in global
-// order with AppendReplayPurges once replay completes. MutAddRegistrar is
-// rejected — registrar records commit under the registrar lock and act as
-// replay barriers, applied inline via Apply.
+// order with AppendReplayPurges once replay completes. MutAddRegistrar and
+// MutAddZone are rejected — those records commit under their own leaf locks
+// and act as replay barriers, applied inline via Apply.
 //
 // An error leaves the run partially applied (generation covers the applied
 // prefix); as with ApplyBatch, errors mean the log is not a faithful
@@ -240,8 +247,8 @@ func (s *Store) ApplyShardSequence(si int, ms []SeqMutation) ([]ReplayPurge, err
 	sh.mu.Lock()
 	for i := range ms {
 		m := &ms[i].M
-		if m.Kind == MutAddRegistrar {
-			err = fmt.Errorf("registry: replay seq %d: MutAddRegistrar in shard sequence", ms[i].Seq)
+		if m.Kind == MutAddRegistrar || m.Kind == MutAddZone {
+			err = fmt.Errorf("registry: replay seq %d: %s in shard sequence", ms[i].Seq, m.Kind)
 			break
 		}
 		ev, isPurge, aerr := s.applyDomainLocked(sh, m)

@@ -32,6 +32,9 @@ func (l *Lifecycle) tickScan(now time.Time) int {
 	var changes []change
 
 	l.store.Each(func(d *model.Domain) bool {
+		if !l.inScope(d) {
+			return true
+		}
 		switch d.Status {
 		case model.StatusActive:
 			if !d.Expiry.After(now) {
@@ -42,7 +45,7 @@ func (l *Lifecycle) tickScan(now time.Time) int {
 				}})
 			}
 		case model.StatusAutoRenew:
-			graceEnd := d.Expiry.AddDate(0, 0, l.cfg.graceDays(d.RegistrarID))
+			graceEnd := d.Expiry.AddDate(0, 0, l.cfg.GraceDaysFor(d.RegistrarID))
 			if !graceEnd.After(now) {
 				batch := l.cfg.BatchInstant(day, d.RegistrarID)
 				changes = append(changes, change{d, func() error {
@@ -78,6 +81,9 @@ func (l *Lifecycle) tickScan(now time.Time) int {
 func (r *DropRunner) buildQueueScan(day simtime.Day) []QueueEntry {
 	var q []QueueEntry
 	r.store.Each(func(d *model.Domain) bool {
+		if !r.inScope(d.TLD) {
+			return true
+		}
 		if d.Status == model.StatusPendingDelete && d.DeleteDay == day {
 			q = append(q, QueueEntry{Name: d.Name, TLD: d.TLD, ID: d.ID, Updated: d.Updated})
 		}

@@ -171,6 +171,11 @@ type Store struct {
 	// name's shard lock (shard → delMu, never the reverse).
 	delMu     sync.Mutex
 	deletions map[simtime.Day][]model.DeletionEvent
+
+	// zoneTab is the zone registry: which TLDs this store operates, under
+	// which lifecycle and drop policy (zones.go). Its mutex is a leaf lock
+	// like delMu: splitName reads it under a shard lock during replay.
+	zoneTab zoneTable
 }
 
 // MaxShards caps the shard count; beyond this the per-shard maps are so
@@ -222,6 +227,10 @@ func (s *Store) ShardCount() int { return len(s.shards) }
 // under it — O(store), paid once when a Lifecycle is attached or its grace
 // spread changes. Shards are rebuilt one at a time under their own locks.
 func (s *Store) setDuePolicy(p duePolicy) {
+	// The base parameters govern the default zone; TLDs operated by other
+	// zones keep their own lifecycle clocks through the per-TLD overrides,
+	// whatever Lifecycle is (re-)attached for the default zone.
+	p.perTLD = s.zoneDuePerTLD()
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
@@ -294,6 +303,7 @@ func NewStoreWithShards(clock simtime.Clock, shards int) *Store {
 		sh.byID = make(map[uint64]*model.Domain)
 		sh.authInfo = make(map[string]string)
 	}
+	s.zoneTab.init()
 	return s
 }
 
@@ -363,7 +373,10 @@ func (s *Store) registrarsLocked() []model.Registrar {
 	return out
 }
 
-func splitName(name string) (label string, tld model.TLD, err error) {
+// splitNameSyntax validates name's structure — a label and a non-empty
+// suffix, lowercase LDH label of 1–63 chars — without deciding whether any
+// zone operates the suffix. That is the store's call (splitName).
+func splitNameSyntax(name string) (label string, tld model.TLD, err error) {
 	t, ok := model.TLDOf(name)
 	if !ok {
 		return "", "", fmt.Errorf("%w: %q", ErrUnknownTLD, name)
@@ -386,17 +399,41 @@ func splitName(name string) (label string, tld model.TLD, err error) {
 	return label, t, nil
 }
 
+// splitName validates name's syntax and that its TLD is operated by one of
+// this store's zones. Reads the zone table's leaf lock only; safe under a
+// shard lock (replay calls it there).
+func (s *Store) splitName(name string) (label string, tld model.TLD, err error) {
+	label, tld, err = splitNameSyntax(name)
+	if err != nil {
+		return "", "", err
+	}
+	if !s.HostsTLD(tld) {
+		return "", "", fmt.Errorf("%w: %q", ErrUnknownTLD, name)
+	}
+	return label, tld, nil
+}
+
 // CheckName validates a domain name's syntax and TLD without taking any
 // lock, so protocol front ends can reject garbage before charging
 // rate-limit budget (an invalid-name create must never cost a token).
+//
+// Deprecated: the package-level check can only answer for the default
+// .com/.net zone. Store-backed callers should use Store.CheckName, which
+// consults the store's actual zone set.
 func CheckName(name string) error {
-	_, _, err := splitName(name)
-	return err
+	_, t, err := splitNameSyntax(name)
+	if err != nil {
+		return err
+	}
+	if !t.Valid() {
+		return fmt.Errorf("%w: %q", ErrUnknownTLD, name)
+	}
+	return nil
 }
 
 // Available reports whether name could be created right now.
 func (s *Store) Available(name string) (bool, error) {
-	if _, _, err := splitName(name); err != nil {
+	if _, _, err := s.splitName(name); err != nil {
 		return false, err
 	}
 	sh := s.shardOf(name)
@@ -418,7 +455,7 @@ func (s *Store) Create(name string, registrarID int, termYears int) (*model.Doma
 // uses it to materialise claims resolved during a Drop at their exact
 // re-registration times. The instant is truncated to whole seconds.
 func (s *Store) CreateAt(name string, registrarID int, termYears int, at time.Time) (*model.Domain, error) {
-	_, tld, err := splitName(name)
+	_, tld, err := s.splitName(name)
 	if err != nil {
 		return nil, err
 	}
@@ -897,7 +934,7 @@ func (s *Store) eachPendingOn(day simtime.Day, fn func(*model.Domain)) {
 // "IDs increase with creation time" invariant, so SeedAt takes no ID; call it
 // in creation-time order.
 func (s *Store) SeedAt(name string, registrarID int, created, updated, expiry time.Time, st model.Status, deleteDay simtime.Day) (*model.Domain, error) {
-	_, tld, err := splitName(name)
+	_, tld, err := s.splitName(name)
 	if err != nil {
 		return nil, err
 	}

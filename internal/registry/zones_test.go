@@ -1,0 +1,203 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dropzero/internal/model"
+	"dropzero/internal/simtime"
+	"dropzero/internal/zone"
+)
+
+func nordicZone() zone.Config {
+	return zone.Config{
+		Name:      "nordic",
+		TLDs:      []model.TLD{"se", "nu"},
+		Lifecycle: zone.DefaultLifecycleConfig(),
+		Drop:      zone.DropConfig{StartHour: 4},
+		Policy:    zone.PolicyInstant,
+	}
+}
+
+func TestAddZoneMakesTLDsCreatable(t *testing.T) {
+	s, _ := testStore(t)
+	if err := s.CheckName("foo.se"); !errors.Is(err, ErrUnknownTLD) {
+		t.Fatalf("pre-AddZone CheckName = %v, want ErrUnknownTLD", err)
+	}
+	if _, err := s.Create("foo.se", 1000, 1); !errors.Is(err, ErrUnknownTLD) {
+		t.Fatalf("pre-AddZone Create = %v, want ErrUnknownTLD", err)
+	}
+
+	genBefore := s.Generation()
+	if err := s.AddZone(nordicZone()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Generation() == genBefore {
+		t.Error("AddZone did not bump the generation (caches would serve stale zone sets)")
+	}
+	if err := s.CheckName("foo.se"); err != nil {
+		t.Fatalf("post-AddZone CheckName: %v", err)
+	}
+	if !s.HostsTLD("se") || !s.HostsTLD("nu") || s.HostsTLD("org") {
+		t.Fatal("HostsTLD wrong after AddZone")
+	}
+	z, ok := s.ZoneOf("nu")
+	if !ok || z.Name != "nordic" {
+		t.Fatalf("ZoneOf(nu) = %+v, %v", z, ok)
+	}
+	if _, ok := s.ZoneByName("nordic"); !ok {
+		t.Fatal("ZoneByName(nordic) missing")
+	}
+	zs := s.Zones()
+	if len(zs) != 2 || zs[0].Name != zone.Default().Name || zs[1].Name != "nordic" {
+		t.Fatalf("Zones() = %+v", zs)
+	}
+	if extra := s.ExtraZones(); len(extra) != 1 || extra[0].Name != "nordic" {
+		t.Fatalf("ExtraZones() = %+v", extra)
+	}
+	if _, err := s.Create("foo.se", 1000, 1); err != nil {
+		t.Fatalf("post-AddZone Create: %v", err)
+	}
+}
+
+func TestAddZoneRejectsConflicts(t *testing.T) {
+	s, _ := testStore(t)
+	if err := s.AddZone(nordicZone()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddZone(nordicZone()); err == nil {
+		t.Error("duplicate zone name accepted")
+	}
+	clash := nordicZone()
+	clash.Name = "clash"
+	clash.TLDs = []model.TLD{"org", "com"}
+	if err := s.AddZone(clash); err == nil {
+		t.Error("TLD overlap with the default zone accepted")
+	}
+	bad := nordicZone()
+	bad.Name = "bad"
+	bad.TLDs = nil
+	if err := s.AddZone(bad); err == nil {
+		t.Error("TLD-less zone accepted")
+	}
+	// Failed additions must not leave partial state behind.
+	if s.HostsTLD("org") {
+		t.Error("rejected zone's TLD became hosted")
+	}
+}
+
+// Zone additions travel the same mutation stream as everything else: a
+// replayed MutAddZone must make the TLDs creatable exactly where the original
+// did, so records after it apply cleanly.
+func TestAddZoneReplays(t *testing.T) {
+	cap := &captureJournal{}
+	clock := testClock()
+	src := NewStore(clock)
+	src.SetJournal(cap)
+	src.AddRegistrar(model.Registrar{IANAID: 1000, Name: "Test Registrar"})
+	if _, err := src.Create("before.com", 1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.AddZone(nordicZone()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Create("after.se", 1000, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed := NewStore(testClock())
+	for _, m := range cap.records {
+		if err := replayed.Apply(m); err != nil {
+			t.Fatalf("Apply(%s): %v", m.Kind, err)
+		}
+	}
+	if z, ok := replayed.ZoneOf("se"); !ok || z.Name != "nordic" || z.Policy != zone.PolicyInstant {
+		t.Fatalf("replayed store ZoneOf(se) = %+v, %v", z, ok)
+	}
+	for _, name := range []string{"before.com", "after.se"} {
+		if _, err := replayed.Get(name); err != nil {
+			t.Errorf("replayed store missing %s: %v", name, err)
+		}
+	}
+
+	// The batch path must honour the same ordering barrier.
+	batched := NewStore(testClock())
+	if err := batched.ApplyBatch(cap.records); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := batched.Get("after.se"); err != nil {
+		t.Errorf("ApplyBatch lost the post-zone create: %v", err)
+	}
+	if !batched.HostsTLD("nu") {
+		t.Error("ApplyBatch lost the zone")
+	}
+}
+
+// MutAddZone commits under the zone leaf lock, never inside a shard
+// sequence — the parallel replayer routes it through its barrier and the
+// shard appliers must refuse it outright.
+func TestApplyShardSequenceRejectsAddZone(t *testing.T) {
+	s, _ := testStore(t)
+	_, err := s.ApplyShardSequence(0, []SeqMutation{
+		{Seq: 1, M: Mutation{Kind: MutAddZone, Zone: nordicZone()}},
+	})
+	if err == nil {
+		t.Fatal("ApplyShardSequence accepted a MutAddZone record")
+	}
+}
+
+// One store, two zones, one deletion day: each zone's runner must see only
+// its own names, together covering the whole bucket.
+func TestZoneScopedDropQueues(t *testing.T) {
+	s, _ := testStore(t)
+	if err := s.AddZone(nordicZone()); err != nil {
+		t.Fatal(err)
+	}
+	day := simtime.Day{Year: 2018, Month: time.February, Dom: 1}
+	seed := func(name string) {
+		t.Helper()
+		created := time.Date(2016, 3, 1, 10, 0, 0, 0, time.UTC)
+		updated := time.Date(2018, 1, 10, 14, 0, 0, 0, time.UTC)
+		expiry := time.Date(2017, 12, 1, 10, 0, 0, 0, time.UTC)
+		if _, err := s.SeedAt(name, 1000, created, updated, expiry, model.StatusPendingDelete, day); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed("alpha.com")
+	seed("beta.net")
+	seed("gamma.se")
+	seed("delta.nu")
+
+	unscoped := NewDropRunner(s, DefaultDropConfig())
+	if q := unscoped.BuildQueue(day); len(q) != 4 {
+		t.Fatalf("unscoped queue has %d entries, want 4", len(q))
+	}
+
+	core, err := NewZoneDropRunner(s, zone.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nordic, err := NewZoneDropRunner(s, nordicZone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := func(q []QueueEntry) map[string]bool {
+		m := make(map[string]bool, len(q))
+		for _, e := range q {
+			m[e.Name] = true
+		}
+		return m
+	}
+	cq, nq := names(core.BuildQueue(day)), names(nordic.BuildQueue(day))
+	if len(cq) != 2 || !cq["alpha.com"] || !cq["beta.net"] {
+		t.Fatalf("core queue = %v", cq)
+	}
+	if len(nq) != 2 || !nq["gamma.se"] || !nq["delta.nu"] {
+		t.Fatalf("nordic queue = %v", nq)
+	}
+
+	if _, err := NewZoneDropRunner(s, zone.Config{Name: "ghost", TLDs: []model.TLD{"io"}, Policy: zone.PolicyPaced}); err == nil {
+		t.Error("runner for an uninstalled zone accepted")
+	}
+}

@@ -12,8 +12,10 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"time"
 
 	"dropzero/internal/journal"
@@ -21,6 +23,7 @@ import (
 	"dropzero/internal/registry"
 	"dropzero/internal/safebrowsing"
 	"dropzero/internal/simtime"
+	"dropzero/internal/zone"
 )
 
 // Config parameterises a study. The zero value is not runnable; start from
@@ -90,6 +93,15 @@ type Config struct {
 	// segments. Crash-recovery tests use it to manufacture crashes at
 	// arbitrary points of a finished run's history.
 	KeepCheckpoints bool
+	// Zones federates the study over several zones in the one registry
+	// process. Empty (or just the default .com/.net zone) runs exactly the
+	// pre-federation single-zone study. An entry named like the default
+	// zone is the default zone — it must not alter it — and every other
+	// entry is installed with AddZone, seeded with its own expiring
+	// population, dropped under its own policy and claimed by its own
+	// registrar market, all on derived RNG streams that leave the default
+	// zone's streams untouched.
+	Zones []zone.Config
 }
 
 // DefaultConfig returns the configuration used by the experiment harness: a
@@ -139,6 +151,50 @@ func (c Config) scaledDrop() registry.DropConfig {
 	d := c.Drop
 	if d.BaseRatePerSec == 0 {
 		d = registry.DefaultDropConfig()
+	}
+	d.BaseRatePerSec = math.Max(0.05, d.BaseRatePerSec*c.Scale)
+	return d
+}
+
+// extraZones returns the configured zones beyond the default one, in config
+// order. An entry named like the default zone stands for the default zone
+// and is dropped here (it is installed in every store anyway); it must not
+// try to redefine it.
+func (c Config) extraZones() ([]zone.Config, error) {
+	def := zone.Default()
+	var out []zone.Config
+	for _, z := range c.Zones {
+		if z.Name == def.Name {
+			if !slices.Equal(z.TLDs, def.TLDs) || z.Policy != def.Policy {
+				return nil, fmt.Errorf("sim: zone %q must stay the default %v %s zone", z.Name, def.TLDs, def.Policy)
+			}
+			continue
+		}
+		if err := z.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, z)
+	}
+	return out, nil
+}
+
+// zoneSeedStride spaces the derived per-zone RNG streams: extra zone zi
+// (0-based) draws from Seed + zoneSeedStride*(zi+1) + the same component
+// offsets the default zone uses off Seed. The default zone's streams are
+// exactly the pre-federation ones.
+const zoneSeedStride = 1000
+
+// scaledZoneDrop is scaledDrop for an extra zone's own pacing parameters.
+// Instant-release zones keep a zero rate (every name goes at one instant;
+// there is nothing to pace).
+func (c Config) scaledZoneDrop(z zone.Config) registry.DropConfig {
+	d := z.Drop
+	if z.Policy == zone.PolicyInstant {
+		return d
+	}
+	if d.BaseRatePerSec == 0 {
+		d = registry.DefaultDropConfig()
+		d.StartHour, d.StartMinute = z.Drop.StartHour, z.Drop.StartMinute
 	}
 	d.BaseRatePerSec = math.Max(0.05, d.BaseRatePerSec*c.Scale)
 	return d

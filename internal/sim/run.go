@@ -20,6 +20,7 @@ import (
 	"dropzero/internal/safebrowsing"
 	"dropzero/internal/simtime"
 	"dropzero/internal/whois"
+	"dropzero/internal/zone"
 )
 
 // Truth is the simulator's ground truth for one domain, used only by the
@@ -36,11 +37,16 @@ type Truth struct {
 // Result is everything a study produces.
 type Result struct {
 	Config Config
+	// Zones is the effective zone list the study ran over: the default
+	// .com/.net zone followed by Config.Zones' extra zones.
+	Zones []zone.Config
 	// Observations is the measured dataset: every .com domain from the
 	// pending delete lists with collected prior metadata.
 	Observations []*model.Observation
-	// Deletions is the registry's ground-truth event log per day (.com and
-	// .net combined, in deletion order).
+	// Deletions is the registry's ground-truth event log per day, every
+	// zone combined in zone-drop order (within a day, zones appear in
+	// drop-start order; pre-federation runs are .com and .net combined, in
+	// deletion order, exactly as before).
 	Deletions map[simtime.Day][]model.DeletionEvent
 	// DropEnd is the true end of each day's Drop.
 	DropEnd map[simtime.Day]time.Time
@@ -57,6 +63,43 @@ type Result struct {
 	// Recovered reports what the durability journal reconstructed before
 	// the run proper started (zero value for memory-only or fresh runs).
 	Recovered journal.Recovery
+}
+
+// zoneLane is one zone's drop machinery inside the day loop: its runner,
+// its pacing RNG stream, its registrar market, and the wall-clock instant
+// its Drop starts. The default zone's lane has a nil scope and an empty
+// name — the pre-federation single lane.
+type zoneLane struct {
+	name    string
+	scope   map[model.TLD]bool
+	runner  *registry.DropRunner
+	rng     *rand.Rand
+	market  *registrars.Market
+	startAt [2]int // {hour, minute} UTC
+}
+
+// pendingCreate is one market claim awaiting materialisation, ordered by its
+// re-registration instant.
+type pendingCreate struct {
+	claim *registrars.Claim
+	at    time.Time
+	name  string
+}
+
+// filterEvents narrows a day's deletion archive to one zone's TLDs,
+// preserving order. A nil scope returns evs unchanged — the single-zone
+// path stays allocation- and content-identical.
+func filterEvents(evs []model.DeletionEvent, scope map[model.TLD]bool) []model.DeletionEvent {
+	if scope == nil {
+		return evs
+	}
+	var out []model.DeletionEvent
+	for _, ev := range evs {
+		if scope[ev.TLD] {
+			out = append(out, ev)
+		}
+	}
+	return out
 }
 
 // Run executes a full study. It is deterministic for a given Config: equal
@@ -79,6 +122,10 @@ type Result struct {
 func Run(cfg Config) (*Result, error) {
 	if cfg.Days <= 0 || cfg.Scale <= 0 {
 		return nil, fmt.Errorf("sim: config needs positive Days and Scale (got %d, %g)", cfg.Days, cfg.Scale)
+	}
+	extra, err := cfg.extraZones()
+	if err != nil {
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	clock := simtime.NewSimClock(cfg.StartDay.AddDays(-1).At(12, 0, 0))
@@ -138,16 +185,41 @@ func Run(cfg Config) (*Result, error) {
 	for _, r := range dir.Registrars() {
 		store.AddRegistrar(r)
 	}
+	// Extra zones install before any of their domains can exist. A journaled
+	// resume has already replayed their MutAddZone records into the store;
+	// re-adding would clash, so recovered zones are verified instead.
+	for _, z := range extra {
+		if have, ok := store.ZoneByName(z.Name); ok {
+			if !slices.Equal(have.TLDs, z.TLDs) || have.Policy != z.Policy {
+				return nil, fmt.Errorf("sim: recovered zone %q (%v %s) disagrees with the configured one (%v %s)",
+					z.Name, have.TLDs, have.Policy, z.TLDs, z.Policy)
+			}
+			continue
+		}
+		if err := store.AddZone(z); err != nil {
+			return nil, err
+		}
+	}
 	market := registrars.NewMarket(dir, cfg.Market, rand.New(rand.NewSource(cfg.Seed+11)))
 	oracle := safebrowsing.NewOracle()
 	labelRng := rand.New(rand.NewSource(cfg.Seed + 13))
 
 	// Population. Generation is pure (RNG-only); insertion is skipped once
 	// any day's collection has completed — by then seeding had finished and
-	// Drops may already have purged some of the seeds.
+	// Drops may already have purged some of the seeds. Extra zones seed
+	// their own populations from derived streams, merged into one global
+	// creation-time order.
 	seeder := newSeeder(cfg, dir, rand.New(rand.NewSource(cfg.Seed+3)))
 	lifecycleCfg := registry.DefaultLifecycleConfig()
 	specs, meta := seeder.generate(lifecycleCfg)
+	for zi, z := range extra {
+		base := cfg.Seed + zoneSeedStride*int64(zi+1)
+		zspecs, zmeta := newZoneSeeder(cfg, dir, z, base).generate(z.Lifecycle)
+		specs = mergeSpecs(specs, zspecs)
+		for k, v := range zmeta {
+			meta[k] = v
+		}
+	}
 	if resumePoint == 0 {
 		if err := insertAll(store, specs, journaled && !rec.Fresh()); err != nil {
 			return nil, err
@@ -209,11 +281,59 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	runner := registry.NewDropRunner(store, cfg.scaledDrop())
-	dropRng := rand.New(rand.NewSource(cfg.Seed + 5))
+	// One drop lane per zone, processed in drop-start order within each day.
+	// Lane 0 is the default zone on exactly the pre-federation streams and
+	// code path; extra lanes run their own policy, pacing RNG and market.
+	defDrop := cfg.scaledDrop()
+	defLane := &zoneLane{
+		runner:  registry.NewDropRunner(store, defDrop),
+		rng:     rand.New(rand.NewSource(cfg.Seed + 5)),
+		market:  market,
+		startAt: [2]int{19, 0}, // the literal instant the legacy driver used
+	}
+	if len(extra) > 0 {
+		// With other zones in the store the default lane must be scoped to
+		// its own TLDs — unscoped it would swallow their queues. The scoped
+		// runner still runs PacedOrdered over the same config, so a
+		// single-zone study (which never takes this branch) stays on the
+		// pre-federation code path byte for byte.
+		defZone := zone.Default()
+		defZone.Drop = defDrop
+		scoped, err := registry.NewZoneDropRunner(store, defZone)
+		if err != nil {
+			return nil, err
+		}
+		defLane.runner = scoped
+		defLane.scope = defZone.TLDSet()
+	}
+	lanes := []*zoneLane{defLane}
+	for zi, z := range extra {
+		base := cfg.Seed + zoneSeedStride*int64(zi+1)
+		zc := z
+		zc.Drop = cfg.scaledZoneDrop(z)
+		zrunner, err := registry.NewZoneDropRunner(store, zc)
+		if err != nil {
+			return nil, err
+		}
+		lanes = append(lanes, &zoneLane{
+			name:    z.Name,
+			scope:   z.TLDSet(),
+			runner:  zrunner,
+			rng:     rand.New(rand.NewSource(base + 5)),
+			market:  registrars.NewMarket(dir, cfg.Market, rand.New(rand.NewSource(base+11))),
+			startAt: [2]int{zc.Drop.StartHour, zc.Drop.StartMinute},
+		})
+	}
+	slices.SortStableFunc(lanes, func(a, b *zoneLane) int {
+		if c := a.startAt[0]*60 + a.startAt[1] - (b.startAt[0]*60 + b.startAt[1]); c != 0 {
+			return c
+		}
+		return strings.Compare(a.name, b.name)
+	})
 
 	res := &Result{
 		Config:     cfg,
+		Zones:      store.Zones(),
 		Deletions:  make(map[simtime.Day][]model.DeletionEvent, cfg.Days),
 		DropEnd:    make(map[simtime.Day]time.Time, cfg.Days),
 		Truths:     make(map[string]Truth, len(meta)),
@@ -252,40 +372,14 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 
-		// 19:00 UTC: the Drop. The day's original queue is the recovered
-		// deletion archive (the part that already ran) followed by whatever
-		// is still pending; re-deriving the schedule over the whole queue
-		// consumes exactly the pacing draws the uninterrupted run would
-		// have, then only the unfinished tail is executed.
-		archived := store.Deletions(day)
-		remaining := runner.BuildQueue(day)
-		queue := make([]registry.QueueEntry, 0, len(archived)+len(remaining))
-		for _, ev := range archived {
-			queue = append(queue, registry.QueueEntry{Name: ev.Name, TLD: ev.TLD, ID: ev.DomainID})
-		}
-		queue = append(queue, remaining...)
-		if len(remaining) > 0 {
-			clock.Set(day.At(19, 0, 0))
-		}
-		sched := runner.ScheduleQueue(day, queue, dropRng)
-		for k, ev := range archived {
-			if sched[k].Name != ev.Name || !sched[k].Time.Equal(ev.Time) {
-				return nil, fmt.Errorf("sim: resume: recovered deletion %d on %v (%s at %v) disagrees with the replayed schedule (%s at %v)",
-					k, day, ev.Name, ev.Time, sched[k].Name, sched[k].Time)
-			}
-		}
-		events := slices.Clip(archived)
-		for _, s := range sched[len(archived):] {
-			ev, err := runner.Apply(s)
-			if err != nil {
-				return nil, err
-			}
-			events = append(events, ev)
-		}
-		res.Deletions[day] = events
-		dropEnd := registry.EndTime(events)
-		res.DropEnd[day] = dropEnd
-
+		// Each zone's Drop, in start order (04:00 instant releases run
+		// before the 19:00 paced one). Per lane, the day's original queue
+		// is the recovered deletion archive (the part that already ran,
+		// narrowed to the lane's TLDs) followed by whatever is still
+		// pending; re-deriving the schedule over the whole queue consumes
+		// exactly the pacing draws the uninterrupted run would have, then
+		// only the unfinished tail is executed.
+		//
 		// The market claims deleted names; claims materialise in
 		// chronological order so registry IDs keep increasing with time.
 		// On resume this replays decisions for recovered days too — the
@@ -293,33 +387,73 @@ func Run(cfg Config) (*Result, error) {
 		// relearns every label — but a claim whose registration already
 		// survived the crash is verified against the store instead of
 		// re-created.
-		type pendingCreate struct {
-			claim *registrars.Claim
-			at    time.Time
-			name  string
+		archivedAll := store.Deletions(day)
+		var (
+			dayEvents []model.DeletionEvent
+			dayEnd    time.Time
+			creates   []pendingCreate
+		)
+		for _, lane := range lanes {
+			archived := filterEvents(archivedAll, lane.scope)
+			remaining := lane.runner.BuildQueue(day)
+			queue := make([]registry.QueueEntry, 0, len(archived)+len(remaining))
+			for _, ev := range archived {
+				queue = append(queue, registry.QueueEntry{Name: ev.Name, TLD: ev.TLD, ID: ev.DomainID})
+			}
+			queue = append(queue, remaining...)
+			// Deletion instants are explicit in the schedule, so the shared
+			// clock only marks the lane start for store reads — and stays
+			// put for lanes whose start (an 04:00 instant release) precedes
+			// the pipeline's 10:00 morning pass; SimClock is monotonic.
+			if len(remaining) > 0 {
+				if at := day.At(lane.startAt[0], lane.startAt[1], 0); !at.Before(clock.Now()) {
+					clock.Set(at)
+				}
+			}
+			sched := lane.runner.ScheduleQueue(day, queue, lane.rng)
+			for k, ev := range archived {
+				if sched[k].Name != ev.Name || !sched[k].Time.Equal(ev.Time) {
+					return nil, fmt.Errorf("sim: resume: recovered deletion %d on %v (%s at %v) disagrees with the replayed schedule (%s at %v)",
+						k, day, ev.Name, ev.Time, sched[k].Name, sched[k].Time)
+				}
+			}
+			events := slices.Clip(archived)
+			for _, s := range sched[len(archived):] {
+				ev, err := lane.runner.Apply(s)
+				if err != nil {
+					return nil, err
+				}
+				events = append(events, ev)
+			}
+			dayEvents = append(dayEvents, events...)
+			dropEnd := registry.EndTime(events)
+			if dropEnd.After(dayEnd) {
+				dayEnd = dropEnd
+			}
+			for _, ev := range events {
+				m := meta[ev.Name]
+				lot := registrars.Lot{
+					Name:      ev.Name,
+					Value:     m.value,
+					AgeYears:  m.ageYears,
+					DeletedAt: ev.Time,
+					DropEnd:   dropEnd,
+				}
+				claim := lane.market.Decide(lot)
+				res.Truths[ev.Name] = Truth{
+					Value:     m.value,
+					AgeYears:  m.ageYears,
+					Claim:     claim,
+					DeletedAt: ev.Time,
+				}
+				if claim == nil {
+					continue
+				}
+				creates = append(creates, pendingCreate{claim: claim, at: claim.Time(lot), name: ev.Name})
+			}
 		}
-		creates := make([]pendingCreate, 0, len(events))
-		for _, ev := range events {
-			m := meta[ev.Name]
-			lot := registrars.Lot{
-				Name:      ev.Name,
-				Value:     m.value,
-				AgeYears:  m.ageYears,
-				DeletedAt: ev.Time,
-				DropEnd:   dropEnd,
-			}
-			claim := market.Decide(lot)
-			res.Truths[ev.Name] = Truth{
-				Value:     m.value,
-				AgeYears:  m.ageYears,
-				Claim:     claim,
-				DeletedAt: ev.Time,
-			}
-			if claim == nil {
-				continue
-			}
-			creates = append(creates, pendingCreate{claim: claim, at: claim.Time(lot), name: ev.Name})
-		}
+		res.Deletions[day] = dayEvents
+		res.DropEnd[day] = dayEnd
 		slices.SortStableFunc(creates, func(a, b pendingCreate) int { return a.at.Compare(b.at) })
 		for _, c := range creates {
 			if d, err := store.Get(c.name); err == nil {

@@ -12,6 +12,7 @@ import (
 	"dropzero/internal/registrars"
 	"dropzero/internal/registry"
 	"dropzero/internal/simtime"
+	"dropzero/internal/zone"
 )
 
 // Lot metadata the simulator keeps about every expiring domain: the
@@ -56,7 +57,7 @@ type domainSpec struct {
 	meta        lotMeta
 }
 
-// seeder builds the historical population.
+// seeder builds the historical population for one zone's TLD set.
 type seeder struct {
 	cfg   Config
 	rng   *rand.Rand
@@ -66,15 +67,24 @@ type seeder struct {
 	// priorSponsors are the registrars that sponsored the expiring
 	// registrations: retail registrars, not drop-catch services.
 	priorSponsors []int
+	// tlds is the zone's TLD list: tlds[0] carries the published volume,
+	// the rest split the NetShare interleave — the default zone's
+	// [com, net] reproduces the paper's mix exactly.
+	tlds []model.TLD
+	// volSeed seeds the daily-volume RNG stream (Seed+7 for the default
+	// zone, the zone-strided equivalent for extra zones).
+	volSeed int64
 }
 
 func newSeeder(cfg Config, dir *registrars.Directory, rng *rand.Rand) *seeder {
 	s := &seeder{
-		cfg:   cfg,
-		rng:   rng,
-		gen:   names.NewGenerator(rng),
-		dir:   dir,
-		grace: make(map[int]int),
+		cfg:     cfg,
+		rng:     rng,
+		gen:     names.NewGenerator(rng),
+		dir:     dir,
+		grace:   make(map[int]int),
+		tlds:    []model.TLD{model.COM, model.NET},
+		volSeed: cfg.Seed + 7,
 	}
 	// Expiring domains were sponsored by GoDaddy, Dynadot, Xinnet and the
 	// long tail — with GoDaddy over-represented as the largest registrar.
@@ -88,6 +98,16 @@ func newSeeder(cfg Config, dir *registrars.Directory, rng *rand.Rand) *seeder {
 	return s
 }
 
+// newZoneSeeder is newSeeder for an extra zone: same population model over
+// the zone's own TLDs, drawing from the zone's derived RNG streams so the
+// default zone's draws are untouched.
+func newZoneSeeder(cfg Config, dir *registrars.Directory, z zone.Config, base int64) *seeder {
+	s := newSeeder(cfg, dir, rand.New(rand.NewSource(base+3)))
+	s.tlds = z.TLDs
+	s.volSeed = base + 7
+	return s
+}
+
 func (s *seeder) pickSponsor() int {
 	// 25 % GoDaddy (its accreditations lead the list), rest uniform.
 	gd := s.dir.Accreditations(registrars.SvcGoDaddy)
@@ -97,18 +117,23 @@ func (s *seeder) pickSponsor() int {
 	return s.priorSponsors[s.rng.Intn(len(s.priorSponsors))]
 }
 
-// specsForDay generates comCount expiring .com domains deleted on day, plus
-// the interleaved .net share on top — the published (and measured) volume
-// counts .com only, like the paper's Figure 1.
+// specsForDay generates comCount expiring primary-TLD domains deleted on
+// day, plus the interleaved secondary share on top — for the default zone
+// that is .com volume plus the .net share, the published (and measured)
+// volume counting .com only, like the paper's Figure 1. Single-TLD zones
+// have no interleave.
 func (s *seeder) specsForDay(day simtime.Day, comCount int, lifecycle registry.LifecycleConfig) []domainSpec {
-	count := comCount + int(float64(comCount)*s.cfg.NetShare+0.5)
+	count := comCount
+	if len(s.tlds) > 1 {
+		count += int(float64(comCount)*s.cfg.NetShare + 0.5)
+	}
 	out := make([]domainSpec, 0, count)
 	updatedDay := day.AddDays(-(lifecycle.RedemptionDays + lifecycle.PendingDeleteDays))
 	for i := 0; i < count; i++ {
 		g := s.gen.Next()
-		tld := model.COM
+		tld := s.tlds[0]
 		if i >= comCount {
-			tld = model.NET
+			tld = s.tlds[1+(i-comCount)%(len(s.tlds)-1)]
 		}
 		sponsor := s.pickSponsor()
 		// The registrar deleted the whole day's batch at one instant; the
@@ -139,7 +164,7 @@ func (s *seeder) specsForDay(day simtime.Day, comCount int, lifecycle registry.L
 // recovered registry.
 func (s *seeder) generate(lifecycle registry.LifecycleConfig) ([]domainSpec, map[string]lotMeta) {
 	var specs []domainSpec
-	volRng := rand.New(rand.NewSource(s.cfg.Seed + 7))
+	volRng := rand.New(rand.NewSource(s.volSeed))
 	day := s.cfg.StartDay
 	for i := 0; i < s.cfg.Days; i++ {
 		specs = append(specs, s.specsForDay(day, s.cfg.dailyVolume(i, volRng), lifecycle)...)
@@ -151,6 +176,26 @@ func (s *seeder) generate(lifecycle registry.LifecycleConfig) ([]domainSpec, map
 		meta[sp.name] = sp.meta
 	}
 	return specs, meta
+}
+
+// mergeSpecs merges two creation-time-sorted spec slices, preserving the
+// sort and taking ties from a first — the multi-zone population keeps the
+// global ID-increases-with-creation-time invariant, and a single-zone study
+// never calls this.
+func mergeSpecs(a, b []domainSpec) []domainSpec {
+	out := make([]domainSpec, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j].created.Before(a[i].created) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // insertAll seeds specs into the store in order. With resume set, names the

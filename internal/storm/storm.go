@@ -13,6 +13,7 @@
 package storm
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"slices"
@@ -24,6 +25,7 @@ import (
 	"dropzero/internal/epp"
 	"dropzero/internal/loadgen"
 	"dropzero/internal/model"
+	"dropzero/internal/zone"
 )
 
 // ClientProfile is one drop-catch operator in the storm: a service identity,
@@ -68,6 +70,12 @@ type Config struct {
 	Profiles []ClientProfile
 	// Years is the registration term requested (default 1).
 	Years int
+	// Zones, when set (typically the hosting store's Zones()), labels the
+	// per-TLD report groups with the zone operating each TLD and adds a
+	// per-zone aggregation — the split-accreditation simultaneous-drop
+	// scenarios read win shares and tails per zone. Unknown TLDs group
+	// under the empty zone name.
+	Zones []zone.Config
 }
 
 // Win records one name's re-registration.
@@ -92,6 +100,25 @@ type ProfileReport struct {
 	Errors      uint64 // transport or unexpected protocol failures
 }
 
+// GroupReport is one TLD's (or one zone's) slice of the storm: its share of
+// the contested names, the attempts and wins it drew, its latency
+// distribution, and its own FCFS audit tallies.
+type GroupReport struct {
+	// Key is the TLD (for ByTLD) or the zone name (for ByZone; "" groups
+	// TLDs no configured zone operates).
+	Key string
+	// Zone is the operating zone's name on a ByTLD entry ("" when unknown).
+	Zone      string
+	Names     int    // contested names in this group
+	Attempts  uint64 // creates actually sent for this group's names
+	Wins      uint64 // names re-registered
+	MultiAcks int    // extra acks (FCFS violations) within the group
+	Unclaimed int    // dropped names nobody re-registered
+	// Creates holds the group's latency percentiles (p99.9 per zone is the
+	// simultaneous-drop benchmark's headline).
+	Creates loadgen.Result
+}
+
 // Report is the outcome of one storm.
 type Report struct {
 	// Creates holds latency percentiles and the per-code breakdown over
@@ -114,6 +141,11 @@ type Report struct {
 	WinsByAccreditation map[int]int
 	WinsByService       map[string]int
 	Profiles            []ProfileReport
+	// ByTLD breaks the storm down per TLD, sorted by TLD; ByZone aggregates
+	// those groups per operating zone (Config.Zones labels the mapping),
+	// sorted by zone name.
+	ByTLD  []GroupReport
+	ByZone []GroupReport
 	// Unclaimed are names whose drop was applied but that nobody
 	// re-registered before the schedules ran dry.
 	Unclaimed []string
@@ -440,5 +472,88 @@ func Run(cfg Config) (*Report, error) {
 	if elapsed > 0 {
 		rep.AchievedRPS = float64(len(sentLats)) / elapsed.Seconds()
 	}
+	rep.ByTLD, rep.ByZone = groupReports(cfg, arrivals, fired, lats, codes, winners, multiAcks, rep.Unclaimed, elapsed)
 	return rep, nil
+}
+
+// groupReports folds the per-arrival observations into per-TLD groups and
+// aggregates those per operating zone.
+func groupReports(cfg Config, arrivals []arrival, fired []bool, lats []time.Duration,
+	codes [][2]int, winners map[string]Win, multiAcks map[string]int,
+	unclaimed []string, elapsed time.Duration) (byTLD, byZone []GroupReport) {
+	tldOf := make([]string, len(cfg.Names))
+	for ni, name := range cfg.Names {
+		if t, ok := model.TLDOf(name); ok {
+			tldOf[ni] = string(t)
+		}
+	}
+	zoneOf := make(map[string]string) // TLD -> zone name
+	for _, z := range cfg.Zones {
+		for _, t := range z.TLDs {
+			zoneOf[string(t)] = z.Name
+		}
+	}
+	nameIdx := make(map[string]int, len(cfg.Names))
+	for ni, name := range cfg.Names {
+		nameIdx[name] = ni
+	}
+
+	build := func(keyOf func(ni int) string) []GroupReport {
+		samples := make([]loadgen.Sample, 0, len(arrivals))
+		for ai := range arrivals {
+			if !fired[ai] {
+				continue
+			}
+			samples = append(samples, loadgen.Sample{
+				Key:     keyOf(arrivals[ai].name),
+				Latency: lats[ai],
+				Code:    codes[ai][0],
+				Coded:   codes[ai][1] == 1,
+			})
+		}
+		results := loadgen.CollectBy(samples, elapsed)
+		groups := make(map[string]*GroupReport, len(results))
+		group := func(key string) *GroupReport {
+			g := groups[key]
+			if g == nil {
+				g = &GroupReport{Key: key}
+				groups[key] = g
+			}
+			return g
+		}
+		for key, r := range results {
+			g := group(key)
+			g.Creates = r
+			g.Attempts = r.Requests
+		}
+		for ni, name := range cfg.Names {
+			g := group(keyOf(ni))
+			g.Names++
+			if _, ok := winners[name]; ok {
+				g.Wins++
+			}
+			g.MultiAcks += multiAcks[name]
+		}
+		for _, name := range unclaimed {
+			if ni, ok := nameIdx[name]; ok {
+				group(keyOf(ni)).Unclaimed++
+			}
+		}
+		out := make([]GroupReport, 0, len(groups))
+		for _, g := range groups {
+			out = append(out, *g)
+		}
+		slices.SortFunc(out, func(a, b GroupReport) int { return cmp.Compare(a.Key, b.Key) })
+		return out
+	}
+
+	byTLD = build(func(ni int) string { return tldOf[ni] })
+	for i := range byTLD {
+		byTLD[i].Zone = zoneOf[byTLD[i].Key]
+	}
+	byZone = build(func(ni int) string { return zoneOf[tldOf[ni]] })
+	for i := range byZone {
+		byZone[i].Zone = byZone[i].Key
+	}
+	return byTLD, byZone
 }

@@ -1,0 +1,179 @@
+package storm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dropzero/internal/epp"
+	"dropzero/internal/loadgen"
+	"dropzero/internal/model"
+	"dropzero/internal/registry"
+	"dropzero/internal/simtime"
+	"dropzero/internal/zone"
+)
+
+// newInstantPairFixture hosts two instant-release zones ("east" on .se,
+// "west" on .nu) with nPerZone contested names each. stagger separates the
+// two release instants: 0 drops both zones' entire queues at the same
+// offset — the split-accreditation simultaneous-drop scenario — while a
+// positive stagger lets the first burst drain before the second begins.
+func newInstantPairFixture(tb testing.TB, accreds []int, nPerZone int, stagger time.Duration) *multiZoneFixture {
+	day := simtime.Day{Year: 2018, Month: time.March, Dom: 8}
+	clock := simtime.NewSimClock(day.At(18, 59, 0))
+	store := registry.NewStoreWithShards(clock, 8)
+	creds := make(map[int]string)
+	for _, a := range accreds {
+		store.AddRegistrar(model.Registrar{IANAID: a, Name: fmt.Sprintf("Accred %d", a)})
+		creds[a] = fmt.Sprintf("tok-%d", a)
+	}
+	east := zone.Config{
+		Name: "east", TLDs: []model.TLD{"se"},
+		Lifecycle: zone.DefaultLifecycleConfig(),
+		Drop:      zone.DropConfig{StartHour: 19, StartMinute: 5},
+		Policy:    zone.PolicyInstant,
+	}
+	west := zone.Config{
+		Name: "west", TLDs: []model.TLD{"nu"},
+		Lifecycle: zone.DefaultLifecycleConfig(),
+		Drop:      zone.DropConfig{StartHour: 19, StartMinute: 10},
+		Policy:    zone.PolicyInstant,
+	}
+	for _, z := range []zone.Config{east, west} {
+		if err := store.AddZone(z); err != nil {
+			tb.Fatal(err)
+		}
+	}
+
+	var names []string
+	var offsets []time.Duration
+	seed := func(name string, off time.Duration, i int) {
+		updated := day.AddDays(-35).At(6, 30, i%60)
+		if _, err := store.SeedAt(name, accreds[0], updated.AddDate(-2, 0, 0), updated,
+			updated.AddDate(0, 0, -30), model.StatusPendingDelete, day); err != nil {
+			tb.Fatal(err)
+		}
+		names = append(names, name)
+		offsets = append(offsets, off)
+	}
+	for i := 0; i < nPerZone; i++ {
+		seed(fmt.Sprintf("east%03d.se", i), 150*time.Millisecond, i)
+	}
+	for i := 0; i < nPerZone; i++ {
+		seed(fmt.Sprintf("west%03d.nu", i), 150*time.Millisecond+stagger, i)
+	}
+
+	byName := make(map[string]registry.Scheduled)
+	runners := map[model.TLD]*registry.DropRunner{}
+	for zi, z := range []zone.Config{east, west} {
+		r, err := registry.NewZoneDropRunner(store, z)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		for _, sc := range r.Schedule(day, rand.New(rand.NewSource(int64(zi+1)))) {
+			byName[sc.Name] = sc
+		}
+		for _, tld := range z.TLDs {
+			runners[tld] = r
+		}
+	}
+	if len(byName) != len(names) {
+		tb.Fatalf("scheduled %d deletions, want %d", len(byName), len(names))
+	}
+
+	srv := epp.NewServer(store, clock, epp.ServerConfig{Credentials: creds})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { srv.Close() })
+	clock.Set(day.At(19, 0, 0))
+	return &multiZoneFixture{
+		store: store, addr: addr.String(), creds: creds, names: names, offsets: offsets,
+		drop: func(name string) error {
+			tld, _ := model.TLDOf(name)
+			_, err := runners[tld].Apply(byName[name])
+			return err
+		},
+	}
+}
+
+// BenchmarkSimultaneousDrops measures the federation's worst case — two
+// instant-release zones letting their entire queues go at the same instant,
+// with both catcher services split across both zones — against the same
+// queues released 300ms apart. The per-zone FCFS audit is the pass gate;
+// p99.9 create latency is the headline (the simultaneous case concentrates
+// every catcher's burst into one window, the staggered case drains them in
+// sequence).
+func BenchmarkSimultaneousDrops(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		stagger time.Duration
+	}{
+		{"simultaneous", 0},
+		{"staggered", 300 * time.Millisecond},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			accredsA := []int{1000, 1001}
+			accredsB := []int{2000, 2001}
+			sched := loadgen.DropCatchSchedule{
+				Lead:         60 * time.Millisecond,
+				FastInterval: 15 * time.Millisecond,
+				FastRetries:  30,
+				Horizon:      2 * time.Second,
+			}
+			var p999Sum, rpsSum, zoneWorstSum float64
+			for n := 0; n < b.N; n++ {
+				b.StopTimer()
+				fx := newInstantPairFixture(b, append(append([]int{}, accredsA...), accredsB...), 12, bc.stagger)
+				b.StartTimer()
+				rep, err := Run(Config{
+					Dial:        func() (*epp.Client, error) { return epp.Dial(fx.addr) },
+					Credential:  func(a int) string { return fx.creds[a] },
+					Names:       fx.names,
+					DropOffsets: fx.offsets,
+					Drop:        fx.drop,
+					Profiles: []ClientProfile{
+						{Service: "CatcherA", Accreditations: accredsA, Sessions: 4, Schedule: sched,
+							Compliant: true, PerDomainInFlight: 2},
+						{Service: "CatcherB", Accreditations: accredsB, Sessions: 4, Schedule: sched,
+							PerDomainInFlight: 2},
+					},
+					Zones: fx.store.Zones(),
+				})
+				b.StopTimer()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.DropErrors) != 0 || len(rep.MultiAcks) != 0 || len(rep.Unclaimed) != 0 {
+					b.Fatalf("FCFS audit failed: dropErrors=%v multiAcks=%v unclaimed=%v",
+						rep.DropErrors, rep.MultiAcks, rep.Unclaimed)
+				}
+				if err := rep.VerifyWins(fx.store); err != nil {
+					b.Fatal(err)
+				}
+				var worst float64
+				for _, g := range rep.ByZone {
+					if g.Key == "core" {
+						continue // hosts no contested names here
+					}
+					if g.Wins != uint64(g.Names) || g.MultiAcks != 0 {
+						b.Fatalf("zone %s FCFS audit: wins=%d names=%d multiAcks=%d",
+							g.Key, g.Wins, g.Names, g.MultiAcks)
+					}
+					if v := float64(g.Creates.P999().Nanoseconds()); v > worst {
+						worst = v
+					}
+				}
+				p999Sum += float64(rep.Creates.P999().Nanoseconds())
+				zoneWorstSum += worst
+				rpsSum += rep.AchievedRPS
+			}
+			n := float64(b.N)
+			b.ReportMetric(p999Sum/n, "p99.9_ns")
+			b.ReportMetric(zoneWorstSum/n, "zone_worst_p99.9_ns")
+			b.ReportMetric(rpsSum/n, "achieved_rps")
+		})
+	}
+}

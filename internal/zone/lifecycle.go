@@ -1,0 +1,71 @@
+package zone
+
+import (
+	"time"
+
+	"dropzero/internal/simtime"
+)
+
+// LifecycleConfig parameterises the post-expiration pipeline. The defaults
+// follow ICANN policy for .com/.net: an auto-renew grace period during which
+// the registrar decides the domain's fate (0–45 days, registrar-specific),
+// a 30-day redemption period, and 5 days of pendingDelete. Zones with other
+// policies (instant-release registries typically run much shorter quarantine
+// periods) carry their own values.
+type LifecycleConfig struct {
+	// RedemptionDays is the length of the redemption period.
+	RedemptionDays int
+	// PendingDeleteDays is the length of the pendingDelete period; the
+	// domain is purged during the Drop on the day this period ends.
+	PendingDeleteDays int
+	// GraceDays maps a registrar IANA ID to the number of days after
+	// expiration that registrar waits before deleting non-renewed domains.
+	// Registrars absent from the map use DefaultGraceDays. The spread in
+	// these values is what makes deletion dates diverge from expiration
+	// dates (the paper's earlier "WHOIS Lost in Translation" finding).
+	GraceDays map[int]int
+	// DefaultGraceDays is used for registrars not in GraceDays.
+	DefaultGraceDays int
+	// BatchHour/BatchMinute position each registrar's daily deletion batch;
+	// the second is derived from the registrar ID so that one registrar's
+	// batch lands on one timestamp (producing the large last-updated ties
+	// the paper had to break with domain IDs), while different registrars
+	// interleave.
+	BatchHour, BatchMinute int
+}
+
+// DefaultLifecycleConfig returns the ICANN-policy defaults.
+func DefaultLifecycleConfig() LifecycleConfig {
+	return LifecycleConfig{
+		RedemptionDays:    30,
+		PendingDeleteDays: 5,
+		DefaultGraceDays:  35,
+		BatchHour:         6,
+		BatchMinute:       30,
+	}
+}
+
+// GraceDaysFor returns registrarID's post-expiration grace length.
+func (c LifecycleConfig) GraceDaysFor(registrarID int) int {
+	if d, ok := c.GraceDays[registrarID]; ok {
+		return d
+	}
+	return c.DefaultGraceDays
+}
+
+// BatchInstant returns the second at which registrarID's deletion batch runs
+// on day. Spacing registrars a few seconds apart mirrors the observation that
+// many registrars update large batches of domains at the same time.
+func (c LifecycleConfig) BatchInstant(day simtime.Day, registrarID int) time.Time {
+	// splitmix64-style scramble: batch instants must not be monotonic in
+	// the IANA ID, or sorting by registrar ID would accidentally reproduce
+	// the update-time order and the §4.1 order search could not tell the
+	// two apart.
+	h := uint64(registrarID) + 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	extraMin := int(h % 97)
+	sec := int((h / 97) % 60)
+	return day.At(c.BatchHour, c.BatchMinute, 0).Add(time.Duration(extraMin)*time.Minute + time.Duration(sec)*time.Second)
+}

@@ -1,0 +1,203 @@
+package zone
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"time"
+
+	"dropzero/internal/model"
+	"dropzero/internal/simtime"
+)
+
+// DropConfig parameterises a zone's daily deletion process. For the paced
+// policy the values here reproduce the observable behaviour the paper
+// reports: the Drop starts at 19:00 UTC (2 pm Eastern), lasts roughly an
+// hour depending on queue length, deletes domains in (lastUpdated, domainID)
+// order across the zone's TLDs combined, and does not proceed at a perfectly
+// constant rate. Instant release uses only the start instant.
+type DropConfig struct {
+	// StartHour/StartMinute is the local start of the Drop in UTC.
+	StartHour, StartMinute int
+	// BaseRatePerSec is the average number of deletions processed per
+	// second; fractional rates are honoured by carrying the remainder
+	// across seconds. 24/s deletes 86 k domains in an hour.
+	BaseRatePerSec float64
+	// RateJitter is the fractional per-second variation of the rate,
+	// in [0, 1). 0.3 means each second processes 70–130 % of the base rate.
+	RateJitter float64
+	// DayRateSpread varies the whole day's processing rate: each Drop runs
+	// at base · U(1−spread, 1+spread/2). The paper's Drop durations do not
+	// scale linearly with volume (18 Jan ran until 20:49, 11 Feb ended
+	// 19:56), which a fixed rate cannot produce.
+	DayRateSpread float64
+	// StallProb is the per-second probability that the process stalls for
+	// StallSeconds (batch boundaries, registry housekeeping). Stalls are one
+	// source of the imperfect linearity visible in the paper's Figure 4a.
+	StallProb    float64
+	StallSeconds int
+}
+
+// DefaultDropConfig returns the configuration used by the experiments.
+func DefaultDropConfig() DropConfig {
+	return DropConfig{
+		StartHour:      19,
+		BaseRatePerSec: 25,
+		RateJitter:     0.3,
+		DayRateSpread:  0.2,
+		StallProb:      0.004,
+		StallSeconds:   8,
+	}
+}
+
+// QueueEntry is one position in a day's deletion queue.
+type QueueEntry struct {
+	Name    string
+	TLD     model.TLD
+	ID      uint64
+	Updated time.Time
+}
+
+// Scheduled is one planned deletion: the instant rank Rank's domain will be
+// purged. The schedule is the registry's internal plan — exactly the
+// information drop-catch services pay to predict.
+type Scheduled struct {
+	Name string
+	TLD  model.TLD
+	Time time.Time
+	Rank int
+}
+
+// DropPolicy turns a day's ordered deletion queue into a release schedule.
+//
+// Resume contract: Schedule must be reproducible from (day, queue, rng seed
+// state) alone, and any reordering it performs must be a deterministic total
+// order over the queue's entries — crash recovery rebuilds a partially
+// executed Drop's queue as the already-purged prefix (in purge order)
+// followed by the still-pending remainder, re-runs Schedule over the whole
+// thing, and expects the prefix of the result to match the archive exactly.
+// Policies therefore key any shuffle on stable per-entry data (name, day,
+// salt), never on queue position or extra rng draws whose count depends on
+// anything but the queue length.
+type DropPolicy interface {
+	// Kind names the policy.
+	Kind() PolicyKind
+	// Schedule assigns each queue entry its release instant and final rank.
+	// rng drives pacing noise; implementations must consume draws as a
+	// function of len(queue) only (see the resume contract).
+	Schedule(day simtime.Day, queue []QueueEntry, rng *rand.Rand) []Scheduled
+}
+
+// NewPolicy constructs the DropPolicy for a zone config.
+func NewPolicy(c Config) (DropPolicy, error) {
+	switch c.Policy {
+	case PolicyPaced, "":
+		return PacedOrdered{Config: c.Drop}, nil
+	case PolicyInstant:
+		return InstantRelease{Config: c.Drop}, nil
+	case PolicyRandom:
+		return RandomizedOrder{Config: c.Drop, Salt: c.Salt}, nil
+	}
+	return nil, fmt.Errorf("zone %s: unknown policy %q", c.Name, c.Policy)
+}
+
+// PacedOrdered is the .com/.net Drop: the queue is released in its given
+// (lastUpdated, domainID) order, paced by the configured rate with day-level
+// rate variation, per-second jitter and stalls.
+type PacedOrdered struct{ Config DropConfig }
+
+// Kind implements DropPolicy.
+func (PacedOrdered) Kind() PolicyKind { return PolicyPaced }
+
+// Schedule implements DropPolicy. The pacing draws depend only on the queue
+// length and rng, which is what makes crash recovery able to re-derive a
+// partially executed Drop's original plan.
+func (p PacedOrdered) Schedule(day simtime.Day, queue []QueueEntry, rng *rand.Rand) []Scheduled {
+	cfg := p.Config
+	out := make([]Scheduled, 0, len(queue))
+	t := day.At(cfg.StartHour, cfg.StartMinute, 0)
+	i := 0
+	carry := 0.0
+	dayRate := cfg.BaseRatePerSec
+	if cfg.DayRateSpread > 0 {
+		dayRate *= 1 - cfg.DayRateSpread + 1.5*cfg.DayRateSpread*rng.Float64()
+	}
+	for i < len(queue) {
+		if cfg.StallProb > 0 && rng.Float64() < cfg.StallProb {
+			t = t.Add(time.Duration(cfg.StallSeconds) * time.Second)
+		}
+		jitter := 1 + cfg.RateJitter*(2*rng.Float64()-1)
+		want := dayRate*jitter + carry
+		n := int(want)
+		carry = want - float64(n)
+		for k := 0; k < n && i < len(queue); k++ {
+			out = append(out, Scheduled{Name: queue[i].Name, TLD: queue[i].TLD, Time: t, Rank: i})
+			i++
+		}
+		t = t.Add(time.Second)
+	}
+	return out
+}
+
+// InstantRelease is the .se/.nu shape: every queued name becomes available
+// at the zone's start instant simultaneously. Ranks preserve the queue
+// order (they decide archive order, not availability).
+type InstantRelease struct{ Config DropConfig }
+
+// Kind implements DropPolicy.
+func (InstantRelease) Kind() PolicyKind { return PolicyInstant }
+
+// Schedule implements DropPolicy. It consumes no rng draws: there is no
+// pacing noise to drive, and staying draw-free keeps resume trivial.
+func (p InstantRelease) Schedule(day simtime.Day, queue []QueueEntry, _ *rand.Rand) []Scheduled {
+	t := day.At(p.Config.StartHour, p.Config.StartMinute, 0)
+	out := make([]Scheduled, len(queue))
+	for i, q := range queue {
+		out[i] = Scheduled{Name: q.Name, TLD: q.TLD, Time: t, Rank: i}
+	}
+	return out
+}
+
+// RandomizedOrder is the countermeasure scenario: the release order is
+// shuffled per drop so the (lastUpdated, domainID) rank no longer predicts
+// the release instant, then paced like PacedOrdered. The shuffle is a keyed
+// sort — splitmix64 over (salt, day, name) — rather than an rng permutation:
+// the order is a deterministic total order over the entries themselves, so
+// recovery re-derives it from the rebuilt queue regardless of how the crash
+// split prefix from remainder.
+type RandomizedOrder struct {
+	Config DropConfig
+	Salt   uint64
+}
+
+// Kind implements DropPolicy.
+func (RandomizedOrder) Kind() PolicyKind { return PolicyRandom }
+
+// shuffleKey ranks one entry within one day's shuffled order.
+func (p RandomizedOrder) shuffleKey(day simtime.Day, name string) uint64 {
+	h := p.Salt ^ (uint64(day.Year)<<16 | uint64(day.Month)<<8 | uint64(day.Dom))
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 1099511628211
+	}
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// Schedule implements DropPolicy.
+func (p RandomizedOrder) Schedule(day simtime.Day, queue []QueueEntry, rng *rand.Rand) []Scheduled {
+	shuffled := slices.Clone(queue)
+	slices.SortStableFunc(shuffled, func(a, b QueueEntry) int {
+		ka, kb := p.shuffleKey(day, a.Name), p.shuffleKey(day, b.Name)
+		switch {
+		case ka < kb:
+			return -1
+		case ka > kb:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return PacedOrdered{Config: p.Config}.Schedule(day, shuffled, rng)
+}
